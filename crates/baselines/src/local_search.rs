@@ -1,0 +1,152 @@
+//! Hill-climbing refinement of any base strategy.
+
+use crate::Strategy;
+use hbn_load::{LoadMap, Placement};
+use hbn_topology::Network;
+use hbn_workload::AccessMatrix;
+
+/// Refines a base placement by repeatedly relocating one object's single
+/// copy to the leaf that lowers congestion the most, until a local optimum
+/// or the move budget is reached.
+///
+/// Only explores non-redundant placements (single copy per object); bases
+/// that replicate are first collapsed to each object's busiest copy.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearch<S> {
+    base: S,
+    max_moves: usize,
+}
+
+impl<S: Strategy> LocalSearch<S> {
+    /// Local search started from `base` with at most `max_moves`
+    /// relocations.
+    pub fn around(base: S, max_moves: usize) -> Self {
+        LocalSearch { base, max_moves }
+    }
+}
+
+impl<S: Strategy> Strategy for LocalSearch<S> {
+    fn name(&self) -> &'static str {
+        "local-search"
+    }
+
+    fn place(&self, net: &Network, matrix: &AccessMatrix) -> Placement {
+        let base = self.base.place(net, matrix);
+        // Collapse to one copy per object (most-loaded copy wins).
+        let mut placement = Placement::new(matrix.n_objects());
+        for x in matrix.objects() {
+            if matrix.total_weight(x) == 0 {
+                continue;
+            }
+            let copies = base.copies(x);
+            let keep = match copies.len() {
+                0 => continue,
+                1 => copies[0],
+                _ => {
+                    let mut served = std::collections::BTreeMap::new();
+                    for e in base.assignment(x) {
+                        *served.entry(e.server).or_insert(0u64) += e.reads + e.writes;
+                    }
+                    served
+                        .into_iter()
+                        .max_by_key(|&(node, s)| (s, std::cmp::Reverse(node)))
+                        .map(|(node, _)| node)
+                        .unwrap_or(copies[0])
+                }
+            };
+            // Copies may sit on buses (e.g. unrestricted nibble bases);
+            // project to the nearest processor.
+            let keep = if net.is_processor(keep) {
+                keep
+            } else {
+                *hbn_load::nearest_copy_map(net, net.processors())
+                    .get(keep.index())
+                    .expect("in range")
+            };
+            placement.set_copies(x, vec![keep]);
+            placement.nearest_assignment_for(net, matrix, x);
+        }
+
+        let mut current = LoadMap::from_placement(net, matrix, &placement);
+        let mut moves = 0usize;
+        'outer: while moves < self.max_moves {
+            let mut improved = false;
+            for x in matrix.objects() {
+                if placement.copies(x).is_empty() {
+                    continue;
+                }
+                let old_leaf = placement.copies(x)[0];
+                let old_delta = LoadMap::from_object(net, matrix, &placement, x);
+                let mut without = current.clone();
+                without.sub_assign(&old_delta);
+                let mut best = (current.congestion(net).congestion, old_leaf, old_delta);
+                for &leaf in net.processors() {
+                    if leaf == old_leaf {
+                        continue;
+                    }
+                    let mut trial = Placement::new(matrix.n_objects());
+                    trial.set_copies(x, vec![leaf]);
+                    trial.nearest_assignment_for(net, matrix, x);
+                    let delta = LoadMap::from_object(net, matrix, &trial, x);
+                    let mut combined = without.clone();
+                    combined.add_assign(&delta);
+                    let c = combined.congestion(net).congestion;
+                    if c < best.0 {
+                        best = (c, leaf, delta);
+                    }
+                }
+                if best.1 != old_leaf {
+                    without.add_assign(&best.2);
+                    current = without;
+                    placement.set_copies(x, vec![best.1]);
+                    placement.nearest_assignment_for(net, matrix, x);
+                    moves += 1;
+                    improved = true;
+                    if moves >= self.max_moves {
+                        break 'outer;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::{OwnerLeaf, RandomLeaf};
+    use hbn_topology::generators::{balanced, BandwidthProfile};
+    use hbn_workload::generators as wgen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn local_search_never_hurts() {
+        let net = balanced(2, 3, BandwidthProfile::Uniform);
+        let mut rng = StdRng::seed_from_u64(96);
+        for seed in 0..5 {
+            let m = wgen::uniform(&net, 5, 4, 2, 0.7, &mut rng);
+            let base = RandomLeaf::new(seed).place(&net, &m);
+            let refined = LocalSearch::around(RandomLeaf::new(seed), 200).place(&net, &m);
+            refined.validate(&net, &m).unwrap();
+            let cb = LoadMap::from_placement(&net, &m, &base).congestion(&net).congestion;
+            let cr = LoadMap::from_placement(&net, &m, &refined).congestion(&net).congestion;
+            assert!(cr <= cb, "seed {seed}: refined {cr} worse than base {cb}");
+        }
+    }
+
+    #[test]
+    fn local_search_respects_move_budget() {
+        let net = balanced(2, 2, BandwidthProfile::Uniform);
+        let mut rng = StdRng::seed_from_u64(97);
+        let m = wgen::uniform(&net, 4, 5, 2, 1.0, &mut rng);
+        // Zero budget = collapse of the base only.
+        let zero = LocalSearch::around(OwnerLeaf, 0).place(&net, &m);
+        let owner = OwnerLeaf.place(&net, &m);
+        assert_eq!(zero, owner, "owner is already single-copy; zero moves keep it");
+    }
+}

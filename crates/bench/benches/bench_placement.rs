@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the placement pipeline: nibble, deletion,
+//! mapping and the full extended-nibble strategy, swept over `|X|` and
+//! `|V|` (the sequential-runtime claim of Theorem 4.3, EXP-SEQ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hbn_core::{nibble_object, ExtendedNibble, Workspace};
+use hbn_topology::generators::{balanced, BandwidthProfile};
+use hbn_workload::generators as wgen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_nibble(c: &mut Criterion) {
+    let net = balanced(4, 3, BandwidthProfile::Uniform); // 64 procs, 85 nodes
+    let mut rng = StdRng::seed_from_u64(1);
+    let m = wgen::zipf_read_mostly(&net, 64, 4000, 0.9, 0.3, &mut rng);
+    let mut ws = Workspace::new(net.n_nodes());
+    c.bench_function("nibble_single_object", |b| {
+        b.iter(|| {
+            let out = nibble_object(&net, &m, hbn_workload::ObjectId(0), &mut ws);
+            black_box(out.copies.copies.len())
+        })
+    });
+}
+
+fn bench_extended_objects(c: &mut Criterion) {
+    let net = balanced(4, 3, BandwidthProfile::Uniform);
+    let mut group = c.benchmark_group("extended_nibble_objects");
+    for objects in [32usize, 128, 512] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = wgen::zipf_read_mostly(&net, objects, objects * 30, 0.9, 0.3, &mut rng);
+        group.throughput(Throughput::Elements(objects as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(objects), &m, |b, m| {
+            b.iter(|| black_box(ExtendedNibble::new().place(&net, m).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_extended_network_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extended_nibble_network");
+    for branching in [2usize, 4, 6] {
+        let net = balanced(branching, 3, BandwidthProfile::Uniform);
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = wgen::zipf_read_mostly(&net, 64, 3000, 0.9, 0.3, &mut rng);
+        group.throughput(Throughput::Elements(net.n_nodes() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(net.n_nodes()),
+            &(net, m),
+            |b, (net, m)| b.iter(|| black_box(ExtendedNibble::new().place(net, m).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nibble,
+    bench_extended_objects,
+    bench_extended_network_size
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks for the substrates: load accounting (sparse vs
+//! dense), congestion extraction, Steiner trees, LCA queries, and the
+//! packet simulator's slot throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbn_core::ExtendedNibble;
+use hbn_load::LoadMap;
+use hbn_sim::{expand_shuffled, simulate, SimConfig};
+use hbn_topology::generators::{balanced, BandwidthProfile};
+use hbn_topology::steiner::steiner_edges;
+use hbn_workload::generators as wgen;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_accounting(c: &mut Criterion) {
+    let net = balanced(4, 3, BandwidthProfile::Uniform);
+    let mut rng = StdRng::seed_from_u64(4);
+    let m = wgen::zipf_read_mostly(&net, 128, 8000, 0.9, 0.3, &mut rng);
+    let out = ExtendedNibble::new().place(&net, &m).unwrap();
+    c.bench_function("load_map_from_placement", |b| {
+        b.iter(|| black_box(LoadMap::from_placement(&net, &m, &out.placement)))
+    });
+    let loads = LoadMap::from_placement(&net, &m, &out.placement);
+    c.bench_function("congestion_exact", |b| {
+        b.iter(|| black_box(loads.congestion(&net)))
+    });
+}
+
+fn bench_steiner_and_lca(c: &mut Criterion) {
+    let net = balanced(3, 5, BandwidthProfile::Uniform); // 243 leaves
+    let mut rng = StdRng::seed_from_u64(5);
+    let procs = net.processors();
+    let terminals: Vec<_> = (0..20).map(|_| procs[rng.gen_range(0..procs.len())]).collect();
+    c.bench_function("steiner_20_terminals", |b| {
+        b.iter(|| black_box(steiner_edges(&net, &terminals)))
+    });
+    let pairs: Vec<_> = (0..64)
+        .map(|_| (procs[rng.gen_range(0..procs.len())], procs[rng.gen_range(0..procs.len())]))
+        .collect();
+    c.bench_function("lca_64_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(x, y) in &pairs {
+                acc ^= net.lca(x, y).0;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let net = balanced(3, 2, BandwidthProfile::Uniform);
+    let mut group = c.benchmark_group("simulator_replay");
+    for requests in [500usize, 2000] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = wgen::zipf_read_mostly(&net, 16, requests, 0.9, 0.3, &mut rng);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let trace = expand_shuffled(&m, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(requests), &(), |b, ()| {
+            b.iter(|| {
+                black_box(
+                    simulate(&net, &m, &out.placement, &trace, SimConfig::default()).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accounting, bench_steiner_and_lca, bench_simulator);
+criterion_main!(benches);

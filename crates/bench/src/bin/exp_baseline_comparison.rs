@@ -1,0 +1,67 @@
+//! EXP-BASE (Section 1.2 context): congestion of the extended-nibble
+//! strategy against the baselines across workload families, normalised by
+//! the unrestricted-nibble lower bound.
+
+use hbn_baselines::{
+    ExtendedNibbleStrategy, GreedyCongestion, LocalSearch, OwnerLeaf, RandomLeaf, Strategy,
+    UnrestrictedNibble,
+};
+use hbn_bench::Table;
+use hbn_load::LoadMap;
+use hbn_topology::generators::{balanced, BandwidthProfile};
+use hbn_workload::generators as wgen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("EXP-BASE — strategy comparison (congestion / unrestricted-nibble LB)\n");
+    let net = balanced(3, 3, BandwidthProfile::Uniform);
+    let mut rng = StdRng::seed_from_u64(10);
+
+    type Maker = Box<dyn FnMut(&hbn_topology::Network, &mut StdRng) -> hbn_workload::AccessMatrix>;
+    let families: Vec<(&str, Maker)> = vec![
+        ("zipf-read", Box::new(|n, r| wgen::zipf_read_mostly(n, 24, 3000, 1.0, 0.05, r))),
+        ("zipf-mixed", Box::new(|n, r| wgen::zipf_read_mostly(n, 24, 3000, 1.0, 0.4, r))),
+        ("shared-write", Box::new(|n, _| wgen::shared_write(n, 8, 1, 2))),
+        ("prod-cons", Box::new(|n, r| wgen::producer_consumer(n, 16, 5, 12, 6, r))),
+        ("hotspot", Box::new(|n, r| wgen::hotspot(n, 16, 0.2, 8, 2, 1, r))),
+    ];
+
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(RandomLeaf::new(7)),
+        Box::new(OwnerLeaf),
+        Box::new(GreedyCongestion),
+        Box::new(LocalSearch::around(OwnerLeaf, 400)),
+        Box::new(ExtendedNibbleStrategy::default()),
+    ];
+
+    let mut header = vec!["family".to_string(), "LB (nibble)".to_string()];
+    header.extend(strategies.iter().map(|s| s.name().to_string()));
+    let mut t = Table::new(header);
+
+    for (name, mut maker) in families {
+        let m = maker(&net, &mut rng);
+        let lb = LoadMap::from_placement(&net, &m, &UnrestrictedNibble.place(&net, &m))
+            .congestion(&net)
+            .congestion;
+        let mut row = vec![name.to_string(), lb.to_string()];
+        for s in &strategies {
+            let p = s.place(&net, &m);
+            let c = LoadMap::from_placement(&net, &m, &p).congestion(&net).congestion;
+            let ratio = if lb.load == 0 {
+                format!("{}", c)
+            } else {
+                format!("{:.2}x", c.as_f64() / lb.as_f64())
+            };
+            row.push(ratio);
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!(
+        "Expected shape: extended-nibble stays within a small constant of the\n\
+         (infeasible) unrestricted-nibble lower bound on every family, and wins\n\
+         clearly on replication-friendly (read-heavy, hotspot) workloads where\n\
+         single-copy baselines cannot spread load."
+    );
+}

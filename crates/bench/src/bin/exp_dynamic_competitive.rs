@@ -1,0 +1,82 @@
+//! EXP-DYN (Section 1.3, related work [10]): the online read-replicate /
+//! write-collapse strategy against the hindsight nibble optimum. The
+//! cited result is a competitive ratio of 3 on trees; we measure the
+//! empirical ratio across request mixes and replication thresholds.
+
+use hbn_bench::Table;
+use hbn_dynamic::{run_competitive, OnlineRequest};
+use hbn_topology::generators::{balanced, BandwidthProfile};
+use hbn_workload::ObjectId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sequence(
+    procs: &[hbn_topology::NodeId],
+    n_objects: usize,
+    len: usize,
+    write_frac: f64,
+    locality: f64,
+    rng: &mut StdRng,
+) -> Vec<OnlineRequest> {
+    // Each object gets a "home" processor; with probability `locality` a
+    // request comes from the home, otherwise from a uniform processor.
+    let homes: Vec<usize> = (0..n_objects).map(|_| rng.gen_range(0..procs.len())).collect();
+    (0..len)
+        .map(|_| {
+            let x = rng.gen_range(0..n_objects);
+            let p = if rng.gen_bool(locality) {
+                procs[homes[x]]
+            } else {
+                procs[rng.gen_range(0..procs.len())]
+            };
+            OnlineRequest { processor: p, object: ObjectId(x as u32), is_write: rng.gen_bool(write_frac) }
+        })
+        .collect()
+}
+
+fn main() {
+    println!("EXP-DYN — online strategy vs hindsight nibble (cited ratio: 3 on trees)\n");
+    let net = balanced(3, 2, BandwidthProfile::Uniform);
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let mut t = Table::new([
+        "mix",
+        "D",
+        "online",
+        "hindsight",
+        "ratio",
+        "replications",
+        "collapses",
+    ]);
+    for (mix, write_frac, locality) in [
+        ("read-heavy", 0.02, 0.0),
+        ("mixed", 0.30, 0.0),
+        ("write-heavy", 0.80, 0.0),
+        ("local mixed", 0.30, 0.8),
+        ("ping-pong-ish", 0.50, 0.0),
+    ] {
+        for d in [1u64, 3, 8] {
+            let reqs = sequence(net.processors(), 8, 4000, write_frac, locality, &mut rng);
+            let rep = run_competitive(&net, 8, &reqs, d);
+            t.row([
+                mix.into(),
+                d.to_string(),
+                rep.online.to_string(),
+                rep.hindsight.to_string(),
+                rep.ratio.map_or("-".into(), |r| format!("{r:.2}")),
+                rep.stats.replications.to_string(),
+                rep.stats.collapses.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Expected shape: with D = 1 (unit-size objects, the congestion model of\n\
+         the paper) every mix stays within the cited factor 3. Larger D trades\n\
+         fewer replications for more remote reads; on read-heavy mixes the\n\
+         ratio then inflates *against this baseline* because the hindsight\n\
+         placement gets its copies for free while the online player pays D per\n\
+         edge — the offline dynamic optimum of [10] also pays movement costs,\n\
+         so those rows overstate the true competitive ratio."
+    );
+}

@@ -1,0 +1,79 @@
+//! EXP-SEQ (Theorem 4.3, sequential runtime): the extended-nibble
+//! strategy's measured wall-clock scales like
+//! `O(|X| · |V| · height(T) · log(degree(T)))` — near-linear in each
+//! parameter separately.
+
+use hbn_bench::Table;
+use hbn_core::ExtendedNibble;
+use hbn_topology::generators::{balanced, bus_path, BandwidthProfile};
+use hbn_workload::generators as wgen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn time_place(net: &hbn_topology::Network, m: &hbn_workload::AccessMatrix) -> f64 {
+    let strat = ExtendedNibble::new();
+    let start = Instant::now();
+    let out = strat.place(net, m).unwrap();
+    std::hint::black_box(out);
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    println!("EXP-SEQ — sequential runtime scaling of the extended-nibble strategy\n");
+    let mut rng = StdRng::seed_from_u64(6);
+
+    // (a) Scaling in |X| on a fixed network.
+    let net = balanced(4, 3, BandwidthProfile::Uniform); // 64 procs
+    let mut t = Table::new(["|X|", "time (ms)", "time / |X| (ms)"]);
+    for objects in [50usize, 100, 200, 400, 800] {
+        let m = wgen::zipf_read_mostly(&net, objects, objects * 40, 0.9, 0.3, &mut rng);
+        let ms = time_place(&net, &m);
+        t.row([objects.to_string(), format!("{ms:.2}"), format!("{:.4}", ms / objects as f64)]);
+    }
+    println!("{}", t.render());
+
+    // (b) Scaling in |V| (balanced trees of growing width).
+    let mut t = Table::new(["|V|", "height", "time (ms)", "time / |V| (us)"]);
+    for branching in [2usize, 3, 4, 5, 6] {
+        let net = balanced(branching, 3, BandwidthProfile::Uniform);
+        let m = wgen::zipf_read_mostly(&net, 100, 4000, 0.9, 0.3, &mut rng);
+        let ms = time_place(&net, &m);
+        t.row([
+            net.n_nodes().to_string(),
+            net.height().to_string(),
+            format!("{ms:.2}"),
+            format!("{:.2}", ms * 1e3 / net.n_nodes() as f64),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // (c) Scaling in height (bus paths).
+    let mut t = Table::new(["height", "|V|", "time (ms)"]);
+    for buses in [8usize, 16, 32, 64] {
+        let net = bus_path(buses, BandwidthProfile::Uniform);
+        let m = wgen::uniform(&net, 200, 6, 4, 1.0, &mut rng);
+        let ms = time_place(&net, &m);
+        t.row([net.height().to_string(), net.n_nodes().to_string(), format!("{ms:.2}")]);
+    }
+    println!("{}", t.render());
+
+    // (d) Parallel steps 1-2 over objects.
+    let net = balanced(4, 3, BandwidthProfile::Uniform);
+    let m = wgen::zipf_read_mostly(&net, 1600, 64_000, 0.9, 0.3, &mut rng);
+    let mut t = Table::new(["threads", "time (ms)"]);
+    for threads in [1usize, 2, 4, 8] {
+        let strat = ExtendedNibble {
+            options: hbn_core::ExtendedNibbleOptions { threads, ..Default::default() },
+        };
+        let start = Instant::now();
+        let out = strat.place(&net, &m).unwrap();
+        std::hint::black_box(out);
+        t.row([threads.to_string(), format!("{:.2}", start.elapsed().as_secs_f64() * 1e3)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Expected shape: (a) linear in |X|; (b) near-linear in |V|;\n\
+         (c) grows with height; (d) speedup from parallel per-object steps."
+    );
+}

@@ -1,0 +1,10 @@
+//! # hbn-bench
+//!
+//! Experiment binaries (one per EXP-* row of DESIGN.md) and criterion
+//! benchmarks. Shared table-formatting helpers live here.
+
+#![warn(missing_docs)]
+
+pub mod table;
+
+pub use table::Table;

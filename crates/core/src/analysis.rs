@@ -1,0 +1,184 @@
+//! Certified lower bounds and the Theorem 4.3 approximation certificate.
+//!
+//! Two machine-checkable lower bounds on the bus-constrained optimum
+//! `C_opt` come straight out of the paper's proof:
+//!
+//! 1. **Nibble congestion.** The nibble placement minimises the load on
+//!    *every* edge over all placements (Theorem 3.1), including leaf-only
+//!    ones, and bus loads are monotone in edge loads — so its congestion
+//!    `C_nib` satisfies `C_nib ≤ C_opt`.
+//! 2. **Contention bound.** For every object `x` whose nibble placement
+//!    uses a bus, `C_opt ≥ min(κ_x, h_x / 2)` (the case analysis closing
+//!    the proof of Theorem 4.3: either the optimum replicates `x` and every
+//!    copy's leaf switch carries all `κ_x` updates, or a single copy on a
+//!    non-majority leaf forces half of `h_x` over one switch; a majority
+//!    leaf would have been the gravity center, contradicting the bus
+//!    gravity center).
+//!
+//! The certificate combines them with the per-edge accounting bound of
+//! Lemmas 4.5/4.6 to verify `C ≤ 7 · C_opt` end to end.
+
+use crate::extended::ExtendedOutcome;
+use hbn_load::{LoadMap, LoadRatio};
+use hbn_topology::Network;
+use hbn_workload::AccessMatrix;
+
+/// A certified lower bound on the optimal congestion, with its parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerBound {
+    /// Congestion of the (unrestricted) nibble placement.
+    pub nibble_congestion: LoadRatio,
+    /// `max_x min(κ_x, h_x / 2)` over objects whose nibble placement uses
+    /// a bus (zero ratio when no object does).
+    pub contention_bound: LoadRatio,
+}
+
+impl LowerBound {
+    /// The combined bound `max(C_nib, contention)`.
+    pub fn value(&self) -> LoadRatio {
+        self.nibble_congestion.max(self.contention_bound)
+    }
+}
+
+/// Compute the certified lower bound for an extended-nibble outcome.
+pub fn certified_lower_bound(
+    net: &Network,
+    matrix: &AccessMatrix,
+    outcome: &ExtendedOutcome,
+) -> LowerBound {
+    let nib_loads = LoadMap::from_placement(net, matrix, &outcome.nibble_placement);
+    let nibble_congestion = nib_loads.congestion(net).congestion;
+    let mut contention_bound = LoadRatio::ZERO;
+    for x in matrix.objects() {
+        let uses_bus = outcome.nibble_placement.copies(x).iter().any(|&v| net.is_bus(v));
+        if !uses_bus {
+            continue;
+        }
+        let kappa = matrix.write_contention(x);
+        let h = matrix.total_weight(x);
+        // min(κ_x, h_x/2), exactly: κ vs h/2 ⇔ 2κ vs h.
+        let bound = if 2 * kappa <= h {
+            LoadRatio::integral(kappa)
+        } else {
+            LoadRatio::new(h, 2)
+        };
+        contention_bound = contention_bound.max(bound);
+    }
+    LowerBound { nibble_congestion, contention_bound }
+}
+
+/// Everything needed to audit Theorem 4.3 on one instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxCertificate {
+    /// Congestion of the final (real) placement.
+    pub congestion: LoadRatio,
+    /// Congestion of the accounting upper bound (modified + mapping loads).
+    pub accounting_congestion: LoadRatio,
+    /// The certified lower bound on `C_opt`.
+    pub lower_bound: LowerBound,
+    /// `τ_max` of the mapping phase.
+    pub tau_max: u64,
+    /// Whether `L(e) ≤ 4·L_nib(e) + τ_max` held on every edge (Lemma 4.5).
+    pub lemma_4_5_ok: bool,
+    /// Whether the bus analogue held (Lemma 4.6).
+    pub lemma_4_6_ok: bool,
+    /// `congestion / lower_bound` as `f64` (`None` for zero lower bound).
+    pub ratio: Option<f64>,
+}
+
+/// Build the full certificate for an outcome.
+pub fn approximation_certificate(
+    net: &Network,
+    matrix: &AccessMatrix,
+    outcome: &ExtendedOutcome,
+) -> ApproxCertificate {
+    let real = LoadMap::from_placement(net, matrix, &outcome.placement);
+    let accounting = outcome.accounting_loads(net, matrix);
+    let nib = LoadMap::from_placement(net, matrix, &outcome.nibble_placement);
+    let tau = outcome.mapping.tau_max;
+
+    let lemma_4_5_ok =
+        net.edges().all(|e| accounting.edge_load(e) <= 4 * nib.edge_load(e) + tau);
+    let lemma_4_6_ok = net
+        .nodes()
+        .filter(|&v| net.is_bus(v))
+        .all(|v| accounting.bus_load_x2(net, v) <= 4 * nib.bus_load_x2(net, v) + 2 * tau);
+
+    let lower_bound = certified_lower_bound(net, matrix, outcome);
+    let congestion = real.congestion(net).congestion;
+    ApproxCertificate {
+        congestion,
+        accounting_congestion: accounting.congestion(net).congestion,
+        lower_bound,
+        tau_max: tau,
+        lemma_4_5_ok,
+        lemma_4_6_ok,
+        ratio: congestion.ratio_to(lower_bound.value()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extended::ExtendedNibble;
+    use hbn_topology::generators::{random_network, star, BandwidthProfile};
+    use hbn_workload::generators as wgen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn certificate_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(50);
+        for round in 0..30 {
+            let net = random_network(6, 12, BandwidthProfile::Uniform, &mut rng);
+            let m = wgen::uniform(&net, 5, 6, 4, 0.7, &mut rng);
+            let out = ExtendedNibble::checked().place(&net, &m).unwrap();
+            let cert = approximation_certificate(&net, &m, &out);
+            assert!(cert.lemma_4_5_ok, "round {round}");
+            assert!(cert.lemma_4_6_ok, "round {round}");
+            // The real congestion is ≤ the accounting congestion…
+            assert!(cert.congestion <= cert.accounting_congestion, "round {round}");
+            // …and the lower bound is ≤ the achieved congestion (it bounds
+            // C_opt ≤ C from below).
+            assert!(cert.lower_bound.value() <= cert.congestion.max(cert.lower_bound.value()));
+            if let Some(r) = cert.ratio {
+                assert!(r <= 7.0 + 1e-9, "round {round}: ratio {r} above the guarantee");
+                assert!(r >= 1.0 - 1e-9, "round {round}: ratio {r} below 1 is impossible");
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_lower_bound_dominates_on_read_heavy() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let net = random_network(5, 10, BandwidthProfile::Uniform, &mut rng);
+        let m = wgen::zipf_read_mostly(&net, 8, 500, 1.0, 0.05, &mut rng);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let lb = certified_lower_bound(&net, &m, &out);
+        // Both parts are well-formed.
+        assert!(lb.value() >= lb.nibble_congestion);
+        assert!(lb.value() >= lb.contention_bound);
+    }
+
+    #[test]
+    fn contention_bound_kicks_in_for_shared_writes() {
+        let net = star(6, 100);
+        let m = wgen::shared_write(&net, 1, 0, 2);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let lb = certified_lower_bound(&net, &m, &out);
+        // κ = 12, h = 12: bound is min(12, 6) = 6.
+        assert_eq!(lb.contention_bound, LoadRatio::new(12, 2));
+        assert!(lb.value() >= LoadRatio::new(12, 2));
+    }
+
+    #[test]
+    fn empty_workload_certificate() {
+        let net = star(3, 2);
+        let m = AccessMatrix::new(2);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let cert = approximation_certificate(&net, &m, &out);
+        assert_eq!(cert.congestion, LoadRatio::ZERO);
+        assert!(cert.ratio.is_none());
+        assert!(cert.lemma_4_5_ok && cert.lemma_4_6_ok);
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-object center of gravity `g(T)` (paper, Section 3.1).
+//!
+//! For a fixed object `x` with node weights `h(v) = h_r(v,x) + h_w(v,x)`,
+//! the center of gravity is a node whose removal splits the tree into
+//! components each carrying at most half of the total weight. The set of
+//! such nodes is never empty; following the paper we take the one with the
+//! smallest index.
+
+use hbn_topology::{Network, NodeId};
+use hbn_workload::{AccessMatrix, ObjectId};
+
+/// Reusable per-object scratch buffers for gravity/nibble computations:
+/// the algorithms run once per object and would otherwise allocate
+/// `O(|V|)` vectors `|X|` times.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Subtree weight below each node under the network's fixed root.
+    pub subtree: Vec<u64>,
+    /// Per-node weight `h(v)` of the current object.
+    pub weight: Vec<u64>,
+    /// Processors touched by the current object (to clear `weight` cheaply).
+    touched: Vec<NodeId>,
+    /// Epoch-stamped node marks (`mark[v] == epoch` means marked), so the
+    /// nibble strategy can test copy membership without clearing buffers.
+    mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl Workspace {
+    /// Scratch buffers for a network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Workspace {
+            subtree: vec![0; n],
+            weight: vec![0; n],
+            touched: Vec::new(),
+            mark: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Start a fresh mark generation (clears all marks in O(1)).
+    pub fn clear_marks(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: physically reset to keep stamps unambiguous.
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Mark node `v` in the current generation.
+    #[inline]
+    pub fn mark(&mut self, v: NodeId) {
+        self.mark[v.index()] = self.epoch;
+    }
+
+    /// Whether `v` is marked in the current generation.
+    #[inline]
+    pub fn is_marked(&self, v: NodeId) -> bool {
+        self.mark[v.index()] == self.epoch
+    }
+
+    /// Load the weights of object `x` and compute fixed-root subtree sums.
+    /// Returns the total weight `h_x`.
+    pub fn load_object(&mut self, net: &Network, matrix: &AccessMatrix, x: ObjectId) -> u64 {
+        for &v in &self.touched {
+            self.weight[v.index()] = 0;
+        }
+        self.touched.clear();
+        let mut total = 0u64;
+        for e in matrix.object_entries(x) {
+            let w = e.reads + e.writes;
+            self.weight[e.processor.index()] = w;
+            self.touched.push(e.processor);
+            total += w;
+        }
+        // Subtree sums under the fixed root, postorder.
+        for v in net.postorder() {
+            let mut s = self.weight[v.index()];
+            for &c in net.children(v) {
+                s += self.subtree[c.index()];
+            }
+            self.subtree[v.index()] = s;
+        }
+        total
+    }
+}
+
+/// The center of gravity of object `x`: the smallest-index node `v` such
+/// that every component of `T − v` has weight at most `h_x / 2`.
+///
+/// With zero total weight every node qualifies and node 0 is returned.
+pub fn center_of_gravity(net: &Network, matrix: &AccessMatrix, x: ObjectId) -> NodeId {
+    let mut ws = Workspace::new(net.n_nodes());
+    center_of_gravity_with(net, matrix, x, &mut ws)
+}
+
+/// [`center_of_gravity`] with caller-provided scratch space.
+pub fn center_of_gravity_with(
+    net: &Network,
+    matrix: &AccessMatrix,
+    x: ObjectId,
+    ws: &mut Workspace,
+) -> NodeId {
+    let total = ws.load_object(net, matrix, x);
+    for v in net.nodes() {
+        if is_gravity_center(net, ws, v, total) {
+            return v;
+        }
+    }
+    unreachable!("the set of gravity centers is never empty");
+}
+
+/// Whether `v` satisfies the gravity-center condition given loaded
+/// workspace weights: `2 · max_component_weight(T − v) ≤ total`.
+pub(crate) fn is_gravity_center(net: &Network, ws: &Workspace, v: NodeId, total: u64) -> bool {
+    let mut max_comp = 0u64;
+    for &c in net.children(v) {
+        max_comp = max_comp.max(ws.subtree[c.index()]);
+    }
+    if v != net.root() {
+        max_comp = max_comp.max(total - ws.subtree[v.index()]);
+    }
+    2 * max_comp <= total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbn_topology::generators::{balanced, star, BandwidthProfile};
+    use hbn_topology::NetworkBuilder;
+
+    #[test]
+    fn all_weight_on_one_leaf() {
+        let net = star(4, 10);
+        let p = net.processors();
+        let mut m = AccessMatrix::new(1);
+        m.add(p[2], ObjectId(0), 5, 5);
+        // Removing p[2] leaves a component of weight 0; removing anything
+        // else leaves p[2]'s full weight. So g = p[2].
+        assert_eq!(center_of_gravity(&net, &m, ObjectId(0)), p[2]);
+    }
+
+    #[test]
+    fn balanced_weights_pick_the_bus() {
+        let net = star(4, 10);
+        let p = net.processors();
+        let mut m = AccessMatrix::new(1);
+        m.add(p[0], ObjectId(0), 3, 0);
+        m.add(p[1], ObjectId(0), 3, 0);
+        // Total 6; removing the bus leaves components of ≤ 3 = 6/2. The bus
+        // (node 0) has the smallest index among qualifying nodes — p[0] and
+        // p[1] leave a component of 3 ≤ 3 as well, but the bus is node 0.
+        assert_eq!(center_of_gravity(&net, &m, ObjectId(0)), net.root());
+    }
+
+    #[test]
+    fn majority_leaf_wins() {
+        let net = star(4, 10);
+        let p = net.processors();
+        let mut m = AccessMatrix::new(1);
+        m.add(p[0], ObjectId(0), 7, 0);
+        m.add(p[1], ObjectId(0), 3, 0);
+        // Removing anything except p[0] leaves a component with weight 7 >
+        // 10/2, so g = p[0].
+        assert_eq!(center_of_gravity(&net, &m, ObjectId(0)), p[0]);
+    }
+
+    #[test]
+    fn zero_weight_defaults_to_node_zero() {
+        let net = star(3, 5);
+        let m = AccessMatrix::new(1);
+        assert_eq!(center_of_gravity(&net, &m, ObjectId(0)), NodeId(0));
+    }
+
+    #[test]
+    fn deep_tree_gravity_is_weighted_median() {
+        // Path: p0 - b - b - b - p1, heavy on p1's side.
+        let mut b = NetworkBuilder::new();
+        let p0 = b.add_processor();
+        let b1 = b.add_bus(1);
+        let b2 = b.add_bus(1);
+        let b3 = b.add_bus(1);
+        let p1 = b.add_processor();
+        b.connect(p0, b1, 1).unwrap();
+        b.connect(b1, b2, 1).unwrap();
+        b.connect(b2, b3, 1).unwrap();
+        b.connect(b3, p1, 1).unwrap();
+        let net = b.build().unwrap();
+        let mut m = AccessMatrix::new(1);
+        m.add(p0, ObjectId(0), 1, 0);
+        m.add(p1, ObjectId(0), 1, 0);
+        // Equal weights: every node on the path qualifies; smallest index
+        // wins, which is p0 (id 0).
+        assert_eq!(center_of_gravity(&net, &m, ObjectId(0)), p0);
+        let mut m = AccessMatrix::new(1);
+        m.add(p0, ObjectId(0), 1, 0);
+        m.add(p1, ObjectId(0), 3, 0);
+        // Total 4: components around p1 must stay ≤ 2, so only nodes b3 or
+        // p1 qualify (removing b3 leaves {p1}=3 > 2? No: removing b3 leaves
+        // {p1} weight 3 > 2 — so only p1 qualifies).
+        assert_eq!(center_of_gravity(&net, &m, ObjectId(0)), p1);
+    }
+
+    #[test]
+    fn gravity_center_condition_is_verified_exhaustively() {
+        use rand::{Rng, SeedableRng};
+        let net = balanced(3, 2, BandwidthProfile::Uniform);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let mut m = AccessMatrix::new(1);
+            for &p in net.processors() {
+                if rng.gen_bool(0.7) {
+                    m.add(p, ObjectId(0), rng.gen_range(0..6), rng.gen_range(0..4));
+                }
+            }
+            let g = center_of_gravity(&net, &m, ObjectId(0));
+            let mut ws = Workspace::new(net.n_nodes());
+            let total = ws.load_object(&net, &m, ObjectId(0));
+            // The returned node satisfies the definition...
+            assert!(is_gravity_center(&net, &ws, g, total));
+            // ...and no smaller-index node does.
+            for v in net.nodes().take_while(|&v| v < g) {
+                assert!(!is_gravity_center(&net, &ws, v, total));
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Synchronous message-passing engine on the tree network.
+//!
+//! The paper's distributed model: in every round each node may exchange
+//! messages with its tree neighbors and do local work. The engine delivers
+//! all messages sent in round `r` at the start of round `r + 1`, enforces
+//! that messages only travel along switches, and keeps the counters the
+//! distributed-time experiments report (rounds, total messages, and the
+//! busiest node-round).
+
+use hbn_topology::{Network, NodeId};
+
+/// Counters accumulated over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Maximum number of messages any single node sent in one round — the
+    /// per-round `O(degree)` term of the paper's bound.
+    pub max_node_round_messages: u64,
+}
+
+/// A synchronous engine delivering messages of type `M` along tree edges.
+#[derive(Debug)]
+pub struct Engine<M> {
+    inboxes: Vec<Vec<(NodeId, M)>>,
+    next: Vec<Vec<(NodeId, M)>>,
+    stats: EngineStats,
+}
+
+/// Send handle passed to the per-node step closure.
+pub struct Outbox<'a, M> {
+    from: NodeId,
+    net: &'a Network,
+    next: &'a mut Vec<Vec<(NodeId, M)>>,
+    sent: u64,
+}
+
+impl<M> Outbox<'_, M> {
+    /// Send `msg` to a tree neighbor `to` for delivery next round.
+    ///
+    /// # Panics
+    /// Panics if `to` is not adjacent to the sending node.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let adjacent = self.net.parent(self.from) == to && self.from != self.net.root()
+            || self.net.parent(to) == self.from && to != self.net.root();
+        assert!(adjacent, "{} -> {to} is not a switch", self.from);
+        self.next[to.index()].push((self.from, msg));
+        self.sent += 1;
+    }
+}
+
+impl<M> Engine<M> {
+    /// A fresh engine for `net`.
+    pub fn new(net: &Network) -> Self {
+        Engine {
+            inboxes: (0..net.n_nodes()).map(|_| Vec::new()).collect(),
+            next: (0..net.n_nodes()).map(|_| Vec::new()).collect(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Run one round: every node sees its inbox (messages sent last round)
+    /// and may send messages via the outbox. Returns the number of
+    /// messages sent this round.
+    pub fn step<F>(&mut self, net: &Network, mut node_step: F) -> u64
+    where
+        F: FnMut(NodeId, &[(NodeId, M)], &mut Outbox<'_, M>),
+    {
+        self.stats.rounds += 1;
+        let mut sent_this_round = 0u64;
+        for v in net.nodes() {
+            let inbox = std::mem::take(&mut self.inboxes[v.index()]);
+            let mut outbox = Outbox { from: v, net, next: &mut self.next, sent: 0 };
+            node_step(v, &inbox, &mut outbox);
+            self.stats.max_node_round_messages =
+                self.stats.max_node_round_messages.max(outbox.sent);
+            sent_this_round += outbox.sent;
+        }
+        self.stats.messages += sent_this_round;
+        std::mem::swap(&mut self.inboxes, &mut self.next);
+        sent_this_round
+    }
+
+    /// Whether any undelivered messages remain.
+    pub fn idle(&self) -> bool {
+        self.inboxes.iter().all(Vec::is_empty)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbn_topology::generators::{balanced, BandwidthProfile};
+
+    /// Flood a token from the root; every node must receive it exactly
+    /// once, in `height` rounds.
+    #[test]
+    fn broadcast_takes_height_rounds() {
+        let net = balanced(2, 3, BandwidthProfile::Uniform);
+        let mut engine: Engine<u32> = Engine::new(&net);
+        let mut received = vec![false; net.n_nodes()];
+        received[net.root().index()] = true;
+        // Round 1: the root seeds its children.
+        let mut first = true;
+        let mut rounds = 0;
+        loop {
+            let root = net.root();
+            let sent = engine.step(&net, |v, inbox, out| {
+                if first && v == root {
+                    for &c in net.children(v) {
+                        out.send(c, 7);
+                    }
+                }
+                for &(_, tok) in inbox {
+                    assert!(!received[v.index()], "duplicate delivery at {v}");
+                    received[v.index()] = true;
+                    assert_eq!(tok, 7);
+                    for &c in net.children(v) {
+                        out.send(c, tok);
+                    }
+                }
+            });
+            first = false;
+            rounds += 1;
+            if sent == 0 && engine.idle() {
+                break;
+            }
+        }
+        assert!(received.iter().all(|&r| r));
+        assert_eq!(rounds as u32, net.height() + 1, "seed round plus one hop per level");
+        assert_eq!(engine.stats().messages as usize, net.n_nodes() - 1);
+    }
+
+    /// Convergecast: leaves report 1, inner nodes sum; the root total must
+    /// equal the leaf count.
+    #[test]
+    fn convergecast_sums_leaves() {
+        let net = balanced(3, 2, BandwidthProfile::Uniform);
+        let mut engine: Engine<u64> = Engine::new(&net);
+        let mut acc = vec![0u64; net.n_nodes()];
+        let mut reported = vec![0usize; net.n_nodes()];
+        let mut sent_up = vec![false; net.n_nodes()];
+        let mut root_total = None;
+        for _ in 0..net.height() + 2 {
+            let root = net.root();
+            engine.step(&net, |v, inbox, out| {
+                for &(from, val) in inbox {
+                    acc[v.index()] += val;
+                    reported[v.index()] += 1;
+                    let _ = from;
+                }
+                let ready = reported[v.index()] == net.children(v).len();
+                if ready && !sent_up[v.index()] {
+                    sent_up[v.index()] = true;
+                    let total = acc[v.index()] + u64::from(net.is_processor(v));
+                    if v == root {
+                        root_total = Some(total);
+                    } else {
+                        out.send(net.parent(v), total);
+                    }
+                }
+            });
+        }
+        assert_eq!(root_total, Some(net.n_processors() as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a switch")]
+    fn sending_to_non_neighbor_panics() {
+        let net = balanced(2, 2, BandwidthProfile::Uniform);
+        let mut engine: Engine<u8> = Engine::new(&net);
+        let procs = net.processors().to_vec();
+        engine.step(&net, |v, _, out| {
+            if v == procs[0] {
+                out.send(procs[1], 1); // two leaves are never adjacent
+            }
+        });
+    }
+
+    #[test]
+    fn stats_track_busiest_node() {
+        let net = balanced(4, 1, BandwidthProfile::Uniform); // star-ish: root with 4 leaves
+        let mut engine: Engine<u8> = Engine::new(&net);
+        let root = net.root();
+        engine.step(&net, |v, _, out| {
+            if v == root {
+                for &c in net.children(v) {
+                    out.send(c, 0);
+                }
+            }
+        });
+        assert_eq!(engine.stats().max_node_round_messages, 4);
+        assert_eq!(engine.stats().rounds, 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # hbn-distributed
+//!
+//! Distributed execution of the extended-nibble strategy on the tree
+//! network itself, validating the paper's distributed time bound
+//! `O(|X| · |P ∪ B| · log(degree(T)) + height(T))`.
+//!
+//! [`engine`] provides a synchronous message-passing engine (messages only
+//! travel along switches; rounds, messages and per-node-round fan-out are
+//! counted). [`nibble_dist`] runs the nibble strategy as a real protocol —
+//! four pipelined tree sweeps per object. [`schedule`] accounts the
+//! deletion and mapping phases round by round.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod nibble_dist;
+pub mod schedule;
+
+pub use engine::{Engine, EngineStats, Outbox};
+pub use nibble_dist::{distributed_nibble, DistributedNibble};
+pub use schedule::{distributed_schedule, DistributedCost};

@@ -1,0 +1,356 @@
+//! Fully message-passing distributed nibble strategy (paper, Section 3.1):
+//! each object needs four pipelined tree sweeps, and objects are injected
+//! one per round, giving `O(|X| + height(T))` rounds with `O(degree)`
+//! messages per node and round — the distributed bound quoted in the
+//! paper for the placement of all objects.
+//!
+//! Sweeps per object `x`:
+//!
+//! 1. **Up-sum** (convergecast): subtree totals `(h, w)`.
+//! 2. **Down-complement**: each node learns the weight of the component on
+//!    its parent side, so it can evaluate the gravity-center condition
+//!    locally.
+//! 3. **Up-min**: convergecast of the smallest-index gravity candidate.
+//! 4. **Down-announce**: the root broadcasts `g(x)`; the arrival direction
+//!    tells every node which neighbor points towards `g`, which is exactly
+//!    what the copy rule `h(T_g(v)) > w(T)` needs.
+
+use crate::engine::{Engine, EngineStats};
+use hbn_topology::{Network, NodeId};
+use hbn_workload::{AccessMatrix, ObjectId};
+
+/// Message alphabet of the distributed nibble.
+#[derive(Debug, Clone, Copy)]
+enum Msg {
+    /// Subtree sums `(h, w)` flowing towards the root.
+    UpSum { x: u32, h: u64, w: u64 },
+    /// Parent-side complement `(h, w)` flowing towards the leaves.
+    DownComp { x: u32, h: u64, w: u64 },
+    /// Smallest gravity candidate in the subtree (or `None`).
+    UpMin { x: u32, candidate: Option<NodeId> },
+    /// The elected center of gravity.
+    DownG { x: u32, g: NodeId },
+}
+
+#[derive(Debug, Clone, Default)]
+struct PerObject {
+    /// Own weight plus received child sums.
+    sum_h: u64,
+    sum_w: u64,
+    child_reports: usize,
+    child_sums: Vec<(NodeId, u64, u64)>,
+    sent_up_sum: bool,
+    comp: Option<(u64, u64)>,
+    sent_comp: bool,
+    min_candidate: Option<NodeId>,
+    min_from_child: Option<NodeId>,
+    min_reports: usize,
+    sent_up_min: bool,
+    decided: bool,
+    has_copy: bool,
+}
+
+/// Result of the distributed run.
+#[derive(Debug, Clone)]
+pub struct DistributedNibble {
+    /// Copy nodes per object (sorted), identical to the sequential nibble.
+    pub copies: Vec<Vec<NodeId>>,
+    /// Per-object gravity centers.
+    pub gravity: Vec<Option<NodeId>>,
+    /// Engine counters (rounds, messages, busiest node-round).
+    pub stats: EngineStats,
+}
+
+/// Run the distributed nibble for all objects of `matrix` on `net`.
+///
+/// # Panics
+/// Panics if the protocol fails to converge within the provable round
+/// bound (`|X| + 4·(height+1) + 4`), which would indicate an engine bug.
+pub fn distributed_nibble(net: &Network, matrix: &AccessMatrix) -> DistributedNibble {
+    let n = net.n_nodes();
+    let n_objects = matrix.n_objects();
+    // Injection schedule: object x's leaves start in round x (0-based),
+    // skipping zero-weight objects entirely.
+    let active: Vec<ObjectId> =
+        matrix.objects().filter(|&x| matrix.total_weight(x) > 0).collect();
+
+    let mut state: Vec<Vec<PerObject>> = vec![vec![PerObject::default(); active.len()]; n];
+    let mut gravity: Vec<Option<NodeId>> = vec![None; n_objects];
+    let mut engine: Engine<Msg> = Engine::new(net);
+    let mut decided = 0usize;
+    let target = active.len() * n;
+    let max_rounds = active.len() as u64 + 4 * (u64::from(net.height()) + 1) + 4;
+
+    let mut round = 0u64;
+    while decided < target {
+        assert!(round < max_rounds, "distributed nibble exceeded its round bound");
+        let inject: Option<usize> = (round < active.len() as u64).then_some(round as usize);
+        engine.step(net, |v, inbox, out| {
+            // Deliver incoming messages into local state.
+            for &(from, msg) in inbox {
+                match msg {
+                    Msg::UpSum { x, h, w } => {
+                        let st = &mut state[v.index()][x as usize];
+                        st.sum_h += h;
+                        st.sum_w += w;
+                        st.child_reports += 1;
+                        st.child_sums.push((from, h, w));
+                    }
+                    Msg::DownComp { x, h, w } => {
+                        state[v.index()][x as usize].comp = Some((h, w));
+                    }
+                    Msg::UpMin { x, candidate } => {
+                        let st = &mut state[v.index()][x as usize];
+                        st.min_reports += 1;
+                        if let Some(c) = candidate {
+                            if st.min_candidate.is_none_or(|m| c < m) {
+                                st.min_candidate = Some(c);
+                                st.min_from_child = Some(from);
+                            }
+                        }
+                    }
+                    Msg::DownG { x, g } => {
+                        if !state[v.index()][x as usize].decided {
+                            decide_and_forward(net, matrix, &active, &mut state, v, x, g, out);
+                            decided += 1;
+                            gravity[active[x as usize].index()] = Some(g);
+                        }
+                    }
+                }
+            }
+            // Stage progression for every active object this node knows of.
+            for xi in 0..active.len() {
+                // Leaves inject their weight exactly at the scheduled round.
+                let injected_now = inject == Some(xi);
+                let st = &mut state[v.index()][xi];
+                if st.decided {
+                    continue;
+                }
+                let x_obj = active[xi];
+                let is_started = injected_now || st.child_reports > 0 || st.comp.is_some();
+                if !is_started && net.is_processor(v) {
+                    continue;
+                }
+                // Stage 1 → 2 boundary: all children reported.
+                let children = net.children(v).len();
+                let can_up_sum = !st.sent_up_sum
+                    && st.child_reports == children
+                    && (children > 0 || injected_now);
+                if can_up_sum {
+                    st.sent_up_sum = true;
+                    let own = matrix.total(v, x_obj);
+                    let own_w = matrix.writes(v, x_obj);
+                    st.sum_h += own;
+                    st.sum_w += own_w;
+                    if v == net.root() {
+                        st.comp = Some((0, 0));
+                    } else {
+                        out.send(net.parent(v), Msg::UpSum {
+                            x: xi as u32,
+                            h: st.sum_h,
+                            w: st.sum_w,
+                        });
+                    }
+                }
+                // Stage 2: forward complements to the children, once.
+                if let Some((ch, cw)) = st.comp {
+                    if st.sent_up_sum && !st.sent_comp && children > 0 {
+                        st.sent_comp = true;
+                        let total_h = st.sum_h + ch;
+                        let total_w = st.sum_w + cw;
+                        let sums = std::mem::take(&mut st.child_sums);
+                        for &(c, c_h, c_w) in &sums {
+                            out.send(c, Msg::DownComp {
+                                x: xi as u32,
+                                h: total_h - c_h,
+                                w: total_w - c_w,
+                            });
+                        }
+                        st.child_sums = sums;
+                    }
+                }
+                // Stage 3: up-min once complement known and children's mins in.
+                if st.comp.is_some() && !st.sent_up_min && st.min_reports == children {
+                    st.sent_up_min = true;
+                    let candidate = candidacy(net, matrix, st, v).then_some(v);
+                    let best = match (candidate, st.min_candidate) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    if let Some(c) = candidate {
+                        if st.min_candidate.is_none_or(|m| c < m) {
+                            st.min_from_child = None; // the candidate is v itself
+                            st.min_candidate = Some(c);
+                        }
+                    }
+                    if v == net.root() {
+                        let g = best.expect("gravity candidates always exist");
+                        decide_and_forward(net, matrix, &active, &mut state, v, xi as u32, g, out);
+                        decided += 1;
+                        gravity[active[xi].index()] = Some(g);
+                    } else {
+                        out.send(net.parent(v), Msg::UpMin { x: xi as u32, candidate: best });
+                    }
+                }
+            }
+        });
+        round += 1;
+    }
+
+    let mut copies = vec![Vec::new(); n_objects];
+    for v in net.nodes() {
+        for (xi, st) in state[v.index()].iter().enumerate() {
+            if st.has_copy {
+                copies[active[xi].index()].push(v);
+            }
+        }
+    }
+    for c in &mut copies {
+        c.sort_unstable();
+    }
+    DistributedNibble { copies, gravity, stats: engine.stats() }
+}
+
+/// Local gravity-center test: every component around `v` carries at most
+/// half the total weight.
+fn candidacy(net: &Network, matrix: &AccessMatrix, st: &PerObject, v: NodeId) -> bool {
+    let (ch, _) = st.comp.expect("checked by caller");
+    let total = st.sum_h + ch;
+    let mut max_comp = ch;
+    for &(_, c_h, _) in &st.child_sums {
+        max_comp = max_comp.max(c_h);
+    }
+    let _ = (net, matrix, v);
+    2 * max_comp <= total
+}
+
+/// On learning `g`: decide the copy rule locally and forward the
+/// announcement towards the leaves.
+#[allow(clippy::too_many_arguments)]
+fn decide_and_forward(
+    net: &Network,
+    matrix: &AccessMatrix,
+    active: &[ObjectId],
+    state: &mut [Vec<PerObject>],
+    v: NodeId,
+    x: u32,
+    g: NodeId,
+    out: &mut crate::engine::Outbox<'_, Msg>,
+) {
+    let st = &mut state[v.index()][x as usize];
+    st.decided = true;
+    let (ch, cw) = st.comp.expect("announcement follows complement");
+    let total_h = st.sum_h + ch;
+    let kappa = st.sum_w + cw;
+    let h_g = if v == g {
+        None
+    } else if st.min_candidate == Some(g) {
+        // g lies in this subtree...
+        match st.min_from_child {
+            Some(child) => {
+                // ...below `child`: the g-rooted component of v excludes
+                // that child's subtree.
+                let c_h = st
+                    .child_sums
+                    .iter()
+                    .find(|&&(c, _, _)| c == child)
+                    .map(|&(_, h, _)| h)
+                    .expect("child reported");
+                Some(total_h - c_h)
+            }
+            None => None, // v itself is g (handled above) — unreachable
+        }
+    } else {
+        // g is on the parent side: v's component is its own subtree.
+        Some(st.sum_h)
+    };
+    st.has_copy = match h_g {
+        None => true, // v == g
+        Some(h) => h > kappa,
+    };
+    let _ = (matrix, active);
+    for &c in net.children(v) {
+        out.send(c, Msg::DownG { x, g });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbn_core::{nibble_object, Workspace};
+    use hbn_topology::generators::{balanced, random_network, star, BandwidthProfile};
+    use hbn_workload::generators as wgen;
+    use hbn_workload::ObjectId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sequential_copies(net: &Network, m: &AccessMatrix) -> Vec<Vec<NodeId>> {
+        let mut ws = Workspace::new(net.n_nodes());
+        m.objects().map(|x| nibble_object(net, m, x, &mut ws).copies.nodes()).collect()
+    }
+
+    #[test]
+    fn matches_sequential_nibble_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(100);
+        for round in 0..20 {
+            let net = random_network(6, 12, BandwidthProfile::Uniform, &mut rng);
+            let m = wgen::uniform(&net, 5, 5, 4, 0.6, &mut rng);
+            let dist = distributed_nibble(&net, &m);
+            let seq = sequential_copies(&net, &m);
+            assert_eq!(dist.copies, seq, "round {round}");
+        }
+    }
+
+    #[test]
+    fn gravity_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let net = balanced(3, 2, BandwidthProfile::Uniform);
+        let m = wgen::uniform(&net, 4, 5, 3, 0.8, &mut rng);
+        let dist = distributed_nibble(&net, &m);
+        let mut ws = Workspace::new(net.n_nodes());
+        for x in m.objects() {
+            if m.total_weight(x) == 0 {
+                continue;
+            }
+            let seq = nibble_object(&net, &m, x, &mut ws);
+            assert_eq!(dist.gravity[x.index()], Some(seq.gravity));
+        }
+    }
+
+    #[test]
+    fn round_complexity_is_objects_plus_height() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let net = balanced(2, 5, BandwidthProfile::Uniform); // height 5
+        for n_objects in [1usize, 8, 32] {
+            let m = wgen::uniform(&net, n_objects, 3, 2, 0.5, &mut rng);
+            let active = m.objects().filter(|&x| m.total_weight(x) > 0).count() as u64;
+            let dist = distributed_nibble(&net, &m);
+            let bound = active + 4 * (u64::from(net.height()) + 1) + 4;
+            assert!(
+                dist.stats.rounds <= bound,
+                "{} rounds exceeds pipelined bound {bound}",
+                dist.stats.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn empty_workload_finishes_immediately() {
+        let net = star(3, 2);
+        let m = AccessMatrix::new(3);
+        let dist = distributed_nibble(&net, &m);
+        assert_eq!(dist.stats.rounds, 0);
+        assert!(dist.copies.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn single_heavy_writer_places_one_copy() {
+        let net = star(4, 8);
+        let p = net.processors();
+        let mut m = AccessMatrix::new(1);
+        m.add(p[2], ObjectId(0), 0, 9);
+        let dist = distributed_nibble(&net, &m);
+        assert_eq!(dist.copies[0], vec![p[2]]);
+        assert_eq!(dist.gravity[0], Some(p[2]));
+    }
+}

@@ -1,0 +1,16 @@
+//! # hbn-dynamic
+//!
+//! Online (dynamic) data management on trees — the extension the paper's
+//! related work (Section 1.3) points to: with no knowledge of the access
+//! pattern, maintain copies online; the strategy family of [10] is
+//! 3-competitive on trees. Implements the read-replicate / write-collapse
+//! strategy with a configurable replication threshold and an empirical
+//! competitive-analysis harness against the hindsight nibble placement.
+
+#![warn(missing_docs)]
+
+pub mod competitive;
+pub mod strategy;
+
+pub use competitive::{run_competitive, CompetitiveReport};
+pub use strategy::{DynamicStats, DynamicTree, OnlineRequest};

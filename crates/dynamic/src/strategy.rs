@@ -1,0 +1,296 @@
+//! The online read-replicate / write-collapse strategy for trees.
+//!
+//! The paper's related work (Section 1.3) cites the dynamic strategies of
+//! [10] (Maggs, Meyer auf der Heide, Vöcking, Westermann, FOCS'97): data
+//! management in the congestion model with *no* knowledge of the access
+//! pattern, 3-competitive on trees. This module implements the strategy
+//! family those results are built on:
+//!
+//! * copies of each object form a connected subtree `R` of the network
+//!   (inner nodes may hold copies — like the nibble placement, the
+//!   dynamic tree strategy is stated for trees with storage everywhere);
+//! * a **read** from `P` is served by the closest copy; every edge on the
+//!   path accumulates a counter, and once an edge adjacent to `R` has
+//!   collected `D` reads, `R` grows one step across it (paying `D` on
+//!   that edge for the data movement — `D` models the object size in
+//!   requests);
+//! * a **write** from `P` updates all copies (Steiner broadcast over `R`,
+//!   which the connectivity makes a path-union) and then *collapses* `R`
+//!   to the single copy nearest to the writer, resetting all counters —
+//!   so stale replicas never absorb more than the reads that justified
+//!   them.
+//!
+//! All traffic — service paths, update broadcasts and the `D`-sized
+//! replications — is charged to the same per-edge loads as the static
+//! model, so online congestion is directly comparable to the offline
+//! (hindsight) nibble placement.
+
+use hbn_load::LoadMap;
+use hbn_topology::{EdgeId, Network, NodeId};
+use hbn_workload::ObjectId;
+
+/// One online request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineRequest {
+    /// Requesting processor.
+    pub processor: NodeId,
+    /// Accessed object.
+    pub object: ObjectId,
+    /// Whether the request is a write.
+    pub is_write: bool,
+}
+
+/// Per-object state of the online strategy.
+#[derive(Debug, Clone)]
+struct ObjectState {
+    /// Nodes holding copies; always a connected subtree, never empty
+    /// after the first request.
+    replicas: Vec<NodeId>,
+    /// Read counters per edge (indexed by `EdgeId`).
+    counters: Vec<u64>,
+}
+
+/// Counters accumulated over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DynamicStats {
+    /// Reads served.
+    pub reads: u64,
+    /// Writes served.
+    pub writes: u64,
+    /// Replication events (each paid `D` on one edge).
+    pub replications: u64,
+    /// Collapse events triggered by writes.
+    pub collapses: u64,
+}
+
+/// The online strategy over all objects of a network.
+#[derive(Debug, Clone)]
+pub struct DynamicTree {
+    threshold: u64,
+    objects: Vec<ObjectState>,
+    loads: LoadMap,
+    stats: DynamicStats,
+    n_nodes: usize,
+}
+
+impl DynamicTree {
+    /// A fresh strategy for `n_objects` objects on `net`, replicating
+    /// after `threshold ≥ 1` reads cross an edge (the object "size" `D`).
+    pub fn new(net: &Network, n_objects: usize, threshold: u64) -> Self {
+        assert!(threshold >= 1, "the replication threshold must be positive");
+        DynamicTree {
+            threshold,
+            objects: (0..n_objects)
+                .map(|_| ObjectState {
+                    replicas: Vec::new(),
+                    counters: vec![0; net.n_nodes()],
+                })
+                .collect(),
+            loads: LoadMap::zero(net),
+            stats: DynamicStats::default(),
+            n_nodes: net.n_nodes(),
+        }
+    }
+
+    /// Current copy nodes of `x` (empty before its first request).
+    pub fn replicas(&self, x: ObjectId) -> &[NodeId] {
+        &self.objects[x.index()].replicas
+    }
+
+    /// Accumulated per-edge loads (service + broadcast + replication).
+    pub fn loads(&self) -> &LoadMap {
+        &self.loads
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> DynamicStats {
+        self.stats
+    }
+
+    /// Process one request, charging its traffic to the load map.
+    pub fn serve(&mut self, net: &Network, req: OnlineRequest) {
+        assert_eq!(net.n_nodes(), self.n_nodes, "network mismatch");
+        let st = &mut self.objects[req.object.index()];
+        if st.replicas.is_empty() {
+            // First touch: materialise the object at the requester for
+            // free (the adversary pays the same placement).
+            st.replicas.push(req.processor);
+        }
+        // Serve at the nearest copy: the entry point of the walk from the
+        // requester towards the (connected) replica set.
+        let target = st.replicas[0];
+        let mut path: Vec<EdgeId> = Vec::new();
+        let mut v = req.processor;
+        while !st.replicas.contains(&v) {
+            let next = net.step_towards(v, target);
+            // The edge id is the child endpoint of the hop.
+            let hop_edge = if net.parent(next) == v { next } else { v };
+            path.push(EdgeId::from(hop_edge));
+            v = next;
+        }
+        for &e in &path {
+            self.loads.add_edge(e, 1);
+        }
+
+        if req.is_write {
+            self.stats.writes += 1;
+            // Update broadcast over the replica subtree.
+            for e in hbn_topology::steiner::steiner_edges(net, &st.replicas) {
+                self.loads.add_edge(e, 1);
+            }
+            // Collapse to the copy serving the writer (`v`).
+            if st.replicas.len() > 1 {
+                self.stats.collapses += 1;
+            }
+            st.replicas.clear();
+            st.replicas.push(v);
+            st.counters.iter_mut().for_each(|c| *c = 0);
+        } else {
+            self.stats.reads += 1;
+            // Count the read on every traversed edge; grow the replica
+            // set across saturated edges, from the replica side outwards,
+            // so connectivity is preserved.
+            for &e in &path {
+                st.counters[e.index()] += 1;
+            }
+            let mut frontier = v;
+            for &e in path.iter().rev() {
+                if st.counters[e.index()] < self.threshold {
+                    break;
+                }
+                // Replicate one step towards the reader: the data moves
+                // across `e`, costing `threshold` (the object size).
+                let (child, parent) = net.edge_endpoints(e);
+                let next = if child == frontier { parent } else { child };
+                self.loads.add_edge(e, self.threshold);
+                st.counters[e.index()] = 0;
+                st.replicas.push(next);
+                self.stats.replications += 1;
+                frontier = next;
+            }
+        }
+    }
+
+    /// Exact congestion of all traffic so far.
+    pub fn congestion(&self, net: &Network) -> hbn_load::LoadRatio {
+        self.loads.congestion(net).congestion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbn_topology::generators::{balanced, star, BandwidthProfile};
+
+    fn read(p: NodeId, x: u32) -> OnlineRequest {
+        OnlineRequest { processor: p, object: ObjectId(x), is_write: false }
+    }
+
+    fn write(p: NodeId, x: u32) -> OnlineRequest {
+        OnlineRequest { processor: p, object: ObjectId(x), is_write: true }
+    }
+
+    #[test]
+    fn first_touch_is_free_and_local() {
+        let net = star(3, 4);
+        let p = net.processors();
+        let mut d = DynamicTree::new(&net, 1, 2);
+        d.serve(&net, read(p[0], 0));
+        assert_eq!(d.replicas(ObjectId(0)), &[p[0]]);
+        assert_eq!(d.loads().total(), 0);
+    }
+
+    #[test]
+    fn repeated_remote_reads_trigger_replication() {
+        let net = star(3, 4);
+        let p = net.processors();
+        let mut d = DynamicTree::new(&net, 1, 2);
+        d.serve(&net, read(p[0], 0)); // materialise at p0
+        // Two remote reads from p1 saturate both edges on the path.
+        d.serve(&net, read(p[1], 0));
+        assert_eq!(d.stats().replications, 0);
+        d.serve(&net, read(p[1], 0));
+        // Both edges hit the threshold: replicas grow p0 -> bus -> p1.
+        assert!(d.replicas(ObjectId(0)).contains(&p[1]));
+        assert_eq!(d.stats().replications, 2);
+        // The third read is free.
+        let before = d.loads().total();
+        d.serve(&net, read(p[1], 0));
+        assert_eq!(d.loads().total(), before);
+    }
+
+    #[test]
+    fn write_collapses_replicas() {
+        let net = star(4, 4);
+        let p = net.processors();
+        let mut d = DynamicTree::new(&net, 1, 1);
+        d.serve(&net, read(p[0], 0));
+        d.serve(&net, read(p[1], 0)); // threshold 1: replicate immediately
+        assert!(d.replicas(ObjectId(0)).len() > 1);
+        d.serve(&net, write(p[2], 0));
+        assert_eq!(d.replicas(ObjectId(0)).len(), 1);
+        assert_eq!(d.stats().collapses, 1);
+    }
+
+    #[test]
+    fn replicas_stay_connected() {
+        use rand::{Rng, SeedableRng};
+        let net = balanced(3, 3, BandwidthProfile::Uniform);
+        let procs = net.processors();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(200);
+        let mut d = DynamicTree::new(&net, 3, 2);
+        for _ in 0..500 {
+            let req = OnlineRequest {
+                processor: procs[rng.gen_range(0..procs.len())],
+                object: ObjectId(rng.gen_range(0..3)),
+                is_write: rng.gen_bool(0.25),
+            };
+            d.serve(&net, req);
+            // Connectivity: every replica can walk towards replicas[0]
+            // through replica nodes only.
+            for x in 0..3u32 {
+                let reps = d.replicas(ObjectId(x));
+                if reps.len() <= 1 {
+                    continue;
+                }
+                let anchor = reps[0];
+                for &r in reps {
+                    let mut v = r;
+                    while v != anchor {
+                        v = net.step_towards(v, anchor);
+                        assert!(
+                            reps.contains(&v),
+                            "replica set disconnected between {r} and {anchor}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_steady_state_has_no_traffic_growth() {
+        let net = star(4, 4);
+        let p = net.processors();
+        let mut d = DynamicTree::new(&net, 1, 3);
+        d.serve(&net, read(p[0], 0));
+        // Saturate: every processor reads until fully replicated.
+        for _ in 0..20 {
+            for &q in p {
+                d.serve(&net, read(q, 0));
+            }
+        }
+        let before = d.loads().total();
+        for &q in p {
+            d.serve(&net, read(q, 0));
+        }
+        assert_eq!(d.loads().total(), before, "all reads are now local");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let net = star(3, 4);
+        let _ = DynamicTree::new(&net, 1, 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # hbn-exact
+//!
+//! Exact solvers and the NP-hardness machinery of the paper's Section 2:
+//! PARTITION with a pseudo-polynomial solver, the Theorem 2.1 reduction
+//! onto the 4-ary star, and branch-and-bound searches used as ground truth
+//! for the approximation experiments.
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod partition;
+pub mod reduction;
+
+pub use brute::{
+    min_edge_loads_exhaustive, nonredundant_within, optimal_nonredundant,
+    optimal_redundant_nearest, ExactSolution,
+};
+pub use partition::{no_instance, yes_instance, PartitionInstance};
+pub use reduction::{encode_partition, ReductionInstance};

@@ -1,0 +1,202 @@
+//! The Theorem 2.1 reduction: PARTITION ≤p static placement on a 4-ary
+//! tree of height 1 (paper, Section 2, Figure 3).
+//!
+//! Given `k_1, …, k_n` with `Σ k_i = 2k`, the reduction builds the star
+//! with one bus and four processors `a, b, s, s̄`, shared objects
+//! `x_1, …, x_n, y`, and write frequencies
+//!
+//! ```text
+//! h_w(a, y) = 4k + 1      h_w(b, y) = 2k
+//! h_w(v, x_i) = k_i       for every v ∈ {a, b, s, s̄}
+//! ```
+//!
+//! (all other rates 0, bus bandwidth large enough that edges dominate).
+//! A non-redundant placement with congestion ≤ 4k exists iff some subset
+//! of the `k_i` sums to `k`: `y` is pinned to `a`, each edge `e_a`, `e_b`
+//! already carries `4k`, so every `x_i` must go to `s` or `s̄` — and the
+//! load on `e_s` is `2k + 2 Σ_{i∈S} k_i`, which stays within `4k` exactly
+//! when `S` sums to at most `k` on **both** sides, i.e. exactly `k`.
+
+use crate::partition::PartitionInstance;
+use hbn_load::{LoadMap, LoadRatio, Placement};
+use hbn_topology::generators::star;
+use hbn_topology::{Network, NodeId};
+use hbn_workload::{AccessMatrix, ObjectId};
+
+/// The placement instance produced by the reduction.
+#[derive(Debug, Clone)]
+pub struct ReductionInstance {
+    /// The 4-ary star of Figure 3.
+    pub net: Network,
+    /// Write frequencies encoding the PARTITION items.
+    pub matrix: AccessMatrix,
+    /// Half the total item sum (`k`).
+    pub k: u64,
+    /// The decision threshold: congestion `≤ 4k`.
+    pub threshold: LoadRatio,
+    /// Leaves in the paper's naming order: `a, b, s, s̄`.
+    pub leaves: [NodeId; 4],
+    /// Object id of `y` (the `x_i` are `0..n`).
+    pub y: ObjectId,
+}
+
+/// Build the reduction for a PARTITION instance.
+pub fn encode_partition(instance: &PartitionInstance) -> ReductionInstance {
+    let k = instance.half_sum();
+    let n = instance.items().len();
+    // Bus bandwidth "sufficiently large such that the load on the edges is
+    // dominating": total load on the bus is at most half of all traffic;
+    // (12k + 4k + 1 + 2k)/2 is a safe ceiling, so make b(bus) exceed it.
+    let bus_bw = 20 * k + 10;
+    let net = star(4, bus_bw);
+    let p = net.processors();
+    let (a, b, s, s_bar) = (p[0], p[1], p[2], p[3]);
+
+    let mut matrix = AccessMatrix::new(n + 1);
+    let y = ObjectId(n as u32);
+    matrix.add(a, y, 0, 4 * k + 1);
+    matrix.add(b, y, 0, 2 * k);
+    for (i, &ki) in instance.items().iter().enumerate() {
+        for &v in &[a, b, s, s_bar] {
+            matrix.add(v, ObjectId(i as u32), 0, ki);
+        }
+    }
+    ReductionInstance {
+        net,
+        matrix,
+        k,
+        threshold: LoadRatio::integral(4 * k),
+        leaves: [a, b, s, s_bar],
+        y,
+    }
+}
+
+impl ReductionInstance {
+    /// Build the placement the completeness direction constructs from a
+    /// PARTITION witness: `y` on `a`, `x_i` on `s` if `mask[i]`, else `s̄`.
+    pub fn witness_placement(&self, mask: &[bool]) -> Placement {
+        let [a, _, s, s_bar] = self.leaves;
+        Placement::single_leaf(&self.net, &self.matrix, |x| {
+            if x == self.y {
+                a
+            } else if mask[x.index()] {
+                s
+            } else {
+                s_bar
+            }
+        })
+    }
+
+    /// Congestion of a placement on this instance.
+    pub fn congestion_of(&self, placement: &Placement) -> LoadRatio {
+        LoadMap::from_placement(&self.net, &self.matrix, placement)
+            .congestion(&self.net)
+            .congestion
+    }
+
+    /// The decision: does a non-redundant placement of congestion ≤ 4k
+    /// exist? (Solved exactly; exponential in `n`.)
+    pub fn decide_exactly(&self) -> bool {
+        crate::brute::nonredundant_within(&self.net, &self.matrix, self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{no_instance, yes_instance};
+
+    #[test]
+    fn witness_placement_achieves_4k() {
+        let inst = yes_instance(&[3, 1, 2]);
+        let red = encode_partition(&inst);
+        let mask = inst.solve().expect("yes instance");
+        let placement = red.witness_placement(&mask);
+        placement.validate(&red.net, &red.matrix).unwrap();
+        // The completeness direction of Theorem 2.1: congestion exactly 4k.
+        assert_eq!(red.congestion_of(&placement), LoadRatio::integral(4 * red.k));
+    }
+
+    #[test]
+    fn yes_instances_decide_yes() {
+        for half in [vec![2u64, 3], vec![1, 1, 1], vec![4]] {
+            let inst = yes_instance(&half);
+            let red = encode_partition(&inst);
+            assert!(red.decide_exactly(), "half = {half:?}");
+        }
+    }
+
+    #[test]
+    fn no_instances_decide_no() {
+        for n in 2..5 {
+            let inst = no_instance(n);
+            let red = encode_partition(&inst);
+            assert!(!red.decide_exactly(), "n = {n}");
+        }
+    }
+
+    /// The full equivalence on random small instances — the executable
+    /// statement of Theorem 2.1.
+    #[test]
+    fn reduction_matches_partition_decision() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(80);
+        for round in 0..25 {
+            let n = rng.gen_range(2..6);
+            let mut items: Vec<u64> = (0..n).map(|_| rng.gen_range(1..8)).collect();
+            if items.iter().sum::<u64>() % 2 == 1 {
+                items.push(1);
+            }
+            let inst = PartitionInstance::new(items.clone()).unwrap();
+            let red = encode_partition(&inst);
+            assert_eq!(
+                inst.is_yes(),
+                red.decide_exactly(),
+                "round {round}: items {items:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bus_never_dominates() {
+        // The reduction's bus bandwidth keeps the bus out of the argmax.
+        let inst = yes_instance(&[5, 2, 1]);
+        let red = encode_partition(&inst);
+        let mask = inst.solve().unwrap();
+        let placement = red.witness_placement(&mask);
+        let loads = LoadMap::from_placement(&red.net, &red.matrix, &placement);
+        let report = loads.congestion(&red.net);
+        assert!(matches!(report.bottleneck, hbn_load::Bottleneck::Edge(_)));
+    }
+}
+
+#[cfg(test)]
+mod scaling_tests {
+    use super::*;
+    use crate::partition::yes_instance;
+
+    /// The exact solver's explored-node count grows with n — the scaling
+    /// the NP-hardness experiment charts.
+    #[test]
+    fn search_cost_grows_with_instance_size() {
+        let small = {
+            let red = encode_partition(&yes_instance(&[1, 2]));
+            crate::brute::optimal_nonredundant(&red.net, &red.matrix).nodes_explored
+        };
+        let large = {
+            let red = encode_partition(&yes_instance(&[1, 2, 3, 4]));
+            crate::brute::optimal_nonredundant(&red.net, &red.matrix).nodes_explored
+        };
+        assert!(large > 4 * small, "search should blow up: {small} -> {large}");
+    }
+
+    /// The y-object pins to leaf `a` in any within-threshold placement.
+    #[test]
+    fn y_must_sit_on_a() {
+        let inst = yes_instance(&[2, 3]);
+        let red = encode_partition(&inst);
+        let sol = crate::brute::optimal_nonredundant(&red.net, &red.matrix);
+        assert!(sol.congestion <= red.threshold);
+        assert_eq!(sol.placement.copies(red.y), &[red.leaves[0]]);
+    }
+}

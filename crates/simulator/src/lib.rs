@@ -1,0 +1,19 @@
+//! # hbn-sim
+//!
+//! Packet-level simulator of hierarchical bus networks, built to test the
+//! paper's motivating claim (Section 1, citing the authors' SPAA'99
+//! evaluation): application completion time tracks the *congestion* of the
+//! data management strategy. Switches forward `b(e)` packets per slot,
+//! buses sustain `2·b(B)` edge incidences per slot, write broadcasts
+//! multicast along Steiner trees — so replayed traffic reproduces the load
+//! model exactly, and the makespan is lower-bounded by the congestion.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod packet;
+pub mod trace;
+
+pub use engine::{simulate, SimConfig, SimError, SimResult};
+pub use packet::{Packet, PacketKind};
+pub use trace::{expand, expand_shuffled, Request};

@@ -1,0 +1,120 @@
+//! Packets: destination-based routing with branch replication.
+//!
+//! All packets carry a destination set. Unicast packets hold one
+//! destination; update broadcasts hold the whole copy set and split at
+//! branch nodes, so every edge of the Steiner tree is crossed exactly once
+//! — matching the congestion model's write accounting.
+
+use hbn_topology::{Network, NodeId};
+use hbn_workload::ObjectId;
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A read request travelling from the requester to its reference copy.
+    Read,
+    /// A write (update) request travelling to the reference copy.
+    Write,
+    /// An update broadcast propagating from the reference copy along the
+    /// Steiner tree of the copy set.
+    Update,
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Unique id; also the deterministic arbitration priority (FIFO by
+    /// injection order).
+    pub id: u64,
+    /// Object the packet belongs to.
+    pub object: ObjectId,
+    /// Payload kind.
+    pub kind: PacketKind,
+    /// Current node.
+    pub position: NodeId,
+    /// Remaining destinations (sorted, deduplicated, excludes nodes
+    /// already reached).
+    pub destinations: Vec<NodeId>,
+    /// Slot at which the packet was injected.
+    pub issued_at: u64,
+}
+
+impl Packet {
+    /// A packet from `from` towards the given destinations.
+    pub fn new(
+        id: u64,
+        object: ObjectId,
+        kind: PacketKind,
+        from: NodeId,
+        mut destinations: Vec<NodeId>,
+        issued_at: u64,
+    ) -> Packet {
+        destinations.sort_unstable();
+        destinations.dedup();
+        destinations.retain(|&d| d != from);
+        Packet { id, object, kind, position: from, destinations, issued_at }
+    }
+
+    /// Whether every destination has been reached.
+    pub fn done(&self) -> bool {
+        self.destinations.is_empty()
+    }
+
+    /// Group the remaining destinations by the neighbor of `position`
+    /// leading towards them: `(next_hop, destinations_via_that_hop)`.
+    pub fn next_hops(&self, net: &Network) -> Vec<(NodeId, Vec<NodeId>)> {
+        let mut groups: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        for &d in &self.destinations {
+            let hop = net.step_towards(self.position, d);
+            match groups.iter_mut().find(|(h, _)| *h == hop) {
+                Some((_, v)) => v.push(d),
+                None => groups.push((hop, vec![d])),
+            }
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbn_topology::generators::{balanced, star, BandwidthProfile};
+
+    #[test]
+    fn local_packet_is_done_immediately() {
+        let net = star(3, 2);
+        let p = net.processors();
+        let pkt = Packet::new(0, ObjectId(0), PacketKind::Read, p[0], vec![p[0]], 0);
+        assert!(pkt.done());
+        let _ = net;
+    }
+
+    #[test]
+    fn next_hops_group_by_subtree() {
+        let net = balanced(2, 2, BandwidthProfile::Uniform);
+        let p = net.processors();
+        // From the root towards all four leaves: two groups (two children).
+        let pkt =
+            Packet::new(1, ObjectId(0), PacketKind::Update, net.root(), p.to_vec(), 0);
+        let hops = pkt.next_hops(&net);
+        assert_eq!(hops.len(), 2);
+        let total: usize = hops.iter().map(|(_, d)| d.len()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn destinations_are_deduplicated() {
+        let net = star(4, 2);
+        let p = net.processors();
+        let pkt = Packet::new(
+            2,
+            ObjectId(0),
+            PacketKind::Update,
+            p[0],
+            vec![p[1], p[1], p[0], p[2]],
+            0,
+        );
+        assert_eq!(pkt.destinations, vec![p[1], p[2]]);
+        let _ = net;
+    }
+}

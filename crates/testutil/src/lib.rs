@@ -1,0 +1,120 @@
+//! # hbn-testutil
+//!
+//! Shared proptest strategies and fixtures for the hierbus test suites:
+//! random hierarchical bus networks, random workloads, and combined
+//! instances, all shrinkable through their generating parameters.
+
+#![warn(missing_docs)]
+
+use hbn_topology::generators::{random_network, BandwidthProfile};
+use hbn_topology::Network;
+use hbn_workload::{AccessMatrix, ObjectId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters from which a random network is deterministically grown.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkParams {
+    /// Number of buses (≥ 1).
+    pub buses: usize,
+    /// Number of processors (≥ 2).
+    pub processors: usize,
+    /// Seed for the recursive-tree growth.
+    pub seed: u64,
+    /// Whether to assign fat-tree style bandwidths.
+    pub fat: bool,
+}
+
+impl NetworkParams {
+    /// Grow the network.
+    pub fn build(&self) -> Network {
+        let profile = if self.fat {
+            BandwidthProfile::FatTree { base: 2, cap: 32 }
+        } else {
+            BandwidthProfile::Uniform
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        random_network(self.buses, self.processors.max(self.buses * 2), profile, &mut rng)
+    }
+}
+
+/// Strategy over random networks with at most `max_buses` buses and about
+/// `max_procs` processors. Shrinks towards small trees.
+pub fn arb_network(max_buses: usize, max_procs: usize) -> impl Strategy<Value = Network> {
+    (1..=max_buses, 2..=max_procs.max(3), any::<u64>(), any::<bool>()).prop_map(
+        |(buses, processors, seed, fat)| {
+            NetworkParams { buses, processors, seed, fat }.build()
+        },
+    )
+}
+
+/// Deterministically fill a workload over `net` from a seed: every
+/// (processor, object) pair is present with probability `density` and gets
+/// reads/writes below the given caps.
+pub fn workload_from_seed(
+    net: &Network,
+    n_objects: usize,
+    max_reads: u64,
+    max_writes: u64,
+    density: f64,
+    seed: u64,
+) -> AccessMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = AccessMatrix::new(n_objects);
+    for x in 0..n_objects as u32 {
+        for &p in net.processors() {
+            if rng.gen_bool(density.clamp(0.0, 1.0)) {
+                m.add(p, ObjectId(x), rng.gen_range(0..=max_reads), rng.gen_range(0..=max_writes));
+            }
+        }
+    }
+    m
+}
+
+/// Strategy over `(network, workload)` instances.
+pub fn arb_instance(
+    max_buses: usize,
+    max_procs: usize,
+    max_objects: usize,
+) -> impl Strategy<Value = (Network, AccessMatrix)> {
+    (
+        arb_network(max_buses, max_procs),
+        1..=max_objects,
+        0u64..8,
+        0u64..6,
+        any::<u64>(),
+    )
+        .prop_map(|(net, objects, max_r, max_w, seed)| {
+            let m = workload_from_seed(&net, objects, max_r, max_w, 0.7, seed);
+            (net, m)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_networks_are_valid(net in arb_network(6, 12)) {
+            net.check_invariants().unwrap();
+            prop_assert!(net.n_processors() >= 2);
+        }
+
+        #[test]
+        fn generated_instances_validate((net, m) in arb_instance(5, 10, 4)) {
+            prop_assert!(m.validate(&net).is_ok());
+        }
+    }
+
+    #[test]
+    fn params_build_deterministically() {
+        let p = NetworkParams { buses: 4, processors: 9, seed: 11, fat: true };
+        let a = p.build();
+        let b = p.build();
+        assert_eq!(a.n_nodes(), b.n_nodes());
+    }
+}

@@ -1,0 +1,368 @@
+//! Construction and validation of hierarchical bus networks.
+
+use crate::error::TopologyError;
+use crate::ids::{Bandwidth, NodeId};
+use crate::tree::{Network, NodeKind};
+
+/// Incremental builder for a [`Network`].
+///
+/// Add processors and buses, connect them with switches, then call
+/// [`NetworkBuilder::build`], which validates the model constraints of the
+/// paper (Section 1.1):
+///
+/// * the graph is a tree with at least one processor,
+/// * processors are exactly the leaves, buses exactly the inner nodes,
+/// * switches connect a processor to a bus or two buses (never two
+///   processors),
+/// * processor switches have bandwidth 1, all other bandwidths are ≥ 1.
+///
+/// The built network is rooted at a tree center (a bus whenever one
+/// exists), which keeps the rooted height within a factor of two of
+/// optimal.
+#[derive(Debug, Default, Clone)]
+pub struct NetworkBuilder {
+    kinds: Vec<NodeKind>,
+    node_bw: Vec<Bandwidth>,
+    edges: Vec<(NodeId, NodeId, Bandwidth)>,
+}
+
+impl NetworkBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a processor (leaf) and return its id.
+    pub fn add_processor(&mut self) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Processor);
+        self.node_bw.push(1);
+        id
+    }
+
+    /// Add a bus (inner node) with the given bandwidth and return its id.
+    pub fn add_bus(&mut self, bandwidth: Bandwidth) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Bus);
+        self.node_bw.push(bandwidth);
+        id
+    }
+
+    /// Connect `a` and `b` with a switch of the given bandwidth.
+    ///
+    /// Fails fast on out-of-range ids and self-loops; the remaining model
+    /// constraints are checked in [`NetworkBuilder::build`].
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth: Bandwidth,
+    ) -> Result<(), TopologyError> {
+        let n = self.kinds.len() as u32;
+        if a.0 >= n {
+            return Err(TopologyError::UnknownNode(a));
+        }
+        if b.0 >= n {
+            return Err(TopologyError::UnknownNode(b));
+        }
+        if a == b {
+            return Err(TopologyError::BadEdge(a, b));
+        }
+        self.edges.push((a, b, bandwidth));
+        Ok(())
+    }
+
+    /// Number of nodes added so far.
+    pub fn n_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Validate and build the network.
+    pub fn build(self) -> Result<Network, TopologyError> {
+        let n = self.kinds.len();
+        if n == 0 {
+            return Err(TopologyError::Empty);
+        }
+        if self.edges.len() != n - 1 {
+            return Err(TopologyError::NotATree { nodes: n, edges: self.edges.len() });
+        }
+        if self.node_bw.iter().any(|&b| b == 0) {
+            return Err(TopologyError::ZeroBandwidth);
+        }
+
+        let mut degree = vec![0usize; n];
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b, bw) in &self.edges {
+            if bw == 0 {
+                return Err(TopologyError::ZeroBandwidth);
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                return Err(TopologyError::BadEdge(a, b));
+            }
+            match (self.kinds[a.index()], self.kinds[b.index()]) {
+                (NodeKind::Processor, NodeKind::Processor) => {
+                    return Err(TopologyError::ProcessorToProcessor(a, b));
+                }
+                (NodeKind::Processor, NodeKind::Bus) => {
+                    if bw != 1 {
+                        return Err(TopologyError::LeafEdgeBandwidth(a));
+                    }
+                }
+                (NodeKind::Bus, NodeKind::Processor) => {
+                    if bw != 1 {
+                        return Err(TopologyError::LeafEdgeBandwidth(b));
+                    }
+                }
+                (NodeKind::Bus, NodeKind::Bus) => {}
+            }
+            degree[a.index()] += 1;
+            degree[b.index()] += 1;
+            adj[a.index()].push(b);
+            adj[b.index()].push(a);
+        }
+
+        let mut has_processor = false;
+        for v in 0..n {
+            let id = NodeId(v as u32);
+            match self.kinds[v] {
+                NodeKind::Processor => {
+                    has_processor = true;
+                    // Singleton networks have a degree-0 processor.
+                    if degree[v] > 1 {
+                        return Err(TopologyError::ProcessorNotLeaf(id));
+                    }
+                }
+                NodeKind::Bus => {
+                    if degree[v] < 2 {
+                        return Err(TopologyError::BusIsLeaf(id));
+                    }
+                }
+            }
+        }
+        if !has_processor {
+            return Err(TopologyError::NoProcessors);
+        }
+
+        // Connectivity: BFS from node 0 must reach everything. Together with
+        // |E| = n - 1 this certifies a tree.
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([NodeId(0)]);
+        visited[0] = true;
+        let mut reached = 1usize;
+        while let Some(v) = queue.pop_front() {
+            for &u in &adj[v.index()] {
+                if !visited[u.index()] {
+                    visited[u.index()] = true;
+                    reached += 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if reached != n {
+            return Err(TopologyError::Disconnected);
+        }
+
+        let root = choose_root(&self.kinds, &adj);
+        Ok(Network::from_validated(self.kinds, self.node_bw, &self.edges, root))
+    }
+}
+
+/// Pick the root: a tree center, adjusted to a bus if the center happens to
+/// be a processor (only possible in trees with ≤ 3 nodes).
+fn choose_root(kinds: &[NodeKind], adj: &[Vec<NodeId>]) -> NodeId {
+    let n = kinds.len();
+    if n == 1 {
+        return NodeId(0);
+    }
+    // Double BFS to find one endpoint of a diameter path, then the path
+    // itself; the center is its middle node.
+    let far = |s: NodeId| -> (NodeId, Vec<NodeId>) {
+        let mut prev = vec![NodeId(u32::MAX); n];
+        let mut dist = vec![u32::MAX; n];
+        dist[s.index()] = 0;
+        let mut q = std::collections::VecDeque::from([s]);
+        let mut best = s;
+        while let Some(v) = q.pop_front() {
+            if dist[v.index()] > dist[best.index()] {
+                best = v;
+            }
+            for &u in &adj[v.index()] {
+                if dist[u.index()] == u32::MAX {
+                    dist[u.index()] = dist[v.index()] + 1;
+                    prev[u.index()] = v;
+                    q.push_back(u);
+                }
+            }
+        }
+        (best, prev)
+    };
+    let (a, _) = far(NodeId(0));
+    let (b, prev) = far(a);
+    // Reconstruct the a–b path.
+    let mut path = vec![b];
+    let mut v = b;
+    while v != a {
+        v = prev[v.index()];
+        path.push(v);
+    }
+    let mut center = path[path.len() / 2];
+    if kinds[center.index()] == NodeKind::Processor {
+        // Tiny tree: move to the adjacent bus if there is one.
+        if let Some(&bus) =
+            adj[center.index()].iter().find(|&&u| kinds[u.index()] == NodeKind::Bus)
+        {
+            center = bus;
+        }
+    }
+    center
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_singleton_processor() {
+        let mut b = NetworkBuilder::new();
+        b.add_processor();
+        let t = b.build().unwrap();
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.n_processors(), 1);
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn reject_empty() {
+        assert_eq!(NetworkBuilder::new().build().unwrap_err(), TopologyError::Empty);
+    }
+
+    #[test]
+    fn reject_edge_count_mismatch() {
+        let mut b = NetworkBuilder::new();
+        b.add_processor();
+        b.add_processor();
+        assert!(matches!(b.build().unwrap_err(), TopologyError::NotATree { .. }));
+    }
+
+    #[test]
+    fn reject_processor_to_processor() {
+        let mut b = NetworkBuilder::new();
+        let p1 = b.add_processor();
+        let p2 = b.add_processor();
+        b.connect(p1, p2, 1).unwrap();
+        assert!(matches!(b.build().unwrap_err(), TopologyError::ProcessorToProcessor(_, _)));
+    }
+
+    #[test]
+    fn reject_bus_leaf() {
+        let mut b = NetworkBuilder::new();
+        let p = b.add_processor();
+        let bus = b.add_bus(1);
+        b.connect(p, bus, 1).unwrap();
+        assert!(matches!(b.build().unwrap_err(), TopologyError::BusIsLeaf(_)));
+    }
+
+    #[test]
+    fn reject_fat_leaf_edge() {
+        let mut b = NetworkBuilder::new();
+        let bus = b.add_bus(1);
+        let p1 = b.add_processor();
+        let p2 = b.add_processor();
+        b.connect(bus, p1, 2).unwrap();
+        b.connect(bus, p2, 1).unwrap();
+        assert!(matches!(b.build().unwrap_err(), TopologyError::LeafEdgeBandwidth(_)));
+    }
+
+    #[test]
+    fn reject_zero_bandwidth() {
+        let mut b = NetworkBuilder::new();
+        let bus = b.add_bus(0);
+        let p1 = b.add_processor();
+        let p2 = b.add_processor();
+        b.connect(bus, p1, 1).unwrap();
+        b.connect(bus, p2, 1).unwrap();
+        assert_eq!(b.build().unwrap_err(), TopologyError::ZeroBandwidth);
+    }
+
+    #[test]
+    fn reject_self_loop_and_unknown() {
+        let mut b = NetworkBuilder::new();
+        let bus = b.add_bus(1);
+        assert!(matches!(b.connect(bus, bus, 1).unwrap_err(), TopologyError::BadEdge(_, _)));
+        assert!(matches!(
+            b.connect(bus, NodeId(99), 1).unwrap_err(),
+            TopologyError::UnknownNode(_)
+        ));
+    }
+
+    #[test]
+    fn reject_duplicate_edge() {
+        let mut b = NetworkBuilder::new();
+        let bus = b.add_bus(1);
+        let p1 = b.add_processor();
+        let p2 = b.add_processor();
+        b.connect(bus, p1, 1).unwrap();
+        b.connect(p1, bus, 1).unwrap();
+        b.connect(bus, p2, 1).unwrap();
+        // 3 edges on 3 nodes is already not a tree.
+        assert!(matches!(b.build().unwrap_err(), TopologyError::NotATree { .. }));
+    }
+
+    #[test]
+    fn reject_disconnected() {
+        let mut b = NetworkBuilder::new();
+        let bus = b.add_bus(1);
+        let p1 = b.add_processor();
+        let p2 = b.add_processor();
+        let p3 = b.add_processor();
+        b.connect(bus, p1, 1).unwrap();
+        b.connect(bus, p2, 1).unwrap();
+        b.connect(bus, p3, 1).unwrap();
+        // Add an extra isolated pair to break connectivity while keeping the
+        // edge count right.
+        let bus2 = b.add_bus(1);
+        let p4 = b.add_processor();
+        let p5 = b.add_processor();
+        b.connect(bus2, p4, 1).unwrap();
+        b.connect(bus2, p5, 1).unwrap();
+        // 7 nodes, 5 edges -> NotATree; make it 6 edges by linking p4 twice.
+        b.connect(bus2, p3, 1).unwrap();
+        let err = b.build().unwrap_err();
+        assert!(
+            matches!(err, TopologyError::Disconnected | TopologyError::ProcessorNotLeaf(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn root_is_center_bus_on_path() {
+        // p - b1 - b2 - b3 - p : center is b2.
+        let mut b = NetworkBuilder::new();
+        let p1 = b.add_processor();
+        let b1 = b.add_bus(1);
+        let b2 = b.add_bus(5);
+        let b3 = b.add_bus(1);
+        let p2 = b.add_processor();
+        b.connect(p1, b1, 1).unwrap();
+        b.connect(b1, b2, 2).unwrap();
+        b.connect(b2, b3, 2).unwrap();
+        b.connect(b3, p2, 1).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.root(), b2);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn root_is_bus_even_for_two_node_tree() {
+        let mut b = NetworkBuilder::new();
+        let bus = b.add_bus(3);
+        let p1 = b.add_processor();
+        let p2 = b.add_processor();
+        b.connect(bus, p1, 1).unwrap();
+        b.connect(bus, p2, 1).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.root(), bus);
+    }
+}

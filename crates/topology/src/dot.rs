@@ -1,0 +1,61 @@
+//! Graphviz (DOT) export for visual inspection of networks.
+
+use crate::tree::{Network, NodeKind};
+use std::fmt::Write as _;
+
+/// Render the network in Graphviz DOT format. Processors are boxes, buses
+/// are ellipses labelled with their bandwidth; edges carry switch
+/// bandwidths.
+pub fn to_dot(net: &Network) -> String {
+    let mut out = String::new();
+    out.push_str("graph hbn {\n  node [fontsize=10];\n");
+    for v in net.nodes() {
+        match net.kind(v) {
+            NodeKind::Processor => {
+                let _ = writeln!(out, "  n{} [shape=box, label=\"P{}\"];", v.0, v.0);
+            }
+            NodeKind::Bus => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=ellipse, label=\"B{} (b={})\"];",
+                    v.0,
+                    v.0,
+                    net.node_bandwidth(v)
+                );
+            }
+        }
+    }
+    for e in net.edges() {
+        let (c, p) = net.edge_endpoints(e);
+        let _ = writeln!(out, "  n{} -- n{} [label=\"{}\"];", p.0, c.0, net.edge_bandwidth(e));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{star, BandwidthProfile};
+
+    #[test]
+    fn dot_mentions_every_node_and_edge() {
+        let t = star(3, 7);
+        let dot = to_dot(&t);
+        assert!(dot.starts_with("graph hbn {"));
+        assert!(dot.contains("B0 (b=7)"));
+        for v in t.nodes() {
+            assert!(dot.contains(&format!("n{}", v.0)));
+        }
+        // 3 leaf edges.
+        assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn dot_is_parsable_shape() {
+        let t = crate::generators::balanced(2, 2, BandwidthProfile::Uniform);
+        let dot = to_dot(&t);
+        assert_eq!(dot.matches(" -- ").count(), t.n_edges());
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for network construction and validation.
+
+use crate::ids::NodeId;
+
+/// Errors raised while building or validating a hierarchical bus network.
+///
+/// The model (paper, Section 1.1) requires: the graph is a tree, processors
+/// are exactly the leaves, buses are exactly the inner nodes, switches
+/// connecting processors to buses have bandwidth 1 (they are the slowest
+/// part of the system), and all other bandwidths are at least 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The node set is empty.
+    Empty,
+    /// The edge count does not match `n - 1`, so the graph cannot be a tree.
+    NotATree {
+        /// Number of nodes.
+        nodes: usize,
+        /// Number of edges.
+        edges: usize,
+    },
+    /// The graph is disconnected (contains at least two components).
+    Disconnected,
+    /// Two endpoints of an edge coincide or an edge is duplicated.
+    BadEdge(NodeId, NodeId),
+    /// A node id is out of range.
+    UnknownNode(NodeId),
+    /// A processor has more than one incident switch; processors must be
+    /// leaves of the tree.
+    ProcessorNotLeaf(NodeId),
+    /// A bus has fewer than two incident switches; buses must be inner
+    /// nodes of the tree.
+    BusIsLeaf(NodeId),
+    /// An edge directly connects two processors; switches connect a
+    /// processor to a bus or two buses.
+    ProcessorToProcessor(NodeId, NodeId),
+    /// A bandwidth of zero was supplied; the model requires `b ≥ 1`.
+    ZeroBandwidth,
+    /// A processor–bus switch has bandwidth other than one; the model fixes
+    /// the bandwidth of leaf switches to 1.
+    LeafEdgeBandwidth(NodeId),
+    /// The network has no processors at all.
+    NoProcessors,
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "network has no nodes"),
+            TopologyError::NotATree { nodes, edges } => {
+                write!(f, "{nodes} nodes and {edges} edges cannot form a tree")
+            }
+            TopologyError::Disconnected => write!(f, "network is disconnected"),
+            TopologyError::BadEdge(a, b) => write!(f, "invalid edge between {a} and {b}"),
+            TopologyError::UnknownNode(v) => write!(f, "unknown node {v}"),
+            TopologyError::ProcessorNotLeaf(v) => {
+                write!(f, "processor {v} is not a leaf of the tree")
+            }
+            TopologyError::BusIsLeaf(v) => {
+                write!(f, "bus {v} is a leaf of the tree; buses must be inner nodes")
+            }
+            TopologyError::ProcessorToProcessor(a, b) => {
+                write!(f, "edge between processors {a} and {b}; switches must touch a bus")
+            }
+            TopologyError::ZeroBandwidth => write!(f, "bandwidths must be at least 1"),
+            TopologyError::LeafEdgeBandwidth(v) => {
+                write!(f, "switch to processor {v} must have bandwidth 1")
+            }
+            TopologyError::NoProcessors => write!(f, "network has no processors"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

@@ -1,0 +1,304 @@
+//! Parameterised network generators used by tests, examples and the
+//! experiment harness.
+//!
+//! All generators are deterministic given their inputs (and a seeded RNG
+//! for the random families), so every experiment in EXPERIMENTS.md can be
+//! regenerated bit-for-bit.
+
+use crate::builder::NetworkBuilder;
+use crate::ids::{Bandwidth, NodeId};
+use crate::tree::Network;
+use rand::Rng;
+
+/// How bus and bus-to-bus switch bandwidths are assigned by the generators.
+///
+/// Processor switches always get bandwidth 1, as the model requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandwidthProfile {
+    /// Every bus and switch has bandwidth 1 (the congestion then counts raw
+    /// loads).
+    Uniform,
+    /// Bandwidth grows with distance from the leaves: a bus at height `h`
+    /// above the deepest leaf gets `base^h`, capped at `cap`. This mimics
+    /// fat-tree style provisioning where upper-level rings are faster.
+    FatTree {
+        /// Multiplicative growth per level.
+        base: u64,
+        /// Upper bound on any assigned bandwidth.
+        cap: u64,
+    },
+    /// Constant bandwidth `c` on all buses and bus-to-bus switches.
+    Constant(u64),
+}
+
+impl BandwidthProfile {
+    /// Bandwidth for a bus whose subtree height above the leaves is `h ≥ 1`.
+    pub fn bus_bandwidth(&self, h: u32) -> Bandwidth {
+        match *self {
+            BandwidthProfile::Uniform => 1,
+            BandwidthProfile::FatTree { base, cap } => {
+                let mut bw: u64 = 1;
+                for _ in 0..h {
+                    bw = bw.saturating_mul(base);
+                    if bw >= cap {
+                        return cap;
+                    }
+                }
+                bw.min(cap)
+            }
+            BandwidthProfile::Constant(c) => c,
+        }
+    }
+
+    /// Bandwidth for a bus-to-bus switch whose lower endpoint has subtree
+    /// height `h ≥ 1`.
+    pub fn switch_bandwidth(&self, h: u32) -> Bandwidth {
+        self.bus_bandwidth(h)
+    }
+}
+
+/// The star network of the NP-hardness proof (Theorem 2.1): one bus with
+/// `n_processors` leaves. `bus_bandwidth` is made "sufficiently large" by
+/// the caller when reproducing the reduction (the proof wants edge loads to
+/// dominate).
+pub fn star(n_processors: usize, bus_bandwidth: Bandwidth) -> Network {
+    assert!(n_processors >= 2, "a bus needs at least two attached switches");
+    let mut b = NetworkBuilder::new();
+    let bus = b.add_bus(bus_bandwidth);
+    for _ in 0..n_processors {
+        let p = b.add_processor();
+        b.connect(bus, p, 1).expect("valid ids");
+    }
+    b.build().expect("star is a valid network")
+}
+
+/// A perfectly balanced tree of buses with `branching ≥ 2` children per bus
+/// and `height ≥ 1` levels of buses; every lowest-level bus gets
+/// `branching` processors.
+///
+/// The resulting network has `branching^height` processors.
+pub fn balanced(branching: usize, height: u32, profile: BandwidthProfile) -> Network {
+    assert!(branching >= 2, "branching must be at least 2");
+    assert!(height >= 1, "height must be at least 1");
+    let mut b = NetworkBuilder::new();
+    // Bus levels are numbered by height above the processors: the root has
+    // `height`, the lowest buses have 1.
+    let root = b.add_bus(profile.bus_bandwidth(height));
+    let mut frontier = vec![(root, height)];
+    while let Some((bus, h)) = frontier.pop() {
+        for _ in 0..branching {
+            if h == 1 {
+                let p = b.add_processor();
+                b.connect(bus, p, 1).expect("valid ids");
+            } else {
+                let child = b.add_bus(profile.bus_bandwidth(h - 1));
+                b.connect(bus, child, profile.switch_bandwidth(h - 1)).expect("valid ids");
+                frontier.push((child, h - 1));
+            }
+        }
+    }
+    b.build().expect("balanced tree is a valid network")
+}
+
+/// A caterpillar: a path of `spine ≥ 1` buses, each with `legs ≥ 1`
+/// processors (the two spine ends get one extra processor so no bus is a
+/// leaf).
+pub fn caterpillar(spine: usize, legs: usize, profile: BandwidthProfile) -> Network {
+    assert!(spine >= 1 && legs >= 1);
+    let mut b = NetworkBuilder::new();
+    let buses: Vec<NodeId> = (0..spine).map(|_| b.add_bus(profile.bus_bandwidth(1))).collect();
+    for w in buses.windows(2) {
+        b.connect(w[0], w[1], profile.switch_bandwidth(1)).expect("valid ids");
+    }
+    for (i, &bus) in buses.iter().enumerate() {
+        let mut count = legs;
+        // End buses of a single-bus or path caterpillar need degree ≥ 2.
+        let degree_from_spine = usize::from(i > 0) + usize::from(i + 1 < spine);
+        if degree_from_spine + count < 2 {
+            count = 2 - degree_from_spine;
+        }
+        for _ in 0..count {
+            let p = b.add_processor();
+            b.connect(bus, p, 1).expect("valid ids");
+        }
+    }
+    b.build().expect("caterpillar is a valid network")
+}
+
+/// A random hierarchical bus network with exactly `n_buses ≥ 1` buses and
+/// `n_processors ≥ 2` processors.
+///
+/// The bus skeleton is a random recursive tree (each new bus attaches to a
+/// uniformly random earlier bus); processors attach to uniformly random
+/// buses; buses left with degree < 2 receive an extra processor each, so the
+/// processor count may exceed `n_processors` on adversarial draws — the
+/// generator instead reserves enough processors up front to avoid that.
+pub fn random_network<R: Rng>(
+    n_buses: usize,
+    n_processors: usize,
+    profile: BandwidthProfile,
+    rng: &mut R,
+) -> Network {
+    assert!(n_buses >= 1);
+    assert!(n_processors >= 2, "need at least two processors");
+    let mut b = NetworkBuilder::new();
+    let mut buses = Vec::with_capacity(n_buses);
+    // Heights above leaves are unknown until the shape is fixed; assign
+    // bandwidths afterwards would require rebuilding, so draw from the
+    // profile with a synthetic height based on creation order (deeper in
+    // the recursive tree ≈ later). This is deliberate roughness: random
+    // networks are used for correctness experiments where only the model
+    // constraints matter.
+    for i in 0..n_buses {
+        let h = (n_buses - i).ilog2().max(1);
+        buses.push(b.add_bus(profile.bus_bandwidth(h)));
+    }
+    let mut degree = vec![0usize; n_buses];
+    for i in 1..n_buses {
+        let j = rng.gen_range(0..i);
+        let h = (n_buses - i).ilog2().max(1);
+        b.connect(buses[i], buses[j], profile.switch_bandwidth(h)).expect("valid ids");
+        degree[i] += 1;
+        degree[j] += 1;
+    }
+    // First make every bus a non-leaf, then distribute the remaining
+    // processors uniformly.
+    let needy: Vec<usize> = (0..n_buses).filter(|&i| degree[i] < 2).collect();
+    let deficit: usize = needy.iter().map(|&i| 2 - degree[i]).sum();
+    assert!(
+        n_processors >= deficit,
+        "need at least {deficit} processors to keep every bus an inner node"
+    );
+    let mut remaining = n_processors;
+    for &i in &needy {
+        for _ in degree[i]..2 {
+            let p = b.add_processor();
+            b.connect(buses[i], p, 1).expect("valid ids");
+            remaining -= 1;
+        }
+    }
+    for _ in 0..remaining {
+        let i = rng.gen_range(0..n_buses);
+        let p = b.add_processor();
+        b.connect(buses[i], p, 1).expect("valid ids");
+    }
+    b.build().expect("random network is valid by construction")
+}
+
+/// A path of buses of length `n_buses` with one processor at each end —
+/// the deepest trees for a given node count, used to stress `height(T)`
+/// terms in the bounds.
+pub fn bus_path(n_buses: usize, profile: BandwidthProfile) -> Network {
+    assert!(n_buses >= 1);
+    let mut b = NetworkBuilder::new();
+    let buses: Vec<NodeId> = (0..n_buses).map(|_| b.add_bus(profile.bus_bandwidth(1))).collect();
+    for w in buses.windows(2) {
+        b.connect(w[0], w[1], profile.switch_bandwidth(1)).expect("valid ids");
+    }
+    let p1 = b.add_processor();
+    let p2 = b.add_processor();
+    b.connect(buses[0], p1, 1).expect("valid ids");
+    b.connect(buses[n_buses - 1], p2, 1).expect("valid ids");
+    b.build().expect("bus path is a valid network")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_shape() {
+        let t = star(4, 100);
+        assert_eq!(t.n_processors(), 4);
+        assert_eq!(t.n_buses(), 1);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.max_degree(), 4);
+        assert_eq!(t.node_bandwidth(t.root()), 100);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn balanced_shape() {
+        let t = balanced(3, 2, BandwidthProfile::Uniform);
+        assert_eq!(t.n_processors(), 9);
+        assert_eq!(t.n_buses(), 1 + 3);
+        assert_eq!(t.height(), 2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn balanced_fat_tree_bandwidths() {
+        let profile = BandwidthProfile::FatTree { base: 4, cap: 64 };
+        let t = balanced(2, 4, profile);
+        // Root has height 4 above leaves: 4^4 = 256 capped at 64.
+        assert_eq!(t.node_bandwidth(t.root()), 64);
+        // Leaf switches stay at 1.
+        for &p in t.processors() {
+            assert_eq!(t.edge_bandwidth(crate::EdgeId::from(p)), 1);
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(5, 2, BandwidthProfile::Uniform);
+        assert_eq!(t.n_buses(), 5);
+        assert_eq!(t.n_processors(), 10);
+        t.check_invariants().unwrap();
+
+        let t = caterpillar(1, 1, BandwidthProfile::Uniform);
+        // A single bus with one leg gets padded to two processors.
+        assert_eq!(t.n_processors(), 2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn random_network_valid_across_seeds() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = random_network(8, 20, BandwidthProfile::Uniform, &mut rng);
+            assert_eq!(t.n_buses(), 8);
+            assert_eq!(t.n_processors(), 20);
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn random_network_is_seed_deterministic() {
+        let a = {
+            let mut rng = StdRng::seed_from_u64(42);
+            random_network(6, 15, BandwidthProfile::Uniform, &mut rng)
+        };
+        let b = {
+            let mut rng = StdRng::seed_from_u64(42);
+            random_network(6, 15, BandwidthProfile::Uniform, &mut rng)
+        };
+        assert_eq!(a.n_nodes(), b.n_nodes());
+        for v in a.nodes() {
+            assert_eq!(a.parent(v), b.parent(v));
+            assert_eq!(a.kind(v), b.kind(v));
+        }
+    }
+
+    #[test]
+    fn bus_path_is_deep() {
+        let t = bus_path(10, BandwidthProfile::Uniform);
+        assert_eq!(t.n_buses(), 10);
+        assert_eq!(t.n_processors(), 2);
+        // Rooted at the center, so height is about half the path length.
+        assert!(t.height() >= 5);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fat_tree_profile_growth() {
+        let p = BandwidthProfile::FatTree { base: 2, cap: 16 };
+        assert_eq!(p.bus_bandwidth(1), 2);
+        assert_eq!(p.bus_bandwidth(3), 8);
+        assert_eq!(p.bus_bandwidth(10), 16);
+        assert_eq!(BandwidthProfile::Uniform.bus_bandwidth(7), 1);
+        assert_eq!(BandwidthProfile::Constant(5).bus_bandwidth(2), 5);
+    }
+}

@@ -1,0 +1,89 @@
+//! Portable, serde-friendly description of a network.
+//!
+//! [`crate::Network`] carries derived indexes (orders, LCA tables) that are
+//! wasteful and fragile to serialize; [`NetworkSpec`] stores only the
+//! defining data (node kinds, bandwidths, edge list) and re-validates on
+//! load.
+
+use crate::builder::NetworkBuilder;
+use crate::error::TopologyError;
+use crate::ids::{Bandwidth, NodeId};
+use crate::tree::{Network, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// Serializable description of a hierarchical bus network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Kind of each node, by id.
+    pub kinds: Vec<NodeKind>,
+    /// Bandwidth of each node (1 for processors).
+    pub node_bandwidths: Vec<Bandwidth>,
+    /// Undirected edges `(a, b, bandwidth)`.
+    pub edges: Vec<(u32, u32, Bandwidth)>,
+}
+
+impl NetworkSpec {
+    /// Capture the defining data of `net`.
+    pub fn from_network(net: &Network) -> Self {
+        NetworkSpec {
+            kinds: net.nodes().map(|v| net.kind(v)).collect(),
+            node_bandwidths: net.nodes().map(|v| net.node_bandwidth(v)).collect(),
+            edges: net
+                .edges()
+                .map(|e| {
+                    let (c, p) = net.edge_endpoints(e);
+                    (p.0, c.0, net.edge_bandwidth(e))
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild (and re-validate) the network.
+    pub fn build(&self) -> Result<Network, TopologyError> {
+        let mut b = NetworkBuilder::new();
+        for (i, &kind) in self.kinds.iter().enumerate() {
+            match kind {
+                NodeKind::Processor => {
+                    b.add_processor();
+                }
+                NodeKind::Bus => {
+                    b.add_bus(*self.node_bandwidths.get(i).unwrap_or(&1));
+                }
+            }
+        }
+        for &(a, bnode, bw) in &self.edges {
+            b.connect(NodeId(a), NodeId(bnode), bw)?;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{balanced, BandwidthProfile};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let t = balanced(3, 2, BandwidthProfile::FatTree { base: 2, cap: 8 });
+        let spec = NetworkSpec::from_network(&t);
+        let t2 = spec.build().unwrap();
+        assert_eq!(t.n_nodes(), t2.n_nodes());
+        for v in t.nodes() {
+            assert_eq!(t.kind(v), t2.kind(v));
+            assert_eq!(t.node_bandwidth(v), t2.node_bandwidth(v));
+            assert_eq!(t.parent(v), t2.parent(v), "same root choice on rebuild");
+        }
+        assert_eq!(spec, NetworkSpec::from_network(&t2));
+    }
+
+    #[test]
+    fn spec_rejects_invalid() {
+        let spec = NetworkSpec {
+            kinds: vec![NodeKind::Processor, NodeKind::Processor],
+            node_bandwidths: vec![1, 1],
+            edges: vec![(0, 1, 1)],
+        };
+        assert!(spec.build().is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! Read and write frequency matrices `h_r, h_w : P × X → N`.
+//!
+//! The matrices are stored sparsely per object: most realistic workloads
+//! touch each object from a handful of processors, and the paper's
+//! algorithms iterate per object anyway.
+
+use crate::objects::ObjectId;
+use hbn_topology::{Network, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Read/write counts of one processor on one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessEntry {
+    /// The requesting processor (a leaf of the network).
+    pub processor: NodeId,
+    /// `h_r(P, x)` — number of read requests.
+    pub reads: u64,
+    /// `h_w(P, x)` — number of write requests.
+    pub writes: u64,
+}
+
+impl AccessEntry {
+    /// Total requests `h_r + h_w` of this entry.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Sparse read/write frequency matrices for a set of shared objects.
+///
+/// Entries with `reads = writes = 0` are dropped; per object the entries
+/// are kept sorted by processor id, so iteration order is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessMatrix {
+    /// `per_object[x]` lists the processors accessing object `x`.
+    per_object: Vec<Vec<AccessEntry>>,
+}
+
+impl AccessMatrix {
+    /// An all-zero matrix over `n_objects` objects.
+    pub fn new(n_objects: usize) -> Self {
+        AccessMatrix { per_object: vec![Vec::new(); n_objects] }
+    }
+
+    /// Number of objects `|X|`.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.per_object.len()
+    }
+
+    /// Iterate over all object ids.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        (0..self.n_objects() as u32).map(ObjectId)
+    }
+
+    /// Append a fresh all-zero object and return its id.
+    pub fn push_object(&mut self) -> ObjectId {
+        self.per_object.push(Vec::new());
+        ObjectId(self.per_object.len() as u32 - 1)
+    }
+
+    /// Add `reads`/`writes` accesses from `processor` to `x` (saturating).
+    pub fn add(&mut self, processor: NodeId, x: ObjectId, reads: u64, writes: u64) {
+        if reads == 0 && writes == 0 {
+            return;
+        }
+        let entries = &mut self.per_object[x.index()];
+        match entries.binary_search_by_key(&processor, |e| e.processor) {
+            Ok(i) => {
+                entries[i].reads = entries[i].reads.saturating_add(reads);
+                entries[i].writes = entries[i].writes.saturating_add(writes);
+            }
+            Err(i) => entries.insert(i, AccessEntry { processor, reads, writes }),
+        }
+    }
+
+    /// Overwrite the access counts of `(processor, x)`.
+    pub fn set(&mut self, processor: NodeId, x: ObjectId, reads: u64, writes: u64) {
+        let entries = &mut self.per_object[x.index()];
+        match entries.binary_search_by_key(&processor, |e| e.processor) {
+            Ok(i) => {
+                if reads == 0 && writes == 0 {
+                    entries.remove(i);
+                } else {
+                    entries[i] = AccessEntry { processor, reads, writes };
+                }
+            }
+            Err(i) => {
+                if reads != 0 || writes != 0 {
+                    entries.insert(i, AccessEntry { processor, reads, writes });
+                }
+            }
+        }
+    }
+
+    /// `h_r(P, x)`.
+    pub fn reads(&self, processor: NodeId, x: ObjectId) -> u64 {
+        self.entry(processor, x).map_or(0, |e| e.reads)
+    }
+
+    /// `h_w(P, x)`.
+    pub fn writes(&self, processor: NodeId, x: ObjectId) -> u64 {
+        self.entry(processor, x).map_or(0, |e| e.writes)
+    }
+
+    /// `h(P, x) = h_r + h_w`.
+    pub fn total(&self, processor: NodeId, x: ObjectId) -> u64 {
+        self.entry(processor, x).map_or(0, |e| e.total())
+    }
+
+    fn entry(&self, processor: NodeId, x: ObjectId) -> Option<&AccessEntry> {
+        let entries = &self.per_object[x.index()];
+        entries.binary_search_by_key(&processor, |e| e.processor).ok().map(|i| &entries[i])
+    }
+
+    /// All non-zero entries of object `x`, sorted by processor id.
+    #[inline]
+    pub fn object_entries(&self, x: ObjectId) -> &[AccessEntry] {
+        &self.per_object[x.index()]
+    }
+
+    /// Write contention `κ_x = Σ_P h_w(P, x)` (paper, Section 3, step 2).
+    pub fn write_contention(&self, x: ObjectId) -> u64 {
+        self.per_object[x.index()].iter().map(|e| e.writes).sum()
+    }
+
+    /// Total reads `Σ_P h_r(P, x)`.
+    pub fn total_reads(&self, x: ObjectId) -> u64 {
+        self.per_object[x.index()].iter().map(|e| e.reads).sum()
+    }
+
+    /// Total weight `h_x = Σ_P (h_r + h_w)(P, x)`.
+    pub fn total_weight(&self, x: ObjectId) -> u64 {
+        self.per_object[x.index()].iter().map(|e| e.total()).sum()
+    }
+
+    /// Number of non-zero entries across all objects.
+    pub fn nnz(&self) -> usize {
+        self.per_object.iter().map(Vec::len).sum()
+    }
+
+    /// Grand total of all requests in the workload.
+    pub fn grand_total(&self) -> u64 {
+        self.objects().map(|x| self.total_weight(x)).sum()
+    }
+
+    /// Check that every entry names a processor of `net` (not a bus) and
+    /// has non-zero weight.
+    pub fn validate(&self, net: &Network) -> Result<(), WorkloadError> {
+        for x in self.objects() {
+            for e in self.object_entries(x) {
+                if e.processor.index() >= net.n_nodes() || !net.is_processor(e.processor) {
+                    return Err(WorkloadError::NotAProcessor { processor: e.processor, object: x });
+                }
+                if e.total() == 0 {
+                    return Err(WorkloadError::EmptyEntry { processor: e.processor, object: x });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised by workload validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// An access entry names a node that is not a processor of the network.
+    NotAProcessor {
+        /// The offending node.
+        processor: NodeId,
+        /// The object the entry belongs to.
+        object: ObjectId,
+    },
+    /// An access entry has zero reads and writes (should have been dropped).
+    EmptyEntry {
+        /// The entry's processor.
+        processor: NodeId,
+        /// The entry's object.
+        object: ObjectId,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::NotAProcessor { processor, object } => {
+                write!(f, "access to {object} from {processor}, which is not a processor")
+            }
+            WorkloadError::EmptyEntry { processor, object } => {
+                write!(f, "empty access entry ({processor}, {object})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbn_topology::generators::star;
+
+    #[test]
+    fn add_set_get() {
+        let mut m = AccessMatrix::new(2);
+        let p = NodeId(1);
+        let x = ObjectId(0);
+        m.add(p, x, 3, 2);
+        m.add(p, x, 1, 0);
+        assert_eq!(m.reads(p, x), 4);
+        assert_eq!(m.writes(p, x), 2);
+        assert_eq!(m.total(p, x), 6);
+        m.set(p, x, 7, 0);
+        assert_eq!(m.reads(p, x), 7);
+        assert_eq!(m.writes(p, x), 0);
+        m.set(p, x, 0, 0);
+        assert_eq!(m.total(p, x), 0);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn zero_adds_are_dropped() {
+        let mut m = AccessMatrix::new(1);
+        m.add(NodeId(1), ObjectId(0), 0, 0);
+        assert_eq!(m.nnz(), 0);
+        assert!(m.object_entries(ObjectId(0)).is_empty());
+    }
+
+    #[test]
+    fn contention_and_weights() {
+        let mut m = AccessMatrix::new(1);
+        let x = ObjectId(0);
+        m.add(NodeId(1), x, 5, 1);
+        m.add(NodeId(2), x, 0, 4);
+        assert_eq!(m.write_contention(x), 5);
+        assert_eq!(m.total_reads(x), 5);
+        assert_eq!(m.total_weight(x), 10);
+        assert_eq!(m.grand_total(), 10);
+    }
+
+    #[test]
+    fn entries_sorted_by_processor() {
+        let mut m = AccessMatrix::new(1);
+        let x = ObjectId(0);
+        m.add(NodeId(9), x, 1, 0);
+        m.add(NodeId(2), x, 1, 0);
+        m.add(NodeId(5), x, 1, 0);
+        let procs: Vec<u32> = m.object_entries(x).iter().map(|e| e.processor.0).collect();
+        assert_eq!(procs, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn validate_catches_bus_access() {
+        let net = star(3, 1); // node 0 is the bus, 1..3 processors
+        let mut m = AccessMatrix::new(1);
+        m.add(NodeId(1), ObjectId(0), 1, 0);
+        assert!(m.validate(&net).is_ok());
+        m.add(NodeId(0), ObjectId(0), 1, 0);
+        assert!(matches!(m.validate(&net), Err(WorkloadError::NotAProcessor { .. })));
+    }
+
+    #[test]
+    fn push_object_grows() {
+        let mut m = AccessMatrix::new(0);
+        let x0 = m.push_object();
+        let x1 = m.push_object();
+        assert_eq!((x0, x1), (ObjectId(0), ObjectId(1)));
+        assert_eq!(m.n_objects(), 2);
+    }
+}

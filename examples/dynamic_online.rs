@@ -1,0 +1,52 @@
+//! Online data management (the paper's §1.3 extension): serve a request
+//! stream with no knowledge of the access pattern and compare the online
+//! congestion against the hindsight nibble optimum.
+//!
+//! Run with: `cargo run --release --example dynamic_online`
+
+use hierbus::dynamic::{run_competitive, OnlineRequest};
+use hierbus::prelude::*;
+use hierbus::topology::generators::{balanced, BandwidthProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let net = balanced(3, 2, BandwidthProfile::Uniform);
+    let mut rng = StdRng::seed_from_u64(17);
+    let procs = net.processors();
+
+    // A phase-changing stream: a read-mostly phase, then a write burst,
+    // then reads again — the pattern online strategies must adapt to.
+    let mut stream: Vec<OnlineRequest> = Vec::new();
+    for phase in 0..3 {
+        let write_frac = if phase == 1 { 0.9 } else { 0.05 };
+        for _ in 0..1500 {
+            stream.push(OnlineRequest {
+                processor: procs[rng.gen_range(0..procs.len())],
+                object: ObjectId(rng.gen_range(0..6)),
+                is_write: rng.gen_bool(write_frac),
+            });
+        }
+    }
+
+    println!("{:<4} {:>10} {:>12} {:>7} {:>13} {:>10}", "D", "online", "hindsight", "ratio", "replications", "collapses");
+    for d in [1u64, 2, 4, 8] {
+        let rep = run_competitive(&net, 6, &stream, d);
+        println!(
+            "{:<4} {:>10} {:>12} {:>7} {:>13} {:>10}",
+            d,
+            rep.online.to_string(),
+            rep.hindsight.to_string(),
+            rep.ratio.map_or("-".into(), |r| format!("{r:.2}")),
+            rep.stats.replications,
+            rep.stats.collapses
+        );
+    }
+    println!(
+        "\nThe online strategy replicates during read phases and collapses during\n\
+         the write burst. On phase-changing streams it can even beat the static\n\
+         hindsight placement (ratio < 1): adapting per phase is exactly what\n\
+         dynamic strategies buy. With unit-size objects (D = 1) it stays well\n\
+         within the 3x the paper's related work cites for tree strategies."
+    );
+}

@@ -1,0 +1,61 @@
+//! The NP-hardness construction of Theorem 2.1, executable: encode
+//! PARTITION instances onto the 4-ary star and watch the exact solver's
+//! decision coincide with the PARTITION answer — and its cost explode.
+//!
+//! Run with: `cargo run --release --example np_hardness`
+
+use hierbus::exact::{encode_partition, no_instance, yes_instance, PartitionInstance};
+
+fn main() {
+    println!("Theorem 2.1: PARTITION ≤p static placement on a 4-ary star\n");
+
+    // A yes-instance and its witness placement.
+    let inst = yes_instance(&[7, 3, 5, 2]);
+    let red = encode_partition(&inst);
+    let mask = inst.solve().expect("yes instance");
+    let placement = red.witness_placement(&mask);
+    println!(
+        "items {:?} (k = {}): PARTITION says yes with subset {:?}",
+        inst.items(),
+        red.k,
+        mask.iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| inst.items()[i])
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "witness placement congestion = {} (threshold 4k = {})",
+        red.congestion_of(&placement),
+        red.threshold
+    );
+    assert!(red.decide_exactly());
+
+    // A no-instance cannot reach the threshold.
+    let no = no_instance(4);
+    let red_no = encode_partition(&no);
+    println!(
+        "\nitems {:?} (k = {}): PARTITION says no; exact search over all \
+         placements confirms congestion > 4k",
+        no.items(),
+        red_no.k
+    );
+    assert!(!red_no.decide_exactly());
+
+    // Random instances: the two deciders always agree.
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut agreements = 0;
+    for _ in 0..20 {
+        let n = rng.gen_range(2..7);
+        let mut items: Vec<u64> = (0..n).map(|_| rng.gen_range(1..10)).collect();
+        if items.iter().sum::<u64>() % 2 == 1 {
+            items.push(1);
+        }
+        let inst = PartitionInstance::new(items).expect("even total");
+        let red = encode_partition(&inst);
+        assert_eq!(inst.is_yes(), red.decide_exactly());
+        agreements += 1;
+    }
+    println!("\n{agreements}/20 random instances: placement decision == PARTITION decision");
+}

@@ -1,0 +1,146 @@
+//! `hierbus` — command-line interface to the library.
+//!
+//! ```text
+//! hierbus place    <branching> <height> <objects> <requests> <write%> <seed>
+//! hierbus simulate <branching> <height> <objects> <requests> <write%> <seed>
+//! hierbus dot      <branching> <height>
+//! hierbus partition <k1,k2,...>
+//! ```
+//!
+//! `place` runs the extended-nibble strategy on a balanced network and
+//! prints the Theorem 4.3 certificate; `simulate` additionally replays
+//! the traffic on the packet simulator; `dot` emits Graphviz for the
+//! network; `partition` runs the Theorem 2.1 reduction on a PARTITION
+//! instance.
+
+use hierbus::core::approximation_certificate;
+use hierbus::prelude::*;
+use hierbus::topology::generators::{balanced, BandwidthProfile};
+use rand::rngs::StdRng;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  hierbus place    <branching> <height> <objects> <requests> <write%> <seed>\n  \
+         hierbus simulate <branching> <height> <objects> <requests> <write%> <seed>\n  \
+         hierbus dot      <branching> <height>\n  \
+         hierbus partition <k1,k2,...>"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: Option<&String>) -> T {
+    s.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+}
+
+fn build_instance(
+    args: &[String],
+) -> (hierbus::topology::Network, AccessMatrix) {
+    let branching: usize = parse(args.first());
+    let height: u32 = parse(args.get(1));
+    let objects: usize = parse(args.get(2));
+    let requests: usize = parse(args.get(3));
+    let write_pct: f64 = parse(args.get(4));
+    let seed: u64 = parse(args.get(5));
+    let net = balanced(branching.max(2), height.max(1), BandwidthProfile::Uniform);
+    let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let matrix = hierbus::workload::generators::zipf_read_mostly(
+        &net,
+        objects.max(1),
+        requests.max(1),
+        0.9,
+        (write_pct / 100.0).clamp(0.0, 1.0),
+        &mut rng,
+    );
+    (net, matrix)
+}
+
+fn cmd_place(args: &[String]) {
+    let (net, matrix) = build_instance(args);
+    let outcome = ExtendedNibble::new().place(&net, &matrix).expect("valid instance");
+    let cert = approximation_certificate(&net, &matrix, &outcome);
+    println!(
+        "network: {} processors, {} buses, height {}",
+        net.n_processors(),
+        net.n_buses(),
+        net.height()
+    );
+    println!(
+        "placed {} objects: {} processed, {} untouched, τ_max = {}",
+        matrix.n_objects(),
+        outcome.stats.objects_processed,
+        outcome.stats.objects_untouched,
+        outcome.mapping.tau_max
+    );
+    println!("congestion          = {}", cert.congestion);
+    println!("certified lower bnd = {}", cert.lower_bound.value());
+    println!("lemma 4.5 / 4.6     = {} / {}", cert.lemma_4_5_ok, cert.lemma_4_6_ok);
+    if let Some(r) = cert.ratio {
+        println!("ratio               = {r:.3} (≤ 7 guaranteed)");
+    }
+}
+
+fn cmd_simulate(args: &[String]) {
+    let (net, matrix) = build_instance(args);
+    let outcome = ExtendedNibble::new().place(&net, &matrix).expect("valid instance");
+    let seed: u64 = parse(args.get(5));
+    let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x5151);
+    let trace = hierbus::sim::expand_shuffled(&matrix, &mut rng);
+    let sim = hierbus::sim::simulate(
+        &net,
+        &matrix,
+        &outcome.placement,
+        &trace,
+        hierbus::sim::SimConfig::default(),
+    )
+    .expect("replay covered");
+    let congestion =
+        LoadMap::from_placement(&net, &matrix, &outcome.placement).congestion(&net).congestion;
+    println!("congestion = {congestion}");
+    println!("makespan   = {} slots", sim.makespan);
+    println!("mean lat   = {:.1} slots", sim.mean_latency);
+    println!("p99 lat    = {} slots", sim.p99_latency);
+    println!("delivered  = {} requests, {} updates", sim.delivered_requests, sim.delivered_updates);
+}
+
+fn cmd_dot(args: &[String]) {
+    let branching: usize = parse(args.first());
+    let height: u32 = parse(args.get(1));
+    let net = balanced(branching.max(2), height.max(1), BandwidthProfile::Uniform);
+    print!("{}", hierbus::topology::dot::to_dot(&net));
+}
+
+fn cmd_partition(args: &[String]) {
+    let items: Vec<u64> = args
+        .first()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    if items.is_empty() {
+        usage();
+    }
+    let inst = match hierbus::exact::PartitionInstance::new(items) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("invalid instance: {e}");
+            std::process::exit(1);
+        }
+    };
+    let red = hierbus::exact::encode_partition(&inst);
+    println!("items {:?}, k = {}", inst.items(), red.k);
+    println!("PARTITION: {}", if inst.is_yes() { "yes" } else { "no" });
+    println!(
+        "placement with congestion ≤ 4k = {} exists: {}",
+        red.threshold,
+        red.decide_exactly()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("place") => cmd_place(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("partition") => cmd_partition(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,167 @@
+//! Integration suite: every theorem, observation and lemma of the paper
+//! exercised end to end across crates, on larger instances than the unit
+//! tests use.
+
+use hierbus::core::{
+    approximation_certificate, delete_rarely_used, nibble_object, ExtendedNibble, Workspace,
+};
+use hierbus::exact::{encode_partition, optimal_redundant_nearest, PartitionInstance};
+use hierbus::prelude::*;
+use hierbus::topology::generators::{random_network, star, BandwidthProfile};
+use hierbus::workload::generators as wgen;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Theorem 2.1 — the reduction decides PARTITION, both directions, on
+/// instances larger than the unit tests'.
+#[test]
+fn theorem_2_1_reduction_equivalence() {
+    let mut rng = StdRng::seed_from_u64(500);
+    for _ in 0..10 {
+        let n = rng.gen_range(3..8);
+        let mut items: Vec<u64> = (0..n).map(|_| rng.gen_range(1..15)).collect();
+        if items.iter().sum::<u64>() % 2 == 1 {
+            items.push(1);
+        }
+        let inst = PartitionInstance::new(items).unwrap();
+        let red = encode_partition(&inst);
+        assert_eq!(inst.is_yes(), red.decide_exactly());
+        if let Some(mask) = inst.solve() {
+            let witness = red.witness_placement(&mask);
+            assert!(red.congestion_of(&witness) <= red.threshold);
+        }
+    }
+}
+
+/// Theorem 3.1 — the nibble placement minimises every edge load
+/// simultaneously, its copies are connected, and per-object loads are
+/// bounded by the write contention.
+#[test]
+fn theorem_3_1_nibble_properties_at_scale() {
+    let mut rng = StdRng::seed_from_u64(501);
+    for _ in 0..10 {
+        let net = random_network(20, 60, BandwidthProfile::Uniform, &mut rng);
+        let mut m = AccessMatrix::new(1);
+        for &p in net.processors() {
+            if rng.gen_bool(0.5) {
+                m.add(p, ObjectId(0), rng.gen_range(0..20), rng.gen_range(0..10));
+            }
+        }
+        if m.total_weight(ObjectId(0)) == 0 {
+            continue;
+        }
+        let kappa = m.write_contention(ObjectId(0));
+        let mut ws = Workspace::new(net.n_nodes());
+        let out = nibble_object(&net, &m, ObjectId(0), &mut ws);
+        let nodes = out.copies.nodes();
+        // Connectivity towards the gravity center.
+        for &v in &nodes {
+            if v != out.gravity {
+                assert!(nodes.contains(&net.step_towards(v, out.gravity)));
+            }
+        }
+        // Per-edge bound.
+        let mut pl = Placement::new(1);
+        hierbus::core::nibble::apply_to_placement(&out.copies, &mut pl);
+        let loads = LoadMap::from_placement(&net, &m, &pl);
+        for e in net.edges() {
+            assert!(loads.edge_load(e) <= kappa);
+        }
+    }
+}
+
+/// Observation 3.2 — deletion keeps every copy in `[κ, 2κ]` and at most
+/// doubles every edge load, on deep random networks.
+#[test]
+fn observation_3_2_deletion_bounds_at_scale() {
+    let mut rng = StdRng::seed_from_u64(502);
+    for _ in 0..10 {
+        let net = random_network(15, 40, BandwidthProfile::Uniform, &mut rng);
+        let mut m = AccessMatrix::new(1);
+        for &p in net.processors() {
+            m.add(p, ObjectId(0), rng.gen_range(0..10), rng.gen_range(1..6));
+        }
+        let kappa = m.write_contention(ObjectId(0));
+        let mut ws = Workspace::new(net.n_nodes());
+        let nib = nibble_object(&net, &m, ObjectId(0), &mut ws);
+        let mut nib_pl = Placement::new(1);
+        hierbus::core::nibble::apply_to_placement(&nib.copies, &mut nib_pl);
+        let nib_loads = LoadMap::from_placement(&net, &m, &nib_pl);
+
+        let del = delete_rarely_used(&net, nib.gravity, nib.copies);
+        for c in &del.copies.copies {
+            assert!(c.served() >= kappa && c.served() <= 2 * kappa);
+        }
+        let mut del_pl = Placement::new(1);
+        hierbus::core::nibble::apply_to_placement(&del.copies, &mut del_pl);
+        let del_loads = LoadMap::from_placement(&net, &m, &del_pl);
+        for e in net.edges() {
+            assert!(del_loads.edge_load(e) <= 2 * nib_loads.edge_load(e));
+        }
+    }
+}
+
+/// Lemma 4.1 + Invariant 4.2 (repaired) — checked mapping succeeds on
+/// stress workloads over many shapes.
+#[test]
+fn lemma_4_1_mapping_always_finds_free_edges() {
+    let mut rng = StdRng::seed_from_u64(503);
+    for round in 0..15 {
+        let net = random_network(12, 30, BandwidthProfile::Uniform, &mut rng);
+        let m = wgen::shared_write(&net, 6, 1, 3);
+        let out = ExtendedNibble::checked()
+            .place(&net, &m)
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert!(out.placement.is_leaf_only(&net));
+        assert!(hierbus::core::observation_3_3_holds(&net, &out.mapping));
+    }
+}
+
+/// Theorem 4.3 — the full chain on random instances: per-edge Lemma 4.5,
+/// per-bus Lemma 4.6, real ≤ accounting, ratio vs certified lower bound
+/// within the guarantee.
+#[test]
+fn theorem_4_3_end_to_end_certificates() {
+    let mut rng = StdRng::seed_from_u64(504);
+    for _ in 0..10 {
+        let net = random_network(10, 25, BandwidthProfile::FatTree { base: 2, cap: 8 }, &mut rng);
+        let m = wgen::zipf_read_mostly(&net, 12, 1500, 0.9, 0.4, &mut rng);
+        let out = ExtendedNibble::checked().place(&net, &m).unwrap();
+        let cert = approximation_certificate(&net, &m, &out);
+        assert!(cert.lemma_4_5_ok);
+        assert!(cert.lemma_4_6_ok);
+        assert!(cert.congestion <= cert.accounting_congestion);
+        if let Some(r) = cert.ratio {
+            assert!(r <= 7.0 + 1e-9, "ratio {r}");
+        }
+    }
+}
+
+/// Theorem 4.3 against *exact* optima on tiny instances (the strongest
+/// form of the approximation claim we can machine-check).
+#[test]
+fn theorem_4_3_vs_exact_optimum() {
+    let mut rng = StdRng::seed_from_u64(505);
+    for _ in 0..6 {
+        let net = star(6, 4);
+        let m = wgen::uniform(&net, 3, 4, 3, 0.7, &mut rng);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let ext = LoadMap::from_placement(&net, &m, &out.placement).congestion(&net).congestion;
+        let opt = optimal_redundant_nearest(&net, &m).congestion;
+        assert!(ext.le_scaled(7, opt), "{ext} > 7 × {opt}");
+    }
+}
+
+/// The balanced two-level case from the paper's SCI motivation: the whole
+/// pipeline on the Figure 1 topology.
+#[test]
+fn figure_1_pipeline() {
+    let rings = hierbus::topology::sci::ring_of_rings(4, 4, 16, 4);
+    let net = rings.to_bus_network().unwrap().network;
+    let mut rng = StdRng::seed_from_u64(506);
+    let m = wgen::producer_consumer(&net, 20, 4, 10, 5, &mut rng);
+    let out = ExtendedNibble::checked().place(&net, &m).unwrap();
+    out.placement.validate(&net, &m).unwrap();
+    let cert = approximation_certificate(&net, &m, &out);
+    assert!(cert.lemma_4_5_ok && cert.lemma_4_6_ok);
+}
