@@ -61,13 +61,11 @@ fn bench_congestion_arithmetic(c: &mut Criterion) {
         b.iter(|| {
             let mut best = 0.0f64;
             for e in net.edges() {
-                best = best
-                    .max(loads.edge_load(e) as f64 / net.edge_bandwidth(e) as f64);
+                best = best.max(loads.edge_load(e) as f64 / net.edge_bandwidth(e) as f64);
             }
             for v in net.nodes().filter(|&v| net.is_bus(v)) {
-                best = best.max(
-                    loads.bus_load_x2(&net, v) as f64 / (2 * net.node_bandwidth(v)) as f64,
-                );
+                best = best
+                    .max(loads.bus_load_x2(&net, v) as f64 / (2 * net.node_bandwidth(v)) as f64);
             }
             black_box(LoadRatio::ZERO);
             black_box(best)
@@ -76,10 +74,5 @@ fn bench_congestion_arithmetic(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_edge_policy,
-    bench_parallel_objects,
-    bench_congestion_arithmetic
-);
+criterion_group!(benches, bench_edge_policy, bench_parallel_objects, bench_congestion_arithmetic);
 criterion_main!(benches);

@@ -53,10 +53,5 @@ fn bench_extended_network_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_nibble,
-    bench_extended_objects,
-    bench_extended_network_size
-);
+criterion_group!(benches, bench_nibble, bench_extended_objects, bench_extended_network_size);
 criterion_main!(benches);

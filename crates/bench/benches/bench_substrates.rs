@@ -22,9 +22,7 @@ fn bench_accounting(c: &mut Criterion) {
         b.iter(|| black_box(LoadMap::from_placement(&net, &m, &out.placement)))
     });
     let loads = LoadMap::from_placement(&net, &m, &out.placement);
-    c.bench_function("congestion_exact", |b| {
-        b.iter(|| black_box(loads.congestion(&net)))
-    });
+    c.bench_function("congestion_exact", |b| b.iter(|| black_box(loads.congestion(&net))));
 }
 
 fn bench_steiner_and_lca(c: &mut Criterion) {
@@ -59,9 +57,7 @@ fn bench_simulator(c: &mut Criterion) {
         let trace = expand_shuffled(&m, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(requests), &(), |b, ()| {
             b.iter(|| {
-                black_box(
-                    simulate(&net, &m, &out.placement, &trace, SimConfig::default()).unwrap(),
-                )
+                black_box(simulate(&net, &m, &out.placement, &trace, SimConfig::default()).unwrap())
             })
         });
     }

@@ -1,0 +1,155 @@
+//! Machine-readable benchmark emission.
+//!
+//! Experiment drivers append one JSON document per run (e.g.
+//! `BENCH_simulator.json`) so the throughput trajectory can be tracked
+//! across PRs by CI without parsing human-oriented tables. The encoder is
+//! hand-rolled — the workspace intentionally has no serde_json — and
+//! emits a flat, diff-friendly layout.
+
+use std::io::Write as _;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One measured replay.
+#[derive(Debug, Clone)]
+pub struct SimBenchRecord {
+    /// Network label, e.g. `balanced(4,3)`.
+    pub network: String,
+    /// Number of processors (leaves).
+    pub processors: usize,
+    /// Requests replayed.
+    pub requests: usize,
+    /// Which kernel ran (`optimized` / `reference`).
+    pub kernel: String,
+    /// Batch makespan in slots.
+    pub makespan_slots: u64,
+    /// Wall-clock seconds for the replay.
+    pub wall_seconds: f64,
+}
+
+impl SimBenchRecord {
+    /// Replayed requests per wall-clock second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests as f64 / self.wall_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Simulated slots per wall-clock second.
+    pub fn slots_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.makespan_slots as f64 / self.wall_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the simulator benchmark document.
+pub fn render_simulator_json(records: &[SimBenchRecord], speedup: Option<f64>) -> String {
+    let emitted_at = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"simulator_throughput\",\n");
+    out.push_str(&format!("  \"emitted_at_unix\": {emitted_at},\n"));
+    out.push_str(&format!(
+        "  \"speedup_optimized_vs_reference\": {},\n",
+        speedup.map(json_f64).unwrap_or_else(|| "null".to_string())
+    ));
+    out.push_str("  \"instances\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"network\": \"{}\", \"processors\": {}, \"requests\": {}, \
+             \"kernel\": \"{}\", \"makespan_slots\": {}, \"wall_seconds\": {}, \
+             \"requests_per_sec\": {}, \"slots_per_sec\": {}}}{}\n",
+            json_escape(&r.network),
+            r.processors,
+            r.requests,
+            json_escape(&r.kernel),
+            r.makespan_slots,
+            json_f64(r.wall_seconds),
+            json_f64(r.requests_per_sec()),
+            json_f64(r.slots_per_sec()),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render and write the document to `path`.
+pub fn emit_simulator_json(
+    path: &str,
+    records: &[SimBenchRecord],
+    speedup: Option<f64>,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_simulator_json(records, speedup).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kernel: &str) -> SimBenchRecord {
+        SimBenchRecord {
+            network: "balanced(4,3)".into(),
+            processors: 64,
+            requests: 15000,
+            kernel: kernel.into(),
+            makespan_slots: 4000,
+            wall_seconds: 0.05,
+        }
+    }
+
+    #[test]
+    fn rates_derive_from_wall_clock() {
+        let r = record("optimized");
+        assert!((r.requests_per_sec() - 300_000.0).abs() < 1e-6);
+        assert!((r.slots_per_sec() - 80_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn document_shape_is_stable() {
+        let doc = render_simulator_json(&[record("optimized"), record("reference")], Some(3.7));
+        assert!(doc.contains("\"bench\": \"simulator_throughput\""));
+        assert!(doc.contains("\"speedup_optimized_vs_reference\": 3.700000"));
+        assert!(doc.contains("\"requests_per_sec\": 300000.000000"));
+        assert_eq!(doc.matches("\"kernel\"").count(), 2);
+        // Exactly one comma between the two instance rows.
+        assert_eq!(doc.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut r = record("optimized");
+        r.network = "a\"b\\c".into();
+        let doc = render_simulator_json(&[r], None);
+        assert!(doc.contains("a\\\"b\\\\c"));
+        assert!(doc.contains("\"speedup_optimized_vs_reference\": null"));
+    }
+}

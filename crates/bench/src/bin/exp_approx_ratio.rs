@@ -32,25 +32,13 @@ fn main() {
         let opt = optimal_redundant_nearest(&net, &m).congestion;
         let ratio = if opt.load == 0 { 1.0 } else { ext.as_f64() / opt.as_f64() };
         worst = worst.max(ratio);
-        t.row([
-            format!("star-5 #{i}"),
-            ext.to_string(),
-            opt.to_string(),
-            format!("{ratio:.3}"),
-        ]);
+        t.row([format!("star-5 #{i}"), ext.to_string(), opt.to_string(), format!("{ratio:.3}")]);
     }
     println!("{}", t.render());
     println!("worst exact ratio: {worst:.3} (guarantee: 7)\n");
 
     // (b) vs certified lower bound per workload family, larger networks.
-    let mut t = Table::new([
-        "family",
-        "runs",
-        "mean ratio",
-        "max ratio",
-        "lemma 4.5",
-        "lemma 4.6",
-    ]);
+    let mut t = Table::new(["family", "runs", "mean ratio", "max ratio", "lemma 4.5", "lemma 4.6"]);
     type Maker = Box<dyn FnMut(&hbn_topology::Network, &mut StdRng) -> hbn_workload::AccessMatrix>;
     let families: Vec<(&str, Maker)> = vec![
         ("uniform", Box::new(|n, r| wgen::uniform(n, 10, 6, 4, 0.6, r))),

@@ -13,14 +13,8 @@ use rand::{Rng, SeedableRng};
 fn main() {
     println!("EXP-DEL — Observation 3.2: the deletion algorithm's bounds\n");
     let mut rng = StdRng::seed_from_u64(3);
-    let mut t = Table::new([
-        "nodes",
-        "trials",
-        "copies in [k,2k]",
-        "max edge ratio",
-        "deleted",
-        "splits",
-    ]);
+    let mut t =
+        Table::new(["nodes", "trials", "copies in [k,2k]", "max edge ratio", "deleted", "splits"]);
     for size in [15usize, 40, 80, 160] {
         let net = random_network(size / 3, size, BandwidthProfile::Uniform, &mut rng);
         let mut in_bounds = true;

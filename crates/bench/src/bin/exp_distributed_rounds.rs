@@ -40,13 +40,8 @@ fn main() {
     println!("{}", t.render());
 
     // (c) Full schedule: per-phase accounting.
-    let mut t = Table::new([
-        "network",
-        "nibble rds",
-        "deletion rds",
-        "mapping rds",
-        "mapping work",
-    ]);
+    let mut t =
+        Table::new(["network", "nibble rds", "deletion rds", "mapping rds", "mapping work"]);
     for (name, net) in [
         ("balanced-3x3", balanced(3, 3, BandwidthProfile::Uniform)),
         ("balanced-4x2", balanced(4, 2, BandwidthProfile::Uniform)),

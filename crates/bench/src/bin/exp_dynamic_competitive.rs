@@ -29,7 +29,11 @@ fn sequence(
             } else {
                 procs[rng.gen_range(0..procs.len())]
             };
-            OnlineRequest { processor: p, object: ObjectId(x as u32), is_write: rng.gen_bool(write_frac) }
+            OnlineRequest {
+                processor: p,
+                object: ObjectId(x as u32),
+                is_write: rng.gen_bool(write_frac),
+            }
         })
         .collect()
 }
@@ -39,15 +43,8 @@ fn main() {
     let net = balanced(3, 2, BandwidthProfile::Uniform);
     let mut rng = StdRng::seed_from_u64(11);
 
-    let mut t = Table::new([
-        "mix",
-        "D",
-        "online",
-        "hindsight",
-        "ratio",
-        "replications",
-        "collapses",
-    ]);
+    let mut t =
+        Table::new(["mix", "D", "online", "hindsight", "ratio", "replications", "collapses"]);
     for (mix, write_frac, locality) in [
         ("read-heavy", 0.02, 0.0),
         ("mixed", 0.30, 0.0),

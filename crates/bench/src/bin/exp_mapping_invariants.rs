@@ -63,10 +63,7 @@ fn main() {
         for (net, m) in instances {
             let strat = ExtendedNibble {
                 options: hbn_core::ExtendedNibbleOptions {
-                    mapping: MappingOptions {
-                        check_invariants: true,
-                        ..Default::default()
-                    },
+                    mapping: MappingOptions { check_invariants: true, ..Default::default() },
                     threads: 0,
                 },
             };
@@ -114,9 +111,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "paper-original invariant form (2*sum s(c)): violated on {violations}/{runs} runs\n"
-    );
+    println!("paper-original invariant form (2*sum s(c)): violated on {violations}/{runs} runs\n");
     println!(
         "Expected shape: every run finds free edges with the repaired invariant\n\
          (sum of s+kappa); Observation 3.3 holds on every edge after mapping;\n\

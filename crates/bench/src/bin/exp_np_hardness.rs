@@ -4,7 +4,9 @@
 //! NP-hardness claim.
 
 use hbn_bench::Table;
-use hbn_exact::{encode_partition, no_instance, optimal_nonredundant, yes_instance, PartitionInstance};
+use hbn_exact::{
+    encode_partition, no_instance, optimal_nonredundant, yes_instance, PartitionInstance,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -31,13 +31,8 @@ fn main() {
 
     // For every ringlet: the transactions crossing the corresponding bus
     // (= bus load) would load each ring segment exactly once.
-    let mut t = Table::new([
-        "ringlet",
-        "segments",
-        "bus load x2",
-        "transactions",
-        "per-segment load",
-    ]);
+    let mut t =
+        Table::new(["ringlet", "segments", "bus load x2", "transactions", "per-segment load"]);
     for (ri, ring) in rings.rings().iter().enumerate() {
         let bus = conv.bus_of_ring[ri];
         let x2 = loads.bus_load_x2(net, bus);

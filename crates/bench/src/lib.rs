@@ -5,6 +5,8 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_json;
 pub mod table;
 
+pub use bench_json::{emit_simulator_json, render_simulator_json, SimBenchRecord};
 pub use table::Table;

@@ -57,11 +57,7 @@ pub fn certified_lower_bound(
         let kappa = matrix.write_contention(x);
         let h = matrix.total_weight(x);
         // min(κ_x, h_x/2), exactly: κ vs h/2 ⇔ 2κ vs h.
-        let bound = if 2 * kappa <= h {
-            LoadRatio::integral(kappa)
-        } else {
-            LoadRatio::new(h, 2)
-        };
+        let bound = if 2 * kappa <= h { LoadRatio::integral(kappa) } else { LoadRatio::new(h, 2) };
         contention_bound = contention_bound.max(bound);
     }
     LowerBound { nibble_congestion, contention_bound }
@@ -97,8 +93,7 @@ pub fn approximation_certificate(
     let nib = LoadMap::from_placement(net, matrix, &outcome.nibble_placement);
     let tau = outcome.mapping.tau_max;
 
-    let lemma_4_5_ok =
-        net.edges().all(|e| accounting.edge_load(e) <= 4 * nib.edge_load(e) + tau);
+    let lemma_4_5_ok = net.edges().all(|e| accounting.edge_load(e) <= 4 * nib.edge_load(e) + tau);
     let lemma_4_6_ok = net
         .nodes()
         .filter(|&v| net.is_bus(v))

@@ -138,9 +138,9 @@ impl ExtendedNibble {
         // conflates them); cheap second pass over sizes.
         stats.copies_deleted = 0;
         stats.copies_split = 0;
-        for (oc, nib_len) in all_copies.iter().zip(
-            matrix.objects().map(|x| nibble_placement.copies(x).len()),
-        ) {
+        for (oc, nib_len) in
+            all_copies.iter().zip(matrix.objects().map(|x| nibble_placement.copies(x).len()))
+        {
             let now = oc.copies.len();
             if now > nib_len {
                 stats.copies_split += now - nib_len;
@@ -172,6 +172,10 @@ impl ExtendedNibble {
     }
 }
 
+/// Per-object output of steps 1–2: `(gravity, nibble copies, modified
+/// copies, processed?)`.
+type ObjectSteps = (NodeId, ObjectCopies, ObjectCopies, bool);
+
 /// Steps 1–2 for one object: nibble, then deletion iff the nibble
 /// placement uses a bus. Returns `(gravity, nibble copies, modified
 /// copies, processed?)`.
@@ -180,7 +184,7 @@ fn run_steps_for_object(
     matrix: &AccessMatrix,
     x: hbn_workload::ObjectId,
     ws: &mut Workspace,
-) -> (NodeId, ObjectCopies, ObjectCopies, bool) {
+) -> ObjectSteps {
     let out = nibble_object(net, matrix, x, ws);
     if out.uses_bus {
         let del = delete_rarely_used(net, out.gravity, out.copies.clone());
@@ -190,18 +194,13 @@ fn run_steps_for_object(
     }
 }
 
-/// Parallel steps 1–2 over objects with `threads` crossbeam workers.
+/// Parallel steps 1–2 over objects with `threads` scoped std workers.
 /// Objects are strided across workers; output order is by object id, so
 /// the result is identical to the sequential run.
-fn run_steps_parallel(
-    net: &Network,
-    matrix: &AccessMatrix,
-    threads: usize,
-) -> Vec<(NodeId, ObjectCopies, ObjectCopies, bool)> {
+fn run_steps_parallel(net: &Network, matrix: &AccessMatrix, threads: usize) -> Vec<ObjectSteps> {
     let n_objects = matrix.n_objects();
-    let mut results: Vec<Option<(NodeId, ObjectCopies, ObjectCopies, bool)>> =
-        vec![None; n_objects];
-    let chunks: Vec<(usize, &mut [Option<(NodeId, ObjectCopies, ObjectCopies, bool)>])> = {
+    let mut results: Vec<Option<ObjectSteps>> = vec![None; n_objects];
+    let chunks: Vec<(usize, &mut [Option<ObjectSteps>])> = {
         // Split results into contiguous ranges, one per worker.
         let per = n_objects.div_ceil(threads.max(1));
         let mut rest: &mut [Option<_>] = &mut results;
@@ -216,9 +215,9 @@ fn run_steps_parallel(
         }
         out
     };
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (start, chunk) in chunks {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut ws = Workspace::new(net.n_nodes());
                 for (offset, slot) in chunk.iter_mut().enumerate() {
                     let x = hbn_workload::ObjectId((start + offset) as u32);
@@ -226,8 +225,7 @@ fn run_steps_parallel(
                 }
             });
         }
-    })
-    .expect("placement workers do not panic");
+    });
     results.into_iter().map(|r| r.expect("all objects processed")).collect()
 }
 
@@ -332,11 +330,10 @@ mod tests {
         let net = balanced(3, 3, BandwidthProfile::Uniform);
         let m = wgen::zipf_read_mostly(&net, 20, 2000, 1.0, 0.4, &mut rng);
         let seq = ExtendedNibble::new().place(&net, &m).unwrap();
-        let par = ExtendedNibble {
-            options: ExtendedNibbleOptions { threads: 4, ..Default::default() },
-        }
-        .place(&net, &m)
-        .unwrap();
+        let par =
+            ExtendedNibble { options: ExtendedNibbleOptions { threads: 4, ..Default::default() } }
+                .place(&net, &m)
+                .unwrap();
         assert_eq!(seq.placement, par.placement);
         assert_eq!(seq.mapping.tau_max, par.mapping.tau_max);
     }

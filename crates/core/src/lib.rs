@@ -15,10 +15,15 @@ pub mod gravity;
 pub mod mapping;
 pub mod nibble;
 
-pub use analysis::{approximation_certificate, certified_lower_bound, ApproxCertificate, LowerBound};
+pub use analysis::{
+    approximation_certificate, certified_lower_bound, ApproxCertificate, LowerBound,
+};
 pub use copies::{CopyState, Group, ObjectCopies};
 pub use deletion::{delete_rarely_used, DeletionOutcome};
 pub use extended::{ExtendedNibble, ExtendedNibbleOptions, ExtendedNibbleStats, ExtendedOutcome};
 pub use gravity::{center_of_gravity, Workspace};
-pub use mapping::{map_to_leaves, observation_3_3_holds, FreeEdgePolicy, InvariantForm, MappingError, MappingOptions, MappingReport};
+pub use mapping::{
+    map_to_leaves, observation_3_3_holds, FreeEdgePolicy, InvariantForm, MappingError,
+    MappingOptions, MappingReport,
+};
 pub use nibble::{nibble_object, nibble_placement, NibbleOutcome};

@@ -546,12 +546,11 @@ mod tests {
     #[test]
     fn first_fit_policy_also_succeeds() {
         let mut rng = StdRng::seed_from_u64(32);
-        let options =
-            MappingOptions {
-                check_invariants: true,
-                edge_policy: FreeEdgePolicy::FirstFit,
-                ..Default::default()
-            };
+        let options = MappingOptions {
+            check_invariants: true,
+            edge_policy: FreeEdgePolicy::FirstFit,
+            ..Default::default()
+        };
         for _ in 0..20 {
             let net = balanced(3, 2, BandwidthProfile::Uniform);
             let m = hbn_workload::generators::shared_write(&net, 3, 1, 2);

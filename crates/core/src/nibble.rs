@@ -104,11 +104,7 @@ pub fn nibble_object(
         })
         .collect();
 
-    NibbleOutcome {
-        gravity: g,
-        copies: ObjectCopies { object: x, kappa, copies },
-        uses_bus,
-    }
+    NibbleOutcome { gravity: g, copies: ObjectCopies { object: x, kappa, copies }, uses_bus }
 }
 
 /// Nibble placement of every object, as a [`Placement`] (copies may sit on

@@ -11,22 +11,19 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn arb_instance() -> impl Strategy<Value = (Network, AccessMatrix)> {
-    (1usize..7, 3usize..14, 1usize..5, any::<u64>()).prop_map(
-        |(buses, procs, objects, seed)| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let net =
-                random_network(buses, procs.max(buses * 2), BandwidthProfile::Uniform, &mut rng);
-            let mut m = AccessMatrix::new(objects);
-            for x in 0..objects as u32 {
-                for &p in net.processors() {
-                    if rng.gen_bool(0.55) {
-                        m.add(p, ObjectId(x), rng.gen_range(0..7), rng.gen_range(0..5));
-                    }
+    (1usize..7, 3usize..14, 1usize..5, any::<u64>()).prop_map(|(buses, procs, objects, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = random_network(buses, procs.max(buses * 2), BandwidthProfile::Uniform, &mut rng);
+        let mut m = AccessMatrix::new(objects);
+        for x in 0..objects as u32 {
+            for &p in net.processors() {
+                if rng.gen_bool(0.55) {
+                    m.add(p, ObjectId(x), rng.gen_range(0..7), rng.gen_range(0..5));
                 }
             }
-            (net, m)
-        },
-    )
+        }
+        (net, m)
+    })
 }
 
 proptest! {

@@ -71,8 +71,7 @@ pub fn distributed_nibble(net: &Network, matrix: &AccessMatrix) -> DistributedNi
     let n_objects = matrix.n_objects();
     // Injection schedule: object x's leaves start in round x (0-based),
     // skipping zero-weight objects entirely.
-    let active: Vec<ObjectId> =
-        matrix.objects().filter(|&x| matrix.total_weight(x) > 0).collect();
+    let active: Vec<ObjectId> = matrix.objects().filter(|&x| matrix.total_weight(x) > 0).collect();
 
     let mut state: Vec<Vec<PerObject>> = vec![vec![PerObject::default(); active.len()]; n];
     let mut gravity: Vec<Option<NodeId>> = vec![None; n_objects];
@@ -145,11 +144,10 @@ pub fn distributed_nibble(net: &Network, matrix: &AccessMatrix) -> DistributedNi
                     if v == net.root() {
                         st.comp = Some((0, 0));
                     } else {
-                        out.send(net.parent(v), Msg::UpSum {
-                            x: xi as u32,
-                            h: st.sum_h,
-                            w: st.sum_w,
-                        });
+                        out.send(
+                            net.parent(v),
+                            Msg::UpSum { x: xi as u32, h: st.sum_h, w: st.sum_w },
+                        );
                     }
                 }
                 // Stage 2: forward complements to the children, once.
@@ -160,11 +158,10 @@ pub fn distributed_nibble(net: &Network, matrix: &AccessMatrix) -> DistributedNi
                         let total_w = st.sum_w + cw;
                         let sums = std::mem::take(&mut st.child_sums);
                         for &(c, c_h, c_w) in &sums {
-                            out.send(c, Msg::DownComp {
-                                x: xi as u32,
-                                h: total_h - c_h,
-                                w: total_w - c_w,
-                            });
+                            out.send(
+                                c,
+                                Msg::DownComp { x: xi as u32, h: total_h - c_h, w: total_w - c_w },
+                            );
                         }
                         st.child_sums = sums;
                     }

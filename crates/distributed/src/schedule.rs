@@ -73,11 +73,8 @@ pub fn distributed_schedule(
     // Mapping: the upwards phase is one round per level, the downwards
     // phase likewise (a copy crosses one switch per round); per-move work
     // is one heap operation of cost log₂(degree).
-    let mapping_rounds = if outcome.mapping.mapped_copies == 0 {
-        0
-    } else {
-        2 * u64::from(net.height())
-    };
+    let mapping_rounds =
+        if outcome.mapping.mapped_copies == 0 { 0 } else { 2 * u64::from(net.height()) };
     let log_deg = u64::from(net.max_degree().max(2).ilog2());
     let moves = outcome.mapping.moves_up + outcome.mapping.moves_down;
     let mapping_work = moves * log_deg;

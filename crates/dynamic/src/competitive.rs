@@ -50,9 +50,8 @@ pub fn run_competitive(
         }
     }
     let hindsight_placement = nibble_placement(net, &matrix);
-    let hindsight = LoadMap::from_placement(net, &matrix, &hindsight_placement)
-        .congestion(net)
-        .congestion;
+    let hindsight =
+        LoadMap::from_placement(net, &matrix, &hindsight_placement).congestion(net).congestion;
     let online_c = online.congestion(net);
     CompetitiveReport {
         online: online_c,

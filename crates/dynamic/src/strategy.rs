@@ -81,10 +81,7 @@ impl DynamicTree {
         DynamicTree {
             threshold,
             objects: (0..n_objects)
-                .map(|_| ObjectState {
-                    replicas: Vec::new(),
-                    counters: vec![0; net.n_nodes()],
-                })
+                .map(|_| ObjectState { replicas: Vec::new(), counters: vec![0; net.n_nodes()] })
                 .collect(),
             loads: LoadMap::zero(net),
             stats: DynamicStats::default(),
@@ -205,8 +202,9 @@ mod tests {
         let net = star(3, 4);
         let p = net.processors();
         let mut d = DynamicTree::new(&net, 1, 2);
-        d.serve(&net, read(p[0], 0)); // materialise at p0
-        // Two remote reads from p1 saturate both edges on the path.
+        // Materialise at p0, then two remote reads from p1 saturate both
+        // edges on the path.
+        d.serve(&net, read(p[0], 0));
         d.serve(&net, read(p[1], 0));
         assert_eq!(d.stats().replications, 0);
         d.serve(&net, read(p[1], 0));

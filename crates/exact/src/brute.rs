@@ -58,6 +58,7 @@ pub fn optimal_nonredundant(net: &Network, matrix: &AccessMatrix) -> ExactSoluti
     let mut choice: Vec<usize> = vec![0; order.len()];
     let mut explored = 0u64;
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         net: &Network,
         deltas: &[Vec<LoadMap>],
@@ -85,16 +86,7 @@ pub fn optimal_nonredundant(net: &Network, matrix: &AccessMatrix) -> ExactSoluti
             current.sub_assign(delta);
         }
     }
-    recurse(
-        net,
-        &deltas,
-        0,
-        &mut current,
-        &mut choice,
-        &mut best,
-        &mut best_choice,
-        &mut explored,
-    );
+    recurse(net, &deltas, 0, &mut current, &mut choice, &mut best, &mut best_choice, &mut explored);
 
     let mut placement = Placement::new(matrix.n_objects());
     for (i, &x) in order.iter().enumerate() {
@@ -153,6 +145,7 @@ pub fn optimal_redundant_nearest(net: &Network, matrix: &AccessMatrix) -> ExactS
     let mut choice = vec![0usize; order.len()];
     let mut explored = 0u64;
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         net: &Network,
         deltas: &[Vec<LoadMap>],
@@ -179,26 +172,13 @@ pub fn optimal_redundant_nearest(net: &Network, matrix: &AccessMatrix) -> ExactS
             current.sub_assign(delta);
         }
     }
-    recurse(
-        net,
-        &deltas,
-        0,
-        &mut current,
-        &mut choice,
-        &mut best,
-        &mut best_choice,
-        &mut explored,
-    );
+    recurse(net, &deltas, 0, &mut current, &mut choice, &mut best, &mut best_choice, &mut explored);
 
     let mut placement = Placement::new(matrix.n_objects());
     for (i, &x) in order.iter().enumerate() {
         let mask = best_choice[i] as u32 + 1;
-        let copies: Vec<NodeId> = procs
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| mask >> j & 1 == 1)
-            .map(|(_, &p)| p)
-            .collect();
+        let copies: Vec<NodeId> =
+            procs.iter().enumerate().filter(|(j, _)| mask >> j & 1 == 1).map(|(_, &p)| p).collect();
         placement.set_copies(x, copies);
         placement.nearest_assignment_for(net, matrix, x);
     }
@@ -233,7 +213,7 @@ pub fn min_edge_loads_exhaustive(net: &Network, matrix: &AccessMatrix, x: Object
             for e in &entries {
                 let server = copies[c % copies.len()];
                 c /= copies.len();
-                for edge in net.path_edges(e.processor, server) {
+                for edge in net.path_edges_iter(e.processor, server) {
                     loads[edge.index()] += e.reads + e.writes;
                 }
             }
@@ -358,14 +338,9 @@ mod tests {
             let net = star(5, 3);
             let m = wgen::uniform(&net, 3, 4, 3, 0.8, &mut rng);
             let out = ExtendedNibble::new().place(&net, &m).unwrap();
-            let ext = LoadMap::from_placement(&net, &m, &out.placement)
-                .congestion(&net)
-                .congestion;
+            let ext = LoadMap::from_placement(&net, &m, &out.placement).congestion(&net).congestion;
             let opt = optimal_redundant_nearest(&net, &m).congestion;
-            assert!(
-                ext.le_scaled(7, opt),
-                "round {round}: {ext} > 7 × {opt}"
-            );
+            assert!(ext.le_scaled(7, opt), "round {round}: {ext} > 7 × {opt}");
         }
     }
 

@@ -30,7 +30,7 @@ impl PartitionInstance {
     /// Wrap items; the total must be even (the paper normalises to `2k`).
     pub fn new(items: Vec<u64>) -> Result<Self, OddTotal> {
         let total: u64 = items.iter().sum();
-        if total % 2 != 0 {
+        if !total.is_multiple_of(2) {
             return Err(OddTotal(total));
         }
         Ok(PartitionInstance { items })
@@ -62,8 +62,7 @@ impl PartitionInstance {
             }
             // Iterate downwards so each item is used at most once.
             for s in (item..=k).rev() {
-                if reach[s] == usize::MAX && reach[s - item] != usize::MAX && reach[s - item] != i
-                {
+                if reach[s] == usize::MAX && reach[s - item] != usize::MAX && reach[s - item] != i {
                     // `reach[s - item] != i` cannot fire with downward
                     // iteration, but keeps the intent explicit.
                     reach[s] = i;
@@ -82,11 +81,7 @@ impl PartitionInstance {
             s -= self.items[i] as usize;
         }
         debug_assert_eq!(
-            mask.iter()
-                .zip(&self.items)
-                .filter(|(m, _)| **m)
-                .map(|(_, &it)| it)
-                .sum::<u64>(),
+            mask.iter().zip(&self.items).filter(|(m, _)| **m).map(|(_, &it)| it).sum::<u64>(),
             self.half_sum()
         );
         Some(mask)
@@ -133,8 +128,7 @@ mod tests {
     fn solves_simple_yes() {
         let inst = PartitionInstance::new(vec![3, 1, 1, 2, 2, 1]).unwrap();
         let mask = inst.solve().expect("3+2 = 1+1+2+1 = 5");
-        let sum: u64 =
-            mask.iter().zip(inst.items()).filter(|(m, _)| **m).map(|(_, &i)| i).sum();
+        let sum: u64 = mask.iter().zip(inst.items()).filter(|(m, _)| **m).map(|(_, &i)| i).sum();
         assert_eq!(sum, inst.half_sum());
     }
 

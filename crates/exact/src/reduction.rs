@@ -89,9 +89,7 @@ impl ReductionInstance {
 
     /// Congestion of a placement on this instance.
     pub fn congestion_of(&self, placement: &Placement) -> LoadRatio {
-        LoadMap::from_placement(&self.net, &self.matrix, placement)
-            .congestion(&self.net)
-            .congestion
+        LoadMap::from_placement(&self.net, &self.matrix, placement).congestion(&self.net).congestion
     }
 
     /// The decision: does a non-redundant placement of congestion ≤ 4k
@@ -149,11 +147,7 @@ mod tests {
             }
             let inst = PartitionInstance::new(items.clone()).unwrap();
             let red = encode_partition(&inst);
-            assert_eq!(
-                inst.is_yes(),
-                red.decide_exactly(),
-                "round {round}: items {items:?}"
-            );
+            assert_eq!(inst.is_yes(), red.decide_exactly(), "round {round}: items {items:?}");
         }
     }
 

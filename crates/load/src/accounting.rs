@@ -95,7 +95,8 @@ impl LoadMap {
     /// Exact congestion: the maximum relative load over all switches and
     /// buses, with the bottleneck resource.
     pub fn congestion(&self, net: &Network) -> CongestionReport {
-        let mut best = CongestionReport { congestion: LoadRatio::ZERO, bottleneck: Bottleneck::None };
+        let mut best =
+            CongestionReport { congestion: LoadRatio::ZERO, bottleneck: Bottleneck::None };
         for e in net.edges() {
             let r = LoadRatio::new(self.edge_load(e), net.edge_bandwidth(e));
             if r > best.congestion {
@@ -156,7 +157,7 @@ pub fn add_object_loads_sparse(
         if weight == 0 {
             continue;
         }
-        for edge in net.path_edges(e.processor, e.server) {
+        for edge in net.path_edges_iter(e.processor, e.server) {
             out.edge[edge.index()] += weight;
         }
     }

@@ -84,10 +84,7 @@ impl std::error::Error for PlacementError {}
 impl Placement {
     /// An empty placement over `n_objects` objects.
     pub fn new(n_objects: usize) -> Self {
-        Placement {
-            copies: vec![Vec::new(); n_objects],
-            assignments: vec![Vec::new(); n_objects],
-        }
+        Placement { copies: vec![Vec::new(); n_objects], assignments: vec![Vec::new(); n_objects] }
     }
 
     /// Number of objects.
@@ -316,7 +313,8 @@ pub struct PlacementStats {
 
 /// Compute [`PlacementStats`].
 pub fn placement_stats(p: &Placement) -> PlacementStats {
-    let sizes: Vec<usize> = (0..p.n_objects() as u32).map(|x| p.copies(ObjectId(x)).len()).collect();
+    let sizes: Vec<usize> =
+        (0..p.n_objects() as u32).map(|x| p.copies(ObjectId(x)).len()).collect();
     let total: usize = sizes.iter().sum();
     PlacementStats {
         total_copies: total,
@@ -389,10 +387,7 @@ mod tests {
         let m = simple_matrix(&net);
         let mut p = Placement::single_leaf(&net, &m, |_| net.processors()[0]);
         p.assignments[0].pop();
-        assert!(matches!(
-            p.validate(&net, &m),
-            Err(PlacementError::CoverageMismatch { .. })
-        ));
+        assert!(matches!(p.validate(&net, &m), Err(PlacementError::CoverageMismatch { .. })));
     }
 
     #[test]
@@ -409,10 +404,7 @@ mod tests {
                 writes: 0,
             },
         );
-        assert!(matches!(
-            p.validate(&net, &m),
-            Err(PlacementError::CoverageMismatch { .. })
-        ));
+        assert!(matches!(p.validate(&net, &m), Err(PlacementError::CoverageMismatch { .. })));
     }
 
     #[test]

@@ -8,16 +8,22 @@
 //! EXP-SIM measures how tightly makespan tracks congestion (the claim the
 //! introduction imports from the authors' SPAA'99 evaluation).
 //!
-//! Arbitration is deterministic: packets try to move in id order (FIFO by
-//! injection), and multicast packets replicate at branch nodes, charging
-//! every Steiner edge exactly once per update.
+//! Arbitration is deterministic: packets try to move in `(id, seq)` order
+//! (FIFO by injection, fragments tie-broken by creation sequence), and
+//! multicast packets replicate at branch nodes, charging every Steiner
+//! edge exactly once per update.
+//!
+//! Two kernels implement these semantics: the zero-allocation workspace
+//! kernel ([`crate::SimWorkspace`], used by [`simulate`]) and the naive
+//! reference ([`crate::simulate_reference`]), pinned to each other by the
+//! differential suite in `tests/differential.rs`. See DESIGN.md for the
+//! capacity normalisation and the workspace/arena design.
 
-use crate::packet::{Packet, PacketKind};
 use crate::trace::Request;
+use crate::workspace::{self, SimWorkspace};
 use hbn_load::Placement;
-use hbn_topology::{EdgeId, Network, NodeId};
+use hbn_topology::NodeId;
 use hbn_workload::{AccessMatrix, ObjectId};
-use std::collections::VecDeque;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -80,251 +86,36 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Per-(object, processor) request budgets against assignment entries.
-struct Router {
-    /// `(object, processor) → [(server, reads_left, writes_left)]`.
-    table: std::collections::HashMap<(u32, u32), Vec<(NodeId, u64, u64)>>,
-}
-
-impl Router {
-    fn new(placement: &Placement, matrix: &AccessMatrix) -> Router {
-        let mut table: std::collections::HashMap<(u32, u32), Vec<(NodeId, u64, u64)>> =
-            std::collections::HashMap::new();
-        for x in matrix.objects() {
-            for e in placement.assignment(x) {
-                table
-                    .entry((x.0, e.processor.0))
-                    .or_default()
-                    .push((e.server, e.reads, e.writes));
-            }
-        }
-        Router { table }
-    }
-
-    fn route(&mut self, req: &Request) -> Option<NodeId> {
-        let entries = self.table.get_mut(&(req.object.0, req.processor.0))?;
-        for (server, reads, writes) in entries.iter_mut() {
-            if req.is_write && *writes > 0 {
-                *writes -= 1;
-                return Some(*server);
-            }
-            if !req.is_write && *reads > 0 {
-                *reads -= 1;
-                return Some(*server);
-            }
-        }
-        None
-    }
-}
-
 /// Simulate replaying `trace` under `placement`.
 ///
 /// Every trace request must be covered by the placement's assignment
 /// (replaying the full [`crate::trace::expand`] of the matrix always is).
+///
+/// Runs the zero-allocation workspace kernel on a fresh [`SimWorkspace`];
+/// callers replaying many traces should hold a workspace and use
+/// [`simulate_with`] so buffers are reused across runs.
 pub fn simulate(
-    net: &Network,
+    net: &hbn_topology::Network,
     matrix: &AccessMatrix,
     placement: &Placement,
     trace: &[Request],
     config: SimConfig,
 ) -> Result<SimResult, SimError> {
-    let n = net.n_nodes();
-    let mut router = Router::new(placement, matrix);
-
-    // Per-processor injection queues, in trace order.
-    let mut queues: Vec<VecDeque<(Request, NodeId)>> = vec![VecDeque::new(); n];
-    for req in trace {
-        let server = router.route(req).ok_or(SimError::UnroutedRequest {
-            processor: req.processor,
-            object: req.object,
-        })?;
-        queues[req.processor.index()].push_back((*req, server));
-    }
-
-    let mut active: Vec<Packet> = Vec::new();
-    let mut next_id = 0u64;
-    let mut edge_crossings = vec![0u64; n];
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut delivered_requests = 0u64;
-    let mut delivered_updates = 0u64;
-    let mut makespan = 0u64;
-
-    // Deliveries that happen at injection (local server, or single-copy
-    // local writes) are handled immediately below.
-    let mut slot = 0u64;
-    loop {
-        if slot >= config.max_slots {
-            return Err(SimError::SlotBudgetExceeded);
-        }
-        // --- Injection ---
-        let mut injected_any = false;
-        for &p in net.processors() {
-            for _ in 0..config.injection_rate {
-                let Some((req, server)) = queues[p.index()].pop_front() else {
-                    break;
-                };
-                injected_any = true;
-                let kind = if req.is_write { PacketKind::Write } else { PacketKind::Read };
-                let pkt = Packet::new(next_id, req.object, kind, p, vec![server], slot);
-                next_id += 1;
-                if pkt.done() {
-                    // Local reference copy: request completes instantly.
-                    delivered_requests += 1;
-                    latencies.push(0);
-                    makespan = makespan.max(slot);
-                    if req.is_write {
-                        spawn_update(
-                            net,
-                            placement,
-                            req.object,
-                            server,
-                            slot,
-                            &mut next_id,
-                            &mut active,
-                        );
-                    }
-                } else {
-                    active.push(pkt);
-                }
-            }
-        }
-
-        // --- Forwarding ---
-        let mut edge_tokens: Vec<u64> = (0..n as u32)
-            .map(|v| {
-                let v = NodeId(v);
-                if v == net.root() {
-                    0
-                } else {
-                    net.edge_bandwidth(EdgeId::from(v))
-                }
-            })
-            .collect();
-        let mut bus_tokens2: Vec<u64> = net
-            .nodes()
-            .map(|v| if net.is_bus(v) { 2 * net.node_bandwidth(v) } else { 0 })
-            .collect();
-
-        let mut spawned: Vec<Packet> = Vec::new();
-        let mut finished: Vec<usize> = Vec::new();
-        // Id order = injection order: deterministic FIFO arbitration; the
-        // lowest id always moves, so the batch provably drains.
-        active.sort_by_key(|p| p.id);
-        for (i, pkt) in active.iter_mut().enumerate() {
-            let mut remaining: Vec<NodeId> = Vec::new();
-            for (hop, dests) in pkt.next_hops(net) {
-                let edge = if net.parent(hop) == pkt.position { hop } else { pkt.position };
-                let e = EdgeId::from(edge);
-                let (a, b) = net.edge_endpoints(e);
-                let bus_a = net.is_bus(a).then_some(a);
-                let bus_b = net.is_bus(b).then_some(b);
-                let ok = edge_tokens[e.index()] >= 1
-                    && bus_a.is_none_or(|v| bus_tokens2[v.index()] >= 1)
-                    && bus_b.is_none_or(|v| bus_tokens2[v.index()] >= 1);
-                if !ok {
-                    remaining.extend(dests);
-                    continue;
-                }
-                edge_tokens[e.index()] -= 1;
-                for v in [bus_a, bus_b].into_iter().flatten() {
-                    bus_tokens2[v.index()] -= 1;
-                }
-                edge_crossings[e.index()] += 1;
-                // The branch towards `hop` continues as its own packet,
-                // inheriting the original's FIFO priority.
-                let before = dests.len();
-                let mut moved =
-                    Packet::new(next_id, pkt.object, pkt.kind, hop, dests, pkt.issued_at);
-                moved.id = pkt.id;
-                next_id += 1;
-                let stripped = (before - moved.destinations.len()) as u64;
-                if stripped > 0 {
-                    match pkt.kind {
-                        PacketKind::Read | PacketKind::Write => {
-                            delivered_requests += 1;
-                            latencies.push(slot + 1 - pkt.issued_at);
-                            makespan = makespan.max(slot + 1);
-                            if pkt.kind == PacketKind::Write {
-                                spawn_update(
-                                    net,
-                                    placement,
-                                    pkt.object,
-                                    hop,
-                                    slot + 1,
-                                    &mut next_id,
-                                    &mut spawned,
-                                );
-                            }
-                        }
-                        PacketKind::Update => {
-                            delivered_updates += stripped;
-                            makespan = makespan.max(slot + 1);
-                        }
-                    }
-                }
-                if !moved.done() {
-                    spawned.push(moved);
-                }
-            }
-            pkt.destinations = remaining;
-            if pkt.done() {
-                finished.push(i);
-            }
-        }
-        for i in finished.into_iter().rev() {
-            active.swap_remove(i);
-        }
-        active.extend(spawned);
-
-        if active.is_empty()
-            && !injected_any
-            && net.processors().iter().all(|&p| queues[p.index()].is_empty())
-        {
-            break;
-        }
-        slot += 1;
-    }
-
-    latencies.sort_unstable();
-    let mean_latency = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
-    };
-    let p99_latency = latencies
-        .get(((latencies.len() as f64 * 0.99).ceil() as usize).saturating_sub(1))
-        .copied()
-        .unwrap_or(0);
-    Ok(SimResult {
-        makespan,
-        delivered_requests,
-        delivered_updates,
-        mean_latency,
-        p99_latency,
-        edge_crossings,
-    })
+    simulate_with(&mut SimWorkspace::new(), net, matrix, placement, trace, config)
 }
 
-/// Spawn the update broadcast from `server` to every other copy of `x`.
-fn spawn_update(
-    net: &Network,
+/// [`simulate`] with an explicit reusable workspace: after the first run
+/// the slot loop performs no heap allocation (buffers retain their
+/// high-water capacities between runs).
+pub fn simulate_with(
+    ws: &mut SimWorkspace,
+    net: &hbn_topology::Network,
+    matrix: &AccessMatrix,
     placement: &Placement,
-    x: ObjectId,
-    server: NodeId,
-    slot: u64,
-    next_id: &mut u64,
-    out: &mut Vec<Packet>,
-) {
-    let others: Vec<NodeId> =
-        placement.copies(x).iter().copied().filter(|&c| c != server).collect();
-    if others.is_empty() {
-        return;
-    }
-    let pkt = Packet::new(*next_id, x, PacketKind::Update, server, others, slot);
-    *next_id += 1;
-    debug_assert!(!pkt.done());
-    out.push(pkt);
-    let _ = net;
+    trace: &[Request],
+    config: SimConfig,
+) -> Result<SimResult, SimError> {
+    workspace::run(ws, net, matrix, placement, trace, config)
 }
 
 #[cfg(test)]
@@ -370,9 +161,8 @@ mod tests {
             let out = ExtendedNibble::new().place(&net, &m).unwrap();
             let trace = expand_shuffled(&m, &mut rng);
             let sim = simulate(&net, &m, &out.placement, &trace, SimConfig::default()).unwrap();
-            let congestion = LoadMap::from_placement(&net, &m, &out.placement)
-                .congestion(&net)
-                .congestion;
+            let congestion =
+                LoadMap::from_placement(&net, &m, &out.placement).congestion(&net).congestion;
             assert!(
                 sim.makespan as f64 >= congestion.as_f64(),
                 "makespan {} below congestion {}",
@@ -482,6 +272,25 @@ mod tests {
         let sim = simulate(&net, &m, &pl, &[], SimConfig::default()).unwrap();
         assert_eq!(sim.makespan, 0);
         assert_eq!(sim.delivered_requests, 0);
+    }
+
+    #[test]
+    fn workspace_reuse_is_transparent() {
+        // One workspace replaying different instances back to back gives
+        // the same results as fresh workspaces.
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut ws = SimWorkspace::new();
+        for _ in 0..5 {
+            let net = random_network(4, 9, BandwidthProfile::Uniform, &mut rng);
+            let m = wgen::uniform(&net, 3, 4, 2, 0.6, &mut rng);
+            let out = ExtendedNibble::new().place(&net, &m).unwrap();
+            let trace = expand_shuffled(&m, &mut rng);
+            let fresh = simulate(&net, &m, &out.placement, &trace, SimConfig::default()).unwrap();
+            let reused =
+                simulate_with(&mut ws, &net, &m, &out.placement, &trace, SimConfig::default())
+                    .unwrap();
+            assert_eq!(fresh, reused);
+        }
     }
 }
 

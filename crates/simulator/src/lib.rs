@@ -7,13 +7,23 @@
 //! buses sustain `2·b(B)` edge incidences per slot, write broadcasts
 //! multicast along Steiner trees — so replayed traffic reproduces the load
 //! model exactly, and the makespan is lower-bounded by the congestion.
+//!
+//! The default kernel ([`simulate`] / [`simulate_with`]) performs no heap
+//! allocation in its steady-state slot loop and reuses a [`SimWorkspace`]
+//! across replays; the naive kernel is retained as
+//! [`simulate_reference`] and pinned to the fast one by the differential
+//! test suite.
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod packet;
+pub mod reference;
 pub mod trace;
+pub mod workspace;
 
-pub use engine::{simulate, SimConfig, SimError, SimResult};
+pub use engine::{simulate, simulate_with, SimConfig, SimError, SimResult};
 pub use packet::{Packet, PacketKind};
+pub use reference::simulate_reference;
 pub use trace::{expand, expand_shuffled, Request};
+pub use workspace::SimWorkspace;

@@ -23,26 +23,35 @@ pub enum PacketKind {
 /// A packet in flight.
 #[derive(Debug, Clone)]
 pub struct Packet {
-    /// Unique id; also the deterministic arbitration priority (FIFO by
-    /// injection order).
+    /// Arbitration priority: FIFO by injection order. Branch fragments of
+    /// a multicast inherit their origin's id, so an id alone is not
+    /// unique — `(id, seq)` is the total arbitration order.
     pub id: u64,
+    /// Creation sequence number: unique per packet, assigned monotonically
+    /// at spawn time; tie-breaks fragments sharing an inherited `id`.
+    pub seq: u64,
     /// Object the packet belongs to.
     pub object: ObjectId,
     /// Payload kind.
     pub kind: PacketKind,
     /// Current node.
     pub position: NodeId,
-    /// Remaining destinations (sorted, deduplicated, excludes nodes
-    /// already reached).
+    /// Remaining destinations (deduplicated, excludes nodes already
+    /// reached; sorted at creation, but *not* re-sorted after partial
+    /// blocking, which regroups survivors in arbitration order).
     pub destinations: Vec<NodeId>,
     /// Slot at which the packet was injected.
     pub issued_at: u64,
 }
 
 impl Packet {
-    /// A packet from `from` towards the given destinations.
+    /// A packet from `from` towards the given destinations. `seq` must be
+    /// unique per packet so that `(id, seq)` is a total arbitration order
+    /// (fragments inherit `id` but never `seq`).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: u64,
+        seq: u64,
         object: ObjectId,
         kind: PacketKind,
         from: NodeId,
@@ -52,7 +61,7 @@ impl Packet {
         destinations.sort_unstable();
         destinations.dedup();
         destinations.retain(|&d| d != from);
-        Packet { id, object, kind, position: from, destinations, issued_at }
+        Packet { id, seq, object, kind, position: from, destinations, issued_at }
     }
 
     /// Whether every destination has been reached.
@@ -84,7 +93,7 @@ mod tests {
     fn local_packet_is_done_immediately() {
         let net = star(3, 2);
         let p = net.processors();
-        let pkt = Packet::new(0, ObjectId(0), PacketKind::Read, p[0], vec![p[0]], 0);
+        let pkt = Packet::new(0, 0, ObjectId(0), PacketKind::Read, p[0], vec![p[0]], 0);
         assert!(pkt.done());
         let _ = net;
     }
@@ -94,8 +103,7 @@ mod tests {
         let net = balanced(2, 2, BandwidthProfile::Uniform);
         let p = net.processors();
         // From the root towards all four leaves: two groups (two children).
-        let pkt =
-            Packet::new(1, ObjectId(0), PacketKind::Update, net.root(), p.to_vec(), 0);
+        let pkt = Packet::new(1, 1, ObjectId(0), PacketKind::Update, net.root(), p.to_vec(), 0);
         let hops = pkt.next_hops(&net);
         assert_eq!(hops.len(), 2);
         let total: usize = hops.iter().map(|(_, d)| d.len()).sum();
@@ -107,6 +115,7 @@ mod tests {
         let net = star(4, 2);
         let p = net.processors();
         let pkt = Packet::new(
+            2,
             2,
             ObjectId(0),
             PacketKind::Update,

@@ -1,0 +1,669 @@
+//! The zero-steady-state-allocation slot kernel and its reusable
+//! [`SimWorkspace`].
+//!
+//! The naive kernel (retained in [`crate::reference`]) allocates on every
+//! slot: two fresh token `Vec`s, a `Vec<(NodeId, Vec<NodeId>)>` per packet
+//! for hop grouping, a `Vec<NodeId>` per surviving packet, and a full
+//! re-sort of the active set. This kernel replays the *same slot
+//! semantics* with no heap allocation inside the slot loop:
+//!
+//! * **Token buffers** are preallocated once per run and reset in place
+//!   each slot (`copy_from_slice` from cached bandwidth vectors).
+//! * **Destination sets** live in a double-buffered arena
+//!   (`arena`/`arena_next`): packets store `(start, len)` ranges, each
+//!   slot writes the surviving and spawned ranges into the next arena,
+//!   and the buffers swap at slot end. Capacities reach a high-water mark
+//!   and then stay.
+//! * **Hop grouping** runs in two scratch buffers (`hop_of`,
+//!   `group_hops`) with a one-entry child-subtree cache on top of
+//!   [`Network::child_towards`], so grouping is allocation-free and
+//!   amortizes to O(1) per destination.
+//! * **Arbitration order is maintained, not recomputed.** Packets are
+//!   totally ordered by `(prio, seq)` — injection order, with a unique
+//!   creation sequence breaking ties among branch fragments that inherit
+//!   their origin's priority. Survivors and fragments each emerge in
+//!   order, so the next slot's active set is a two-way merge plus an
+//!   append of freshly spawned updates (whose priorities are always
+//!   larger). No per-slot sort.
+//! * **Routing** uses a dense CSR table over `object × processor`
+//!   (`route_off`/`route_entries`) instead of a `HashMap<(u32, u32), …>`.
+//!
+//! A workspace can be reused across runs (and across networks); buffers
+//! are re-sized at bind time and only grow.
+
+use crate::engine::{SimConfig, SimError, SimResult};
+use crate::packet::PacketKind;
+use crate::trace::Request;
+use hbn_load::Placement;
+use hbn_topology::{EdgeId, Network, NodeId};
+use hbn_workload::{AccessMatrix, ObjectId};
+
+/// A packet in the fast kernel: destinations are an arena range.
+#[derive(Debug, Clone, Copy)]
+struct FastPacket {
+    /// Arbitration priority (injection order; fragments inherit it).
+    prio: u64,
+    /// Unique creation sequence; tie-breaks equal priorities.
+    seq: u64,
+    object: ObjectId,
+    kind: PacketKind,
+    position: NodeId,
+    dst_start: u32,
+    dst_len: u32,
+    issued_at: u64,
+    /// Cached next hop for unicast packets (`NO_HOP` when unknown);
+    /// stays valid while the packet is blocked in place, invalidated on
+    /// every move.
+    hop_cache: NodeId,
+}
+
+/// Sentinel for an unknown [`FastPacket::hop_cache`].
+const NO_HOP: NodeId = NodeId(u32::MAX);
+
+impl FastPacket {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.prio, self.seq)
+    }
+}
+
+/// One assignment entry in the dense router, with remaining budgets.
+#[derive(Debug, Clone, Copy)]
+struct RouteEntry {
+    server: NodeId,
+    reads: u64,
+    writes: u64,
+}
+
+/// A routed request waiting in its processor's injection queue.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    object: ObjectId,
+    server: NodeId,
+    is_write: bool,
+}
+
+/// Reusable buffers for the slot kernel. Construct once, pass to
+/// [`crate::simulate_with`] any number of times; every buffer is reset at
+/// bind time and retains its capacity between runs.
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    // Static per-run caches of the capacity normalisation: b(e) per switch
+    // (0 at the root slot) and 2·b(B) per bus (0 at processors).
+    edge_bw: Vec<u64>,
+    bus_bw2: Vec<u64>,
+    // Dense router: CSR over object × processor (dense processor index).
+    route_off: Vec<u32>,
+    route_entries: Vec<RouteEntry>,
+    // Injection queues: CSR over processors, entries in trace order.
+    q_off: Vec<u32>,
+    q_cursor: Vec<u32>,
+    q_entries: Vec<Queued>,
+    // Per-slot token buffers, reset in place.
+    edge_tokens: Vec<u64>,
+    bus_tokens: Vec<u64>,
+    // Active packets, always sorted by (prio, seq).
+    active: Vec<FastPacket>,
+    survivors: Vec<FastPacket>,
+    moved: Vec<FastPacket>,
+    updates: Vec<FastPacket>,
+    // Destination arenas (double-buffered) and per-packet scratch.
+    arena: Vec<NodeId>,
+    arena_next: Vec<NodeId>,
+    remaining_scratch: Vec<NodeId>,
+    hop_of: Vec<NodeId>,
+    group_hops: Vec<NodeId>,
+    // Outputs.
+    edge_crossings: Vec<u64>,
+    latencies: Vec<u64>,
+}
+
+impl SimWorkspace {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> SimWorkspace {
+        SimWorkspace::default()
+    }
+
+    /// Reset all per-run state and (re)build the static caches for `net`.
+    fn bind(&mut self, net: &Network) {
+        let n = net.n_nodes();
+        self.edge_bw.clear();
+        self.edge_bw.extend(net.nodes().map(|v| {
+            if v == net.root() {
+                0
+            } else {
+                net.edge_bandwidth(EdgeId::from(v))
+            }
+        }));
+        self.bus_bw2.clear();
+        self.bus_bw2.extend(net.nodes().map(|v| {
+            if net.is_bus(v) {
+                2 * net.node_bandwidth(v)
+            } else {
+                0
+            }
+        }));
+        self.edge_tokens.clear();
+        self.edge_tokens.resize(n, 0);
+        self.bus_tokens.clear();
+        self.bus_tokens.resize(n, 0);
+        self.edge_crossings.clear();
+        self.edge_crossings.resize(n, 0);
+        self.latencies.clear();
+        self.active.clear();
+        self.survivors.clear();
+        self.moved.clear();
+        self.updates.clear();
+        self.arena.clear();
+        self.arena_next.clear();
+        self.remaining_scratch.clear();
+        self.hop_of.clear();
+        self.group_hops.clear();
+    }
+
+    /// Build the dense CSR router from the placement's assignments.
+    ///
+    /// Entries keep the naive router's scan order (per object, assignment
+    /// order), so split budgets are consumed identically. Assignment
+    /// entries whose `processor` is not a leaf are unroutable by
+    /// construction and skipped.
+    fn build_router(&mut self, net: &Network, matrix: &AccessMatrix, placement: &Placement) {
+        let n_procs = net.n_processors();
+        let cells = matrix.n_objects() * n_procs;
+        self.route_off.clear();
+        self.route_off.resize(cells + 1, 0);
+        for x in matrix.objects() {
+            for e in placement.assignment(x) {
+                if !net.is_processor(e.processor) {
+                    continue;
+                }
+                let cell = x.index() * n_procs + net.processor_index(e.processor);
+                self.route_off[cell + 1] += 1;
+            }
+        }
+        for i in 0..cells {
+            self.route_off[i + 1] += self.route_off[i];
+        }
+        self.route_entries.clear();
+        self.route_entries.resize(
+            self.route_off[cells] as usize,
+            RouteEntry { server: NodeId(0), reads: 0, writes: 0 },
+        );
+        // Fill via per-cell cursors, reusing q_cursor as scratch.
+        self.q_cursor.clear();
+        self.q_cursor.extend_from_slice(&self.route_off[..cells]);
+        for x in matrix.objects() {
+            for e in placement.assignment(x) {
+                if !net.is_processor(e.processor) {
+                    continue;
+                }
+                let cell = x.index() * n_procs + net.processor_index(e.processor);
+                let at = self.q_cursor[cell];
+                self.q_cursor[cell] += 1;
+                self.route_entries[at as usize] =
+                    RouteEntry { server: e.server, reads: e.reads, writes: e.writes };
+            }
+        }
+    }
+
+    /// Route one request against the remaining budgets, exactly like the
+    /// naive router: first entry with budget of the right kind wins. An
+    /// object id outside the matrix is unroutable (the CSR table has no
+    /// cell for it), matching the reference router's missing-key case.
+    fn route(&mut self, n_procs: usize, pi: usize, req: &Request) -> Option<NodeId> {
+        let cell = req.object.index() * n_procs + pi;
+        if cell + 1 >= self.route_off.len() {
+            return None;
+        }
+        let range = self.route_off[cell] as usize..self.route_off[cell + 1] as usize;
+        for entry in &mut self.route_entries[range] {
+            if req.is_write && entry.writes > 0 {
+                entry.writes -= 1;
+                return Some(entry.server);
+            }
+            if !req.is_write && entry.reads > 0 {
+                entry.reads -= 1;
+                return Some(entry.server);
+            }
+        }
+        None
+    }
+
+    /// Build the per-processor injection queues (CSR) in trace order,
+    /// routing every request up front like the naive kernel does.
+    fn build_queues(&mut self, net: &Network, trace: &[Request]) -> Result<(), SimError> {
+        let n_procs = net.n_processors();
+        self.q_off.clear();
+        self.q_off.resize(n_procs + 1, 0);
+        for req in trace {
+            // Non-leaf requesters are rejected in the routing pass below,
+            // in trace order (matching the reference kernel); here they
+            // are only skipped so the counting pass cannot error.
+            if net.is_processor(req.processor) {
+                self.q_off[net.processor_index(req.processor) + 1] += 1;
+            }
+        }
+        for i in 0..n_procs {
+            self.q_off[i + 1] += self.q_off[i];
+        }
+        self.q_entries.clear();
+        self.q_entries.resize(
+            self.q_off[n_procs] as usize,
+            Queued { object: ObjectId(0), server: NodeId(0), is_write: false },
+        );
+        self.q_cursor.clear();
+        self.q_cursor.extend_from_slice(&self.q_off[..n_procs]);
+        for req in trace {
+            // A non-leaf requester can never inject; reject it exactly
+            // where the reference kernel does, before routing the request.
+            if !net.is_processor(req.processor) {
+                return Err(SimError::UnroutedRequest {
+                    processor: req.processor,
+                    object: req.object,
+                });
+            }
+            let pi = net.processor_index(req.processor);
+            let server = self.route(n_procs, pi, req).ok_or(SimError::UnroutedRequest {
+                processor: req.processor,
+                object: req.object,
+            })?;
+            let at = self.q_cursor[pi];
+            self.q_cursor[pi] += 1;
+            self.q_entries[at as usize] =
+                Queued { object: req.object, server, is_write: req.is_write };
+        }
+        // Reset the cursors to the queue heads for the injection loop.
+        self.q_cursor.clear();
+        self.q_cursor.extend_from_slice(&self.q_off[..n_procs]);
+        Ok(())
+    }
+}
+
+/// Append `copies(x) \ {server}` (sorted, deduplicated) to `arena` and
+/// push the update packet onto `out`. No-op when the set is empty.
+#[allow(clippy::too_many_arguments)]
+fn spawn_update(
+    placement: &Placement,
+    x: ObjectId,
+    server: NodeId,
+    issued_at: u64,
+    next_prio: &mut u64,
+    next_seq: &mut u64,
+    arena: &mut Vec<NodeId>,
+    out: &mut Vec<FastPacket>,
+) {
+    let seg_start = arena.len();
+    for &c in placement.copies(x) {
+        if c != server {
+            arena.push(c);
+        }
+    }
+    if arena.len() == seg_start {
+        return;
+    }
+    arena[seg_start..].sort_unstable();
+    // In-place dedup of the fresh segment.
+    let mut write = seg_start + 1;
+    for read in seg_start + 1..arena.len() {
+        if arena[read] != arena[write - 1] {
+            arena[write] = arena[read];
+            write += 1;
+        }
+    }
+    arena.truncate(write);
+    let prio = *next_prio;
+    *next_prio += 1;
+    let seq = *next_seq;
+    *next_seq += 1;
+    out.push(FastPacket {
+        prio,
+        seq,
+        object: x,
+        kind: PacketKind::Update,
+        position: server,
+        dst_start: seg_start as u32,
+        dst_len: (write - seg_start) as u32,
+        issued_at,
+        hop_cache: NO_HOP,
+    });
+}
+
+/// Run the zero-allocation slot kernel; see [`crate::simulate_with`].
+pub(crate) fn run(
+    ws: &mut SimWorkspace,
+    net: &Network,
+    matrix: &AccessMatrix,
+    placement: &Placement,
+    trace: &[Request],
+    config: SimConfig,
+) -> Result<SimResult, SimError> {
+    ws.bind(net);
+    ws.build_router(net, matrix, placement);
+    ws.build_queues(net, trace)?;
+
+    let n_procs = net.n_processors();
+    let mut next_prio = 0u64;
+    let mut next_seq = 0u64;
+    let mut delivered_requests = 0u64;
+    let mut delivered_updates = 0u64;
+    let mut makespan = 0u64;
+    let mut remaining_queued = trace.len();
+
+    let mut slot = 0u64;
+    loop {
+        if slot >= config.max_slots {
+            return Err(SimError::SlotBudgetExceeded);
+        }
+
+        // --- Injection (allocation-free: cursors over the CSR queues) ---
+        let mut injected_any = false;
+        for pi in 0..n_procs {
+            let p = net.processor_at(pi);
+            for _ in 0..config.injection_rate {
+                let cur = ws.q_cursor[pi];
+                if cur == ws.q_off[pi + 1] {
+                    break;
+                }
+                ws.q_cursor[pi] = cur + 1;
+                remaining_queued -= 1;
+                injected_any = true;
+                let q = ws.q_entries[cur as usize];
+                let prio = next_prio;
+                next_prio += 1;
+                if q.server == p {
+                    // Local reference copy: request completes instantly.
+                    delivered_requests += 1;
+                    ws.latencies.push(0);
+                    makespan = makespan.max(slot);
+                    if q.is_write {
+                        spawn_update(
+                            placement,
+                            q.object,
+                            p,
+                            slot,
+                            &mut next_prio,
+                            &mut next_seq,
+                            &mut ws.arena,
+                            &mut ws.active,
+                        );
+                    }
+                } else {
+                    let seq = next_seq;
+                    next_seq += 1;
+                    let dst_start = ws.arena.len() as u32;
+                    ws.arena.push(q.server);
+                    ws.active.push(FastPacket {
+                        prio,
+                        seq,
+                        object: q.object,
+                        kind: if q.is_write { PacketKind::Write } else { PacketKind::Read },
+                        position: p,
+                        dst_start,
+                        dst_len: 1,
+                        issued_at: slot,
+                        hop_cache: NO_HOP,
+                    });
+                }
+            }
+        }
+
+        // --- Forwarding ---
+        ws.edge_tokens.copy_from_slice(&ws.edge_bw);
+        ws.bus_tokens.copy_from_slice(&ws.bus_bw2);
+        ws.survivors.clear();
+        ws.moved.clear();
+        ws.updates.clear();
+        ws.arena_next.clear();
+
+        for idx in 0..ws.active.len() {
+            let pkt = ws.active[idx];
+            let v = pkt.position;
+            let dst = pkt.dst_start as usize..(pkt.dst_start + pkt.dst_len) as usize;
+
+            // Fast path for unicast packets (every request, and update
+            // fragments that have narrowed to one copy): one hop, one
+            // group — skip the grouping machinery entirely. Semantically
+            // identical to the general path below with a single group.
+            if pkt.dst_len == 1 {
+                let d = ws.arena[pkt.dst_start as usize];
+                let hop = if pkt.hop_cache != NO_HOP {
+                    pkt.hop_cache
+                } else if net.is_ancestor(v, d) {
+                    net.child_towards(v, d)
+                } else {
+                    net.parent(v)
+                };
+                let edge = if net.parent(hop) == v { hop } else { v };
+                let e = EdgeId::from(edge);
+                let (a, b) = net.edge_endpoints(e);
+                let bus_a = net.is_bus(a);
+                let bus_b = net.is_bus(b);
+                let ok = ws.edge_tokens[e.index()] >= 1
+                    && (!bus_a || ws.bus_tokens[a.index()] >= 1)
+                    && (!bus_b || ws.bus_tokens[b.index()] >= 1);
+                if !ok {
+                    let seg_start = ws.arena_next.len() as u32;
+                    ws.arena_next.push(d);
+                    ws.survivors.push(FastPacket { dst_start: seg_start, hop_cache: hop, ..pkt });
+                    continue;
+                }
+                ws.edge_tokens[e.index()] -= 1;
+                if bus_a {
+                    ws.bus_tokens[a.index()] -= 1;
+                }
+                if bus_b {
+                    ws.bus_tokens[b.index()] -= 1;
+                }
+                ws.edge_crossings[e.index()] += 1;
+                if d == hop {
+                    match pkt.kind {
+                        PacketKind::Read | PacketKind::Write => {
+                            delivered_requests += 1;
+                            ws.latencies.push(slot + 1 - pkt.issued_at);
+                            makespan = makespan.max(slot + 1);
+                            if pkt.kind == PacketKind::Write {
+                                spawn_update(
+                                    placement,
+                                    pkt.object,
+                                    hop,
+                                    slot + 1,
+                                    &mut next_prio,
+                                    &mut next_seq,
+                                    &mut ws.arena_next,
+                                    &mut ws.updates,
+                                );
+                            }
+                        }
+                        PacketKind::Update => {
+                            delivered_updates += 1;
+                            makespan = makespan.max(slot + 1);
+                        }
+                    }
+                } else {
+                    let seg_start = ws.arena_next.len() as u32;
+                    ws.arena_next.push(d);
+                    let seq = next_seq;
+                    next_seq += 1;
+                    ws.moved.push(FastPacket {
+                        seq,
+                        position: hop,
+                        dst_start: seg_start,
+                        hop_cache: NO_HOP,
+                        ..pkt
+                    });
+                }
+                continue;
+            }
+
+            // Group destinations by next hop, first-occurrence order.
+            // One-entry cache of the last descending child's preorder
+            // range: consecutive destinations in the same subtree skip
+            // the O(log degree) lookup.
+            ws.hop_of.clear();
+            ws.group_hops.clear();
+            let mut cached: Option<(u32, u32, NodeId)> = None;
+            for di in dst.clone() {
+                let d = ws.arena[di];
+                let hop = if !net.is_ancestor(v, d) {
+                    net.parent(v)
+                } else {
+                    let t = net.preorder_index(d);
+                    match cached {
+                        Some((lo, hi, c)) if (lo..hi).contains(&t) => c,
+                        _ => {
+                            let c = net.child_towards(v, d);
+                            let lo = net.preorder_index(c);
+                            cached = Some((lo, lo + net.subtree_size(c) as u32, c));
+                            c
+                        }
+                    }
+                };
+                ws.hop_of.push(hop);
+                if !ws.group_hops.contains(&hop) {
+                    ws.group_hops.push(hop);
+                }
+            }
+
+            ws.remaining_scratch.clear();
+            for gi in 0..ws.group_hops.len() {
+                let hop = ws.group_hops[gi];
+                let edge = if net.parent(hop) == v { hop } else { v };
+                let e = EdgeId::from(edge);
+                let (a, b) = net.edge_endpoints(e);
+                let bus_a = net.is_bus(a);
+                let bus_b = net.is_bus(b);
+                let ok = ws.edge_tokens[e.index()] >= 1
+                    && (!bus_a || ws.bus_tokens[a.index()] >= 1)
+                    && (!bus_b || ws.bus_tokens[b.index()] >= 1);
+                if !ok {
+                    for (off, &h) in ws.hop_of.iter().enumerate() {
+                        if h == hop {
+                            ws.remaining_scratch.push(ws.arena[pkt.dst_start as usize + off]);
+                        }
+                    }
+                    continue;
+                }
+                ws.edge_tokens[e.index()] -= 1;
+                if bus_a {
+                    ws.bus_tokens[a.index()] -= 1;
+                }
+                if bus_b {
+                    ws.bus_tokens[b.index()] -= 1;
+                }
+                ws.edge_crossings[e.index()] += 1;
+
+                // The group's branch continues from `hop` as a fragment
+                // inheriting the origin's priority; destinations equal to
+                // `hop` are delivered here.
+                let seg_start = ws.arena_next.len();
+                let mut delivered_here = 0u64;
+                for (off, &h) in ws.hop_of.iter().enumerate() {
+                    if h == hop {
+                        let d = ws.arena[pkt.dst_start as usize + off];
+                        if d == hop {
+                            delivered_here += 1;
+                        } else {
+                            ws.arena_next.push(d);
+                        }
+                    }
+                }
+                ws.arena_next[seg_start..].sort_unstable();
+                let seg_len = ws.arena_next.len() - seg_start;
+                if seg_len > 0 {
+                    let seq = next_seq;
+                    next_seq += 1;
+                    ws.moved.push(FastPacket {
+                        seq,
+                        position: hop,
+                        dst_start: seg_start as u32,
+                        dst_len: seg_len as u32,
+                        hop_cache: NO_HOP,
+                        ..pkt
+                    });
+                }
+                if delivered_here > 0 {
+                    match pkt.kind {
+                        PacketKind::Read | PacketKind::Write => {
+                            delivered_requests += 1;
+                            ws.latencies.push(slot + 1 - pkt.issued_at);
+                            makespan = makespan.max(slot + 1);
+                            if pkt.kind == PacketKind::Write {
+                                spawn_update(
+                                    placement,
+                                    pkt.object,
+                                    hop,
+                                    slot + 1,
+                                    &mut next_prio,
+                                    &mut next_seq,
+                                    &mut ws.arena_next,
+                                    &mut ws.updates,
+                                );
+                            }
+                        }
+                        PacketKind::Update => {
+                            delivered_updates += delivered_here;
+                            makespan = makespan.max(slot + 1);
+                        }
+                    }
+                }
+            }
+
+            if !ws.remaining_scratch.is_empty() {
+                let seg_start = ws.arena_next.len();
+                ws.arena_next.extend_from_slice(&ws.remaining_scratch);
+                ws.survivors.push(FastPacket {
+                    dst_start: seg_start as u32,
+                    dst_len: ws.remaining_scratch.len() as u32,
+                    ..pkt
+                });
+            }
+        }
+
+        // --- Rebuild the active set: merge, don't resort ---
+        // Survivors and fragments are each emitted in ascending (prio,
+        // seq); fresh updates all carry priorities above everything else.
+        ws.active.clear();
+        {
+            let (mut i, mut j) = (0, 0);
+            while i < ws.survivors.len() && j < ws.moved.len() {
+                if ws.survivors[i].key() <= ws.moved[j].key() {
+                    ws.active.push(ws.survivors[i]);
+                    i += 1;
+                } else {
+                    ws.active.push(ws.moved[j]);
+                    j += 1;
+                }
+            }
+            ws.active.extend_from_slice(&ws.survivors[i..]);
+            ws.active.extend_from_slice(&ws.moved[j..]);
+            ws.active.extend_from_slice(&ws.updates);
+        }
+        debug_assert!(ws.active.windows(2).all(|w| w[0].key() < w[1].key()));
+        std::mem::swap(&mut ws.arena, &mut ws.arena_next);
+
+        if ws.active.is_empty() && !injected_any && remaining_queued == 0 {
+            break;
+        }
+        slot += 1;
+    }
+
+    ws.latencies.sort_unstable();
+    let mean_latency = if ws.latencies.is_empty() {
+        0.0
+    } else {
+        ws.latencies.iter().sum::<u64>() as f64 / ws.latencies.len() as f64
+    };
+    let p99_latency = ws
+        .latencies
+        .get(((ws.latencies.len() as f64 * 0.99).ceil() as usize).saturating_sub(1))
+        .copied()
+        .unwrap_or(0);
+    Ok(SimResult {
+        makespan,
+        delivered_requests,
+        delivered_updates,
+        mean_latency,
+        p99_latency,
+        edge_crossings: ws.edge_crossings.clone(),
+    })
+}

@@ -1,0 +1,200 @@
+//! Differential tests: the zero-allocation workspace kernel must produce
+//! an identical `SimResult` to the retained naive reference kernel on
+//! every instance — same makespan, latencies, delivery counts and
+//! per-edge crossings.
+
+use hbn_core::ExtendedNibble;
+use hbn_sim::{
+    expand, expand_shuffled, simulate, simulate_reference, simulate_with, SimConfig, SimWorkspace,
+};
+use hbn_topology::generators::{balanced, random_network, star, BandwidthProfile};
+use hbn_topology::Network;
+use hbn_workload::generators as wgen;
+use hbn_workload::{AccessMatrix, ObjectId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_kernels_agree(
+    net: &Network,
+    m: &AccessMatrix,
+    placement: &hbn_load::Placement,
+    trace: &[hbn_sim::Request],
+    config: SimConfig,
+    ctx: &str,
+) {
+    let fast = simulate(net, m, placement, trace, config);
+    let naive = simulate_reference(net, m, placement, trace, config);
+    assert_eq!(fast, naive, "kernel divergence on {ctx}");
+}
+
+/// Random networks × random workloads × the paper's strategy: the two
+/// kernels agree on the full `SimResult`, and a single reused workspace
+/// behaves like a fresh one.
+#[test]
+fn kernels_agree_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(7001);
+    let mut ws = SimWorkspace::new();
+    for round in 0..30 {
+        let buses = rng.gen_range(1..7);
+        let procs = rng.gen_range(3..14).max(buses * 2);
+        let net = random_network(buses, procs, BandwidthProfile::Uniform, &mut rng);
+        let objects = rng.gen_range(1..6);
+        let m = wgen::uniform(&net, objects, 5, 3, 0.7, &mut rng);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let trace = expand_shuffled(&m, &mut rng);
+        let cfg = SimConfig::default();
+        assert_kernels_agree(&net, &m, &out.placement, &trace, cfg, &format!("round {round}"));
+        let fast = simulate_with(&mut ws, &net, &m, &out.placement, &trace, cfg).unwrap();
+        let naive = simulate_reference(&net, &m, &out.placement, &trace, cfg).unwrap();
+        assert_eq!(fast, naive, "reused-workspace divergence on round {round}");
+    }
+}
+
+/// Fat-tree bandwidths exercise the token accounting harder (buses can
+/// carry several packets per slot, so partial blocking is frequent).
+#[test]
+fn kernels_agree_under_fat_tree_bandwidths() {
+    let mut rng = StdRng::seed_from_u64(7002);
+    for round in 0..15 {
+        let net = random_network(
+            rng.gen_range(2..6),
+            rng.gen_range(6..16),
+            BandwidthProfile::FatTree { base: 2, cap: 16 },
+            &mut rng,
+        );
+        let m = wgen::zipf_read_mostly(&net, 8, 400, 0.9, 0.3, &mut rng);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let trace = expand_shuffled(&m, &mut rng);
+        assert_kernels_agree(
+            &net,
+            &m,
+            &out.placement,
+            &trace,
+            SimConfig::default(),
+            &format!("fat round {round}"),
+        );
+    }
+}
+
+/// Write-heavy workloads drive the multicast path: update broadcasts
+/// split at branch nodes and fragments inherit priorities, which is where
+/// the merge-based arbitration could diverge from the sorted reference.
+#[test]
+fn kernels_agree_on_write_heavy_multicast() {
+    let mut rng = StdRng::seed_from_u64(7003);
+    for round in 0..15 {
+        let net = balanced(3, 2, BandwidthProfile::Uniform);
+        let m = wgen::shared_write(&net, rng.gen_range(2..6), rng.gen_range(2..8), 2);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let trace = expand_shuffled(&m, &mut rng);
+        assert_kernels_agree(
+            &net,
+            &m,
+            &out.placement,
+            &trace,
+            SimConfig::default(),
+            &format!("write round {round}"),
+        );
+    }
+}
+
+/// Hand-built split assignments and replicated placements (not produced
+/// by the strategies) must also replay identically.
+#[test]
+fn kernels_agree_on_split_assignments() {
+    let net = star(5, 100);
+    let p = net.processors();
+    let x = ObjectId(0);
+    let mut m = AccessMatrix::new(1);
+    m.add(p[0], x, 7, 2);
+    m.add(p[1], x, 1, 1);
+    let mut pl = hbn_load::Placement::new(1);
+    pl.add_copy(x, p[2]);
+    pl.add_copy(x, p[3]);
+    pl.push_assignment(
+        x,
+        hbn_load::AssignmentEntry { processor: p[0], server: p[2], reads: 4, writes: 2 },
+    );
+    pl.push_assignment(
+        x,
+        hbn_load::AssignmentEntry { processor: p[0], server: p[3], reads: 3, writes: 0 },
+    );
+    pl.push_assignment(
+        x,
+        hbn_load::AssignmentEntry { processor: p[1], server: p[3], reads: 1, writes: 1 },
+    );
+    pl.validate(&net, &m).unwrap();
+    assert_kernels_agree(&net, &m, &pl, &expand(&m), SimConfig::default(), "split assignments");
+}
+
+/// Injection-rate and slot-budget configurations flow through both
+/// kernels identically, including the error paths.
+#[test]
+fn kernels_agree_on_configs_and_errors() {
+    let net = star(4, 100);
+    let p = net.processors();
+    let mut m = AccessMatrix::new(1);
+    m.add(p[0], ObjectId(0), 20, 0);
+    let pl = hbn_load::Placement::single_leaf(&net, &m, |_| p[1]);
+    let trace = expand(&m);
+    for rate in [1usize, 3, 8] {
+        let cfg = SimConfig { injection_rate: rate, max_slots: 1_000_000 };
+        assert_kernels_agree(&net, &m, &pl, &trace, cfg, &format!("rate {rate}"));
+    }
+    let tight = SimConfig { injection_rate: 1, max_slots: 2 };
+    assert_eq!(
+        simulate(&net, &m, &pl, &trace, tight),
+        simulate_reference(&net, &m, &pl, &trace, tight),
+        "slot-budget error must match"
+    );
+    let empty = hbn_load::Placement::new(1);
+    assert_eq!(
+        simulate(&net, &m, &empty, &trace, SimConfig::default()),
+        simulate_reference(&net, &m, &empty, &trace, SimConfig::default()),
+        "unrouted error must match"
+    );
+}
+
+/// A hand-built trace whose requester is a bus node (invalid by
+/// construction) is rejected identically by both kernels.
+#[test]
+fn kernels_reject_non_leaf_requesters() {
+    let net = star(3, 100);
+    let p = net.processors();
+    let mut m = AccessMatrix::new(1);
+    m.add(p[0], ObjectId(0), 1, 0);
+    let pl = hbn_load::Placement::single_leaf(&net, &m, |_| p[1]);
+    let bad =
+        vec![hbn_sim::Request { processor: net.root(), object: ObjectId(0), is_write: false }];
+    let fast = simulate(&net, &m, &pl, &bad, SimConfig::default());
+    let naive = simulate_reference(&net, &m, &pl, &bad, SimConfig::default());
+    assert_eq!(fast, naive);
+    assert!(matches!(fast, Err(hbn_sim::SimError::UnroutedRequest { .. })));
+
+    // With several invalid requests, both kernels must report the same
+    // (first, in trace order) offender — here the over-budget leaf
+    // request at index 0, not the bus requester at index 1.
+    let mixed = vec![
+        hbn_sim::Request { processor: p[1], object: ObjectId(0), is_write: false },
+        hbn_sim::Request { processor: net.root(), object: ObjectId(0), is_write: false },
+    ];
+    let fast = simulate(&net, &m, &pl, &mixed, SimConfig::default());
+    let naive = simulate_reference(&net, &m, &pl, &mixed, SimConfig::default());
+    assert_eq!(fast, naive);
+    assert_eq!(
+        fast,
+        Err(hbn_sim::SimError::UnroutedRequest { processor: p[1], object: ObjectId(0) })
+    );
+
+    // An object id outside the matrix has no routing cell at all; both
+    // kernels report it unroutable instead of panicking.
+    let out_of_matrix =
+        vec![hbn_sim::Request { processor: p[0], object: ObjectId(7), is_write: false }];
+    let fast = simulate(&net, &m, &pl, &out_of_matrix, SimConfig::default());
+    let naive = simulate_reference(&net, &m, &pl, &out_of_matrix, SimConfig::default());
+    assert_eq!(fast, naive);
+    assert_eq!(
+        fast,
+        Err(hbn_sim::SimError::UnroutedRequest { processor: p[0], object: ObjectId(7) })
+    );
+}

@@ -43,9 +43,7 @@ impl NetworkParams {
 /// `max_procs` processors. Shrinks towards small trees.
 pub fn arb_network(max_buses: usize, max_procs: usize) -> impl Strategy<Value = Network> {
     (1..=max_buses, 2..=max_procs.max(3), any::<u64>(), any::<bool>()).prop_map(
-        |(buses, processors, seed, fat)| {
-            NetworkParams { buses, processors, seed, fat }.build()
-        },
+        |(buses, processors, seed, fat)| NetworkParams { buses, processors, seed, fat }.build(),
     )
 }
 
@@ -78,17 +76,12 @@ pub fn arb_instance(
     max_procs: usize,
     max_objects: usize,
 ) -> impl Strategy<Value = (Network, AccessMatrix)> {
-    (
-        arb_network(max_buses, max_procs),
-        1..=max_objects,
-        0u64..8,
-        0u64..6,
-        any::<u64>(),
-    )
-        .prop_map(|(net, objects, max_r, max_w, seed)| {
+    (arb_network(max_buses, max_procs), 1..=max_objects, 0u64..8, 0u64..6, any::<u64>()).prop_map(
+        |(net, objects, max_r, max_w, seed)| {
             let m = workload_from_seed(&net, objects, max_r, max_w, 0.7, seed);
             (net, m)
-        })
+        },
+    )
 }
 
 #[cfg(test)]

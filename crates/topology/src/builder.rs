@@ -86,7 +86,7 @@ impl NetworkBuilder {
         if self.edges.len() != n - 1 {
             return Err(TopologyError::NotATree { nodes: n, edges: self.edges.len() });
         }
-        if self.node_bw.iter().any(|&b| b == 0) {
+        if self.node_bw.contains(&0) {
             return Err(TopologyError::ZeroBandwidth);
         }
 
@@ -124,9 +124,9 @@ impl NetworkBuilder {
         }
 
         let mut has_processor = false;
-        for v in 0..n {
+        for (v, &kind) in self.kinds.iter().enumerate() {
             let id = NodeId(v as u32);
-            match self.kinds[v] {
+            match kind {
                 NodeKind::Processor => {
                     has_processor = true;
                     // Singleton networks have a degree-0 processor.
@@ -210,8 +210,7 @@ fn choose_root(kinds: &[NodeKind], adj: &[Vec<NodeId>]) -> NodeId {
     let mut center = path[path.len() / 2];
     if kinds[center.index()] == NodeKind::Processor {
         // Tiny tree: move to the adjacent bus if there is one.
-        if let Some(&bus) =
-            adj[center.index()].iter().find(|&&u| kinds[u.index()] == NodeKind::Bus)
+        if let Some(&bus) = adj[center.index()].iter().find(|&&u| kinds[u.index()] == NodeKind::Bus)
         {
             center = bus;
         }

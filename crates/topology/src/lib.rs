@@ -38,4 +38,4 @@ pub use builder::NetworkBuilder;
 pub use error::TopologyError;
 pub use ids::{Bandwidth, DirEdge, Direction, EdgeId, NodeId};
 pub use spec::NetworkSpec;
-pub use tree::{Network, NodeKind};
+pub use tree::{Network, NodeKind, PathEdges, PathNodes};

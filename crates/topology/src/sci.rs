@@ -116,8 +116,7 @@ impl RingNetwork {
     /// switch.
     pub fn to_bus_network(&self) -> Result<RingConversion, TopologyError> {
         let mut b = NetworkBuilder::new();
-        let bus_of_ring: Vec<NodeId> =
-            self.rings.iter().map(|r| b.add_bus(r.bandwidth)).collect();
+        let bus_of_ring: Vec<NodeId> = self.rings.iter().map(|r| b.add_bus(r.bandwidth)).collect();
         let mut processors_of_ring: Vec<Vec<NodeId>> = vec![Vec::new(); self.rings.len()];
         for (ri, ring) in self.rings.iter().enumerate() {
             for slot in &ring.slots {
@@ -155,10 +154,7 @@ pub fn ring_of_rings(
     let top = Ringlet {
         bandwidth: ring_bandwidth,
         slots: (0..n_children)
-            .map(|i| RingSlot::Switch {
-                child: RingId(1 + i as u32),
-                bandwidth: switch_bandwidth,
-            })
+            .map(|i| RingSlot::Switch { child: RingId(1 + i as u32), bandwidth: switch_bandwidth })
             .collect(),
     };
     rings.push(top);
@@ -226,10 +222,7 @@ mod tests {
     fn reject_dangling_switch() {
         let rings = vec![Ringlet {
             bandwidth: 4,
-            slots: vec![
-                RingSlot::Processor,
-                RingSlot::Switch { child: RingId(5), bandwidth: 1 },
-            ],
+            slots: vec![RingSlot::Processor, RingSlot::Switch { child: RingId(5), bandwidth: 1 }],
         }];
         let net = RingNetwork::new(rings);
         assert!(net.to_bus_network().is_err());

@@ -31,7 +31,7 @@ pub fn steiner_edges(net: &Network, terminals: &[NodeId]) -> Vec<EdgeId> {
     // once (classic virtual tree property).
     let mut edges = Vec::new();
     for w in ts.windows(2) {
-        edges.extend(net.path_edges(w[0], w[1]));
+        edges.extend(net.path_edges_iter(w[0], w[1]));
     }
     edges.sort_unstable();
     edges.dedup();
@@ -126,10 +126,7 @@ mod tests {
             let want: Vec<EdgeId> = t
                 .edges()
                 .filter(|&e| {
-                    let inside = terminals
-                        .iter()
-                        .filter(|&&p| t.is_ancestor(e.child(), p))
-                        .count();
+                    let inside = terminals.iter().filter(|&&p| t.is_ancestor(e.child(), p)).count();
                     inside > 0 && inside < terminals.len()
                 })
                 .collect();

@@ -125,10 +125,8 @@ impl Network {
 
         let height = depth.iter().copied().max().unwrap_or(0);
 
-        let processors: Vec<NodeId> = (0..n as u32)
-            .map(NodeId)
-            .filter(|v| kinds[v.index()] == NodeKind::Processor)
-            .collect();
+        let processors: Vec<NodeId> =
+            (0..n as u32).map(NodeId).filter(|v| kinds[v.index()] == NodeKind::Processor).collect();
         let mut proc_index = vec![u32::MAX; n];
         for (i, &p) in processors.iter().enumerate() {
             proc_index[p.index()] = i as u32;
@@ -370,43 +368,30 @@ impl Network {
     /// The edges on the unique path between `a` and `b`, in order from `a`
     /// up to the LCA and then down to `b`.
     pub fn path_edges(&self, a: NodeId, b: NodeId) -> Vec<EdgeId> {
+        self.path_edges_iter(a, b).collect()
+    }
+
+    /// Allocation-free iterator over the edges of the `a`–`b` path, in
+    /// order from `a` up to the LCA and then down to `b`. One LCA query up
+    /// front, then O(1) per upward step and O(log degree) per downward
+    /// step ([`Network::child_towards`]).
+    pub fn path_edges_iter(&self, a: NodeId, b: NodeId) -> PathEdges<'_> {
         let l = self.lca(a, b);
-        let mut up_part = Vec::new();
-        let mut v = a;
-        while v != l {
-            up_part.push(EdgeId::from(v));
-            v = self.parent(v);
-        }
-        let mut down_part = Vec::new();
-        let mut v = b;
-        while v != l {
-            down_part.push(EdgeId::from(v));
-            v = self.parent(v);
-        }
-        down_part.reverse();
-        up_part.extend(down_part);
-        up_part
+        let remaining = (self.depth(a) + self.depth(b) - 2 * self.depth(l)) as usize;
+        PathEdges { net: self, up: a, lca: l, down: l, target: b, remaining }
     }
 
     /// The nodes on the unique path between `a` and `b`, inclusive.
     pub fn path_nodes(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        self.path_nodes_iter(a, b).collect()
+    }
+
+    /// Allocation-free iterator over the nodes of the `a`–`b` path,
+    /// inclusive of both endpoints (a single node when `a == b`).
+    pub fn path_nodes_iter(&self, a: NodeId, b: NodeId) -> PathNodes<'_> {
         let l = self.lca(a, b);
-        let mut nodes = Vec::new();
-        let mut v = a;
-        while v != l {
-            nodes.push(v);
-            v = self.parent(v);
-        }
-        nodes.push(l);
-        let mut down = Vec::new();
-        let mut v = b;
-        while v != l {
-            down.push(v);
-            v = self.parent(v);
-        }
-        down.reverse();
-        nodes.extend(down);
-        nodes
+        let remaining = (self.depth(a) + self.depth(b) - 2 * self.depth(l)) as usize + 1;
+        PathNodes { net: self, up: Some(a), lca: l, down: l, target: b, remaining }
     }
 
     /// Nodes of the subtree rooted at `v` (under the fixed root), in
@@ -426,6 +411,30 @@ impl Network {
         (self.tout[v.index()] - self.tin[v.index()]) as usize
     }
 
+    /// The child of `v` whose subtree contains `target`.
+    ///
+    /// Children are stored in ascending id order, which is also ascending
+    /// preorder-entry order, so the lookup is a binary search over the
+    /// children's `tin` values: O(log degree), independent of tree height
+    /// (the old binary-lifting descent was O(log |V|) per step). Callers
+    /// walking a sorted destination group can additionally cache the
+    /// returned child's preorder range ([`Network::preorder_index`] /
+    /// [`Network::subtree_size`]) and skip the search while consecutive
+    /// targets stay inside it, amortizing to O(1) per target — the packet
+    /// simulator's hop grouping does exactly that.
+    ///
+    /// # Panics
+    /// Panics if `target` is not a proper descendant of `v`.
+    pub fn child_towards(&self, v: NodeId, target: NodeId) -> NodeId {
+        let t = self.tin[target.index()];
+        let kids = &self.children[v.index()];
+        let idx = kids.partition_point(|&c| self.tin[c.index()] <= t);
+        assert!(idx > 0, "{target} is not a proper descendant of {v}");
+        let c = kids[idx - 1];
+        assert!(t < self.tout[c.index()], "{target} is not a proper descendant of {v}");
+        c
+    }
+
     /// The neighbor of `v` on the path towards `target`.
     ///
     /// # Panics
@@ -433,20 +442,7 @@ impl Network {
     pub fn step_towards(&self, v: NodeId, target: NodeId) -> NodeId {
         assert_ne!(v, target, "no step from a node to itself");
         if self.is_ancestor(v, target) {
-            // Descend: find the child of v that is an ancestor of target.
-            let d = self.depth(v);
-            let mut u = target;
-            // Lift `target` to depth d+1 using the binary lifting table.
-            let mut diff = self.depth(target) - d - 1;
-            let mut k = 0;
-            while diff > 0 {
-                if diff & 1 == 1 {
-                    u = self.up[k][u.index()];
-                }
-                diff >>= 1;
-                k += 1;
-            }
-            u
+            self.child_towards(v, target)
         } else {
             self.parent(v)
         }
@@ -478,6 +474,84 @@ impl Network {
         Ok(())
     }
 }
+
+/// Iterator over the edges of a tree path; see
+/// [`Network::path_edges_iter`].
+#[derive(Debug, Clone)]
+pub struct PathEdges<'a> {
+    net: &'a Network,
+    /// Next node on the upward leg (`up != lca` means the leg is live).
+    up: NodeId,
+    lca: NodeId,
+    /// Current node on the downward leg, descending towards `target`.
+    down: NodeId,
+    target: NodeId,
+    remaining: usize,
+}
+
+impl Iterator for PathEdges<'_> {
+    type Item = EdgeId;
+
+    fn next(&mut self) -> Option<EdgeId> {
+        if self.up != self.lca {
+            let e = EdgeId::from(self.up);
+            self.up = self.net.parent(self.up);
+            self.remaining -= 1;
+            return Some(e);
+        }
+        if self.down != self.target {
+            let c = self.net.child_towards(self.down, self.target);
+            self.down = c;
+            self.remaining -= 1;
+            return Some(EdgeId::from(c));
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PathEdges<'_> {}
+
+/// Iterator over the nodes of a tree path (endpoints inclusive); see
+/// [`Network::path_nodes_iter`].
+#[derive(Debug, Clone)]
+pub struct PathNodes<'a> {
+    net: &'a Network,
+    /// Next node to yield on the upward leg; `None` once the LCA is out.
+    up: Option<NodeId>,
+    lca: NodeId,
+    down: NodeId,
+    target: NodeId,
+    remaining: usize,
+}
+
+impl Iterator for PathNodes<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if let Some(v) = self.up {
+            self.up = if v == self.lca { None } else { Some(self.net.parent(v)) };
+            self.remaining -= 1;
+            return Some(v);
+        }
+        if self.down != self.target {
+            let c = self.net.child_towards(self.down, self.target);
+            self.down = c;
+            self.remaining -= 1;
+            return Some(c);
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PathNodes<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -587,6 +661,70 @@ mod tests {
         assert_eq!(t.step_towards(NodeId(2), NodeId(6)), NodeId(6));
         assert_eq!(t.step_towards(NodeId(6), NodeId(3)), NodeId(2));
         assert_eq!(t.step_towards(NodeId(1), NodeId(7)), NodeId(0));
+    }
+
+    #[test]
+    fn child_towards_picks_the_covering_subtree() {
+        let t = two_level();
+        assert_eq!(t.child_towards(NodeId(0), NodeId(3)), NodeId(1));
+        assert_eq!(t.child_towards(NodeId(0), NodeId(7)), NodeId(2));
+        assert_eq!(t.child_towards(NodeId(2), NodeId(6)), NodeId(6));
+        assert_eq!(t.child_towards(NodeId(0), NodeId(1)), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a proper descendant")]
+    fn child_towards_rejects_non_descendants() {
+        let t = two_level();
+        t.child_towards(NodeId(1), NodeId(7));
+    }
+
+    /// Independent oracle: climb both endpoints to the LCA with plain
+    /// parent walks (no iterator code involved).
+    fn naive_path_nodes(t: &Network, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let l = t.lca(a, b);
+        let mut nodes = Vec::new();
+        let mut v = a;
+        while v != l {
+            nodes.push(v);
+            v = t.parent(v);
+        }
+        nodes.push(l);
+        let mut down = Vec::new();
+        let mut v = b;
+        while v != l {
+            down.push(v);
+            v = t.parent(v);
+        }
+        down.reverse();
+        nodes.extend(down);
+        nodes
+    }
+
+    #[test]
+    fn path_iterators_match_naive_walks() {
+        let t = two_level();
+        for a in t.nodes() {
+            for b in t.nodes() {
+                let want_nodes = naive_path_nodes(&t, a, b);
+                let want_edges: Vec<EdgeId> = want_nodes
+                    .windows(2)
+                    .map(|w| {
+                        if t.parent(w[1]) == w[0] {
+                            EdgeId::from(w[1])
+                        } else {
+                            EdgeId::from(w[0])
+                        }
+                    })
+                    .collect();
+                let edges: Vec<EdgeId> = t.path_edges_iter(a, b).collect();
+                assert_eq!(edges, want_edges, "{a}->{b}");
+                assert_eq!(t.path_edges_iter(a, b).len(), want_edges.len());
+                let nodes: Vec<NodeId> = t.path_nodes_iter(a, b).collect();
+                assert_eq!(nodes, want_nodes, "{a}->{b}");
+                assert_eq!(t.path_nodes_iter(a, b).len(), want_nodes.len());
+            }
+        }
     }
 
     #[test]

@@ -125,7 +125,12 @@ pub fn producer_consumer<R: Rng>(
 /// Heavily write-shared objects (global counters, locks): every processor
 /// writes each object `writes_each` times and reads it `reads_each` times.
 /// This maximises write contention `κ_x` and stresses the broadcast terms.
-pub fn shared_write(net: &Network, n_objects: usize, reads_each: u64, writes_each: u64) -> AccessMatrix {
+pub fn shared_write(
+    net: &Network,
+    n_objects: usize,
+    reads_each: u64,
+    writes_each: u64,
+) -> AccessMatrix {
     let mut m = AccessMatrix::new(n_objects);
     for x in 0..n_objects as u32 {
         for &p in net.processors() {

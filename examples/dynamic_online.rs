@@ -29,7 +29,10 @@ fn main() {
         }
     }
 
-    println!("{:<4} {:>10} {:>12} {:>7} {:>13} {:>10}", "D", "online", "hindsight", "ratio", "replications", "collapses");
+    println!(
+        "{:<4} {:>10} {:>12} {:>7} {:>13} {:>10}",
+        "D", "online", "hindsight", "ratio", "replications", "collapses"
+    );
     for d in [1u64, 2, 4, 8] {
         let rep = run_competitive(&net, 6, &stream, d);
         println!(

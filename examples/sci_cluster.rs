@@ -27,8 +27,7 @@ fn main() {
 
     // Producer/consumer sharing: each object written by one node, read by 5.
     let mut rng = StdRng::seed_from_u64(2000);
-    let matrix =
-        hierbus::workload::generators::producer_consumer(&net, 48, 5, 20, 8, &mut rng);
+    let matrix = hierbus::workload::generators::producer_consumer(&net, 48, 5, 20, 8, &mut rng);
 
     let strategies: Vec<Box<dyn Strategy>> = vec![
         Box::new(RandomLeaf::new(1)),

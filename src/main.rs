@@ -32,9 +32,7 @@ fn parse<T: std::str::FromStr>(s: Option<&String>) -> T {
     s.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
 }
 
-fn build_instance(
-    args: &[String],
-) -> (hierbus::topology::Network, AccessMatrix) {
+fn build_instance(args: &[String]) -> (hierbus::topology::Network, AccessMatrix) {
     let branching: usize = parse(args.first());
     let height: u32 = parse(args.get(1));
     let objects: usize = parse(args.get(2));
@@ -127,11 +125,7 @@ fn cmd_partition(args: &[String]) {
     let red = hierbus::exact::encode_partition(&inst);
     println!("items {:?}, k = {}", inst.items(), red.k);
     println!("PARTITION: {}", if inst.is_yes() { "yes" } else { "no" });
-    println!(
-        "placement with congestion ≤ 4k = {} exists: {}",
-        red.threshold,
-        red.decide_exactly()
-    );
+    println!("placement with congestion ≤ 4k = {} exists: {}", red.threshold, red.decide_exactly());
 }
 
 fn main() {

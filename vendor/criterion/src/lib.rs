@@ -1,0 +1,301 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the hierbus benches use (`bench_function`,
+//! `benchmark_group`, `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! the `criterion_group!`/`criterion_main!` macros) as a simple adaptive
+//! timing harness: each benchmark is warmed up briefly, then measured in
+//! growing batches until a time budget is reached, and the mean
+//! wall-clock per iteration is printed. There is no statistics engine or
+//! HTML report; numbers are indicative, not confidence intervals.
+//!
+//! Under `cargo test` (cargo passes `--test` to harness-less bench
+//! targets) every benchmark runs exactly one iteration so the suite
+//! stays fast.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How throughput is derived from iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to the closure of every benchmark; runs the timing loop.
+pub struct Bencher<'a> {
+    mode: Mode,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Single iteration (cargo test smoke mode).
+    Test,
+    /// Adaptive measurement with the given budget.
+    Measure(Duration),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, discarding its output.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Test => {
+                std::hint::black_box(routine());
+                *self.result = Some(Sample { mean_ns: f64::NAN, iters: 1 });
+            }
+            Mode::Measure(budget) => {
+                // Warmup and batch-size calibration: grow the batch until
+                // it takes ≥ ~5 ms, so timer overhead stays negligible.
+                let mut batch = 1u64;
+                let warmup_floor = Duration::from_millis(5);
+                loop {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(routine());
+                    }
+                    if t.elapsed() >= warmup_floor || batch > (1 << 20) {
+                        break;
+                    }
+                    batch *= 4;
+                }
+                let start = Instant::now();
+                let mut iters = 0u64;
+                let mut elapsed;
+                loop {
+                    for _ in 0..batch {
+                        std::hint::black_box(routine());
+                    }
+                    iters += batch;
+                    elapsed = start.elapsed();
+                    if elapsed >= budget {
+                        break;
+                    }
+                }
+                *self.result =
+                    Some(Sample { mean_ns: elapsed.as_nanos() as f64 / iters as f64, iters });
+            }
+        }
+    }
+}
+
+/// Top-level handle mirroring `criterion::Criterion`.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if test_mode { Mode::Test } else { Mode::Measure(Duration::from_millis(300)) },
+        }
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "smoke".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(path: &str, sample: Sample, throughput: Option<Throughput>) {
+    let mut line = format!("{path:<48} {:>12}/iter", human_ns(sample.mean_ns));
+    if let Some(tp) = throughput {
+        if sample.mean_ns.is_finite() && sample.mean_ns > 0.0 {
+            let per_sec = 1e9 / sample.mean_ns;
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:>14.0} elem/s", per_sec * n as f64));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  {:>14.0} B/s", per_sec * n as f64));
+                }
+            }
+        }
+    }
+    println!("{line}  ({} iters)", sample.iters);
+}
+
+impl Criterion {
+    /// Run a free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut result = None;
+        f(&mut Bencher { mode: self.mode, result: &mut result });
+        if let Some(sample) = result {
+            report(&id.name, sample, None);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to derive rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Ignored; kept for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored; kept for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut result = None;
+        f(&mut Bencher { mode: self.criterion.mode, result: &mut result });
+        if let Some(sample) = result {
+            report(&format!("{}/{}", self.name, id.name), sample, self.throughput);
+        }
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut result = None;
+        f(&mut Bencher { mode: self.criterion.mode, result: &mut result }, input);
+        if let Some(sample) = result {
+            report(&format!("{}/{}", self.name, id.name), sample, self.throughput);
+        }
+        self
+    }
+
+    /// Close the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Re-export of `std::hint::black_box` for call sites that import it from
+/// criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_a_sample() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn groups_run_with_throughput() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn measure_mode_times_real_work() {
+        let mut c = Criterion { mode: Mode::Measure(Duration::from_millis(10)) };
+        c.bench_function("spin", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+    }
+}

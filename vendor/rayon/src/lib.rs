@@ -1,0 +1,147 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice-side subset the hierbus experiment drivers use —
+//! `data.par_iter().map(f).collect::<Vec<_>>()` and `for_each` — on top
+//! of `std::thread::scope`, splitting the input into one contiguous
+//! chunk per available core. No work stealing; for the coarse-grained
+//! replay fan-out in the drivers (a handful of multi-millisecond items)
+//! chunking is indistinguishable from real rayon.
+
+#![warn(missing_docs)]
+
+/// The import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Number of worker threads: `RAYON_NUM_THREADS` override, else the
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// `.par_iter()` entry point for slice-like containers.
+pub trait IntoParallelRefIterator<'d> {
+    /// The referenced item type.
+    type Item: Sync + 'd;
+    /// A parallel iterator borrowing the container's items.
+    fn par_iter(&'d self) -> ParIter<'d, Self::Item>;
+}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for [T] {
+    type Item = T;
+    fn par_iter(&'d self) -> ParIter<'d, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'d self) -> ParIter<'d, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'d, T> {
+    items: &'d [T],
+}
+
+impl<'d, T: Sync> ParIter<'d, T> {
+    /// Map every item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'d, T, F>
+    where
+        F: Fn(&'d T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'d T) + Sync,
+    {
+        run_chunked(self.items, &|item| f(item));
+    }
+}
+
+/// The result of [`ParIter::map`].
+pub struct ParMap<'d, T, F> {
+    items: &'d [T],
+    f: F,
+}
+
+impl<'d, T: Sync, F> ParMap<'d, T, F> {
+    /// Collect the mapped values, preserving input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'d T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_chunked(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn run_chunked<'d, T, R, F>(items: &'d [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    F: Fn(&'d T) -> R + Sync,
+    R: Send,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("all chunks filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let input: Vec<u64> = (1..=100).collect();
+        let sum = AtomicU64::new(0);
+        input.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 5050);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! hierbus types derive `Serialize`/`Deserialize` so downstream users can
+//! persist topologies and placements, but nothing inside the workspace
+//! ever serializes (there is no `serde_json` in the tree). Since the
+//! build container has no registry access, this stub keeps the derives
+//! compiling: the traits are empty markers blanket-implemented for every
+//! type, and the derive macros expand to nothing. Swapping the real
+//! `serde` back in is a one-line change in the workspace manifest.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`; blanket-implemented.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! The stub's `Serialize`/`Deserialize` traits are blanket-implemented,
+//! so the derives have nothing to emit; they exist purely so that
+//! `#[derive(Serialize, Deserialize)]` (and inert `#[serde(...)]`
+//! attributes) keep resolving without registry access.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
