@@ -111,6 +111,105 @@ pub fn emit_simulator_json(
     f.write_all(render_simulator_json(records, speedup).as_bytes())
 }
 
+/// One cell of the scenario matrix: a (family, topology) pair aggregated
+/// over its seed shards.
+#[derive(Debug, Clone)]
+pub struct ScenarioBenchRecord {
+    /// Access-pattern family label, e.g. `object-churn`.
+    pub family: String,
+    /// Topology label, e.g. `balanced(3,2)`.
+    pub topology: String,
+    /// Number of processors (leaves).
+    pub processors: usize,
+    /// Seed shards aggregated into this record.
+    pub seeds: usize,
+    /// Requests served per shard.
+    pub requests_per_seed: usize,
+    /// Replay epochs per shard.
+    pub epochs: usize,
+    /// Mean total simulated makespan (slots) over the shards.
+    pub mean_makespan_slots: f64,
+    /// Mean online congestion over the shards.
+    pub mean_online_congestion: f64,
+    /// Mean empirical competitive ratio (online vs hindsight nibble) over
+    /// the shards that had non-zero hindsight congestion.
+    pub mean_competitive_ratio: Option<f64>,
+    /// Mean replication events per shard.
+    pub mean_replications: f64,
+    /// Mean collapse events per shard.
+    pub mean_collapses: f64,
+    /// Request-weighted mean replay latency (slots) over the shards.
+    pub mean_latency_slots: f64,
+    /// Wall-clock seconds for all shards of this cell (sharded run).
+    pub wall_seconds: f64,
+}
+
+impl ScenarioBenchRecord {
+    /// Served requests per wall-clock second, across all shards.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            (self.requests_per_seed * self.seeds) as f64 / self.wall_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Render the scenario-matrix benchmark document.
+pub fn render_scenarios_json(records: &[ScenarioBenchRecord]) -> String {
+    let emitted_at = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"scenario_matrix\",\n");
+    out.push_str(&format!("  \"emitted_at_unix\": {emitted_at},\n"));
+    out.push_str(&format!("  \"families\": {},\n", count_distinct(records, |r| &r.family)));
+    out.push_str(&format!("  \"topologies\": {},\n", count_distinct(records, |r| &r.topology)));
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"topology\": \"{}\", \"processors\": {}, \
+             \"seeds\": {}, \"requests_per_seed\": {}, \"epochs\": {}, \
+             \"mean_makespan_slots\": {}, \"mean_online_congestion\": {}, \
+             \"mean_competitive_ratio\": {}, \"mean_replications\": {}, \
+             \"mean_collapses\": {}, \"mean_latency_slots\": {}, \
+             \"wall_seconds\": {}, \"requests_per_sec\": {}}}{}\n",
+            json_escape(&r.family),
+            json_escape(&r.topology),
+            r.processors,
+            r.seeds,
+            r.requests_per_seed,
+            r.epochs,
+            json_f64(r.mean_makespan_slots),
+            json_f64(r.mean_online_congestion),
+            r.mean_competitive_ratio.map(json_f64).unwrap_or_else(|| "null".to_string()),
+            json_f64(r.mean_replications),
+            json_f64(r.mean_collapses),
+            json_f64(r.mean_latency_slots),
+            json_f64(r.wall_seconds),
+            json_f64(r.requests_per_sec()),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn count_distinct<'a>(
+    records: &'a [ScenarioBenchRecord],
+    key: impl Fn(&'a ScenarioBenchRecord) -> &'a String,
+) -> usize {
+    let mut keys: Vec<&String> = records.iter().map(key).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.len()
+}
+
+/// Render and write the scenario document to `path`.
+pub fn emit_scenarios_json(path: &str, records: &[ScenarioBenchRecord]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_scenarios_json(records).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +250,47 @@ mod tests {
         let doc = render_simulator_json(&[r], None);
         assert!(doc.contains("a\\\"b\\\\c"));
         assert!(doc.contains("\"speedup_optimized_vs_reference\": null"));
+    }
+
+    fn scenario_record(family: &str, topology: &str) -> ScenarioBenchRecord {
+        ScenarioBenchRecord {
+            family: family.into(),
+            topology: topology.into(),
+            processors: 9,
+            seeds: 4,
+            requests_per_seed: 2500,
+            epochs: 3,
+            mean_makespan_slots: 1200.0,
+            mean_online_congestion: 310.5,
+            mean_competitive_ratio: Some(2.4),
+            mean_replications: 42.0,
+            mean_collapses: 7.5,
+            mean_latency_slots: 3.25,
+            wall_seconds: 0.05,
+        }
+    }
+
+    #[test]
+    fn scenario_document_counts_families_and_topologies() {
+        let doc = render_scenarios_json(&[
+            scenario_record("static-zipf", "balanced(3,2)"),
+            scenario_record("static-zipf", "star(12,b=4)"),
+            scenario_record("object-churn", "balanced(3,2)"),
+        ]);
+        assert!(doc.contains("\"bench\": \"scenario_matrix\""));
+        assert!(doc.contains("\"families\": 2"));
+        assert!(doc.contains("\"topologies\": 2"));
+        assert_eq!(doc.matches("\"family\"").count(), 3);
+        // 4 seeds × 2500 requests in 0.05 s → 200k requests/sec.
+        assert!(doc.contains("\"requests_per_sec\": 200000.000000"));
+        assert_eq!(doc.matches("},\n").count(), 2);
+    }
+
+    #[test]
+    fn scenario_null_ratio_renders_as_null() {
+        let mut r = scenario_record("bursty", "caterpillar(4,2)");
+        r.mean_competitive_ratio = None;
+        let doc = render_scenarios_json(&[r]);
+        assert!(doc.contains("\"mean_competitive_ratio\": null"));
     }
 }

@@ -1,14 +1,15 @@
-//! EXP-DYN (Section 1.3, related work [10]): the online read-replicate /
+//! EXP-DYN (Section 1.3, related work \[10\]): the online read-replicate /
 //! write-collapse strategy against the hindsight nibble optimum. The
 //! cited result is a competitive ratio of 3 on trees; we measure the
 //! empirical ratio across request mixes and replication thresholds.
 
 use hbn_bench::Table;
 use hbn_dynamic::{run_competitive, OnlineRequest};
+use hbn_testutil::seeded_rng;
 use hbn_topology::generators::{balanced, BandwidthProfile};
 use hbn_workload::ObjectId;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 fn sequence(
     procs: &[hbn_topology::NodeId],
@@ -41,7 +42,7 @@ fn sequence(
 fn main() {
     println!("EXP-DYN — online strategy vs hindsight nibble (cited ratio: 3 on trees)\n");
     let net = balanced(3, 2, BandwidthProfile::Uniform);
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = seeded_rng(11);
 
     let mut t =
         Table::new(["mix", "D", "online", "hindsight", "ratio", "replications", "collapses"]);

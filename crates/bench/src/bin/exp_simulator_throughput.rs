@@ -1,4 +1,4 @@
-//! EXP-SIM (Section 1 motivation, ref [8]): replay identical traffic under
+//! EXP-SIM (Section 1 motivation, ref \[8\]): replay identical traffic under
 //! placements of different congestion and measure the batch makespan on
 //! the packet simulator. The paper's premise — execution time tracks the
 //! congestion of the data management strategy — should appear as a tight

@@ -8,5 +8,8 @@
 pub mod bench_json;
 pub mod table;
 
-pub use bench_json::{emit_simulator_json, render_simulator_json, SimBenchRecord};
+pub use bench_json::{
+    emit_scenarios_json, emit_simulator_json, render_scenarios_json, render_simulator_json,
+    ScenarioBenchRecord, SimBenchRecord,
+};
 pub use table::Table;

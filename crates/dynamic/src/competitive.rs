@@ -2,7 +2,7 @@
 //! hindsight static optimum.
 //!
 //! The paper's related work quotes a competitive ratio of **3** for
-//! dynamic data management on trees [10]. We measure the ratio of the
+//! dynamic data management on trees \[10\]. We measure the ratio of the
 //! online strategy's congestion to the congestion of the *hindsight
 //! nibble placement* — the static placement computed from the sequence's
 //! full frequency matrix. The static hindsight optimum upper-bounds the

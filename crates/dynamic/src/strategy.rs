@@ -1,7 +1,7 @@
 //! The online read-replicate / write-collapse strategy for trees.
 //!
 //! The paper's related work (Section 1.3) cites the dynamic strategies of
-//! [10] (Maggs, Meyer auf der Heide, Vöcking, Westermann, FOCS'97): data
+//! \[10\] (Maggs, Meyer auf der Heide, Vöcking, Westermann, FOCS'97): data
 //! management in the congestion model with *no* knowledge of the access
 //! pattern, 3-competitive on trees. This module implements the strategy
 //! family those results are built on:

@@ -1,0 +1,353 @@
+//! The scenario engine: stream → online strategy → epoch replay.
+//!
+//! One scenario run drives the phase-scheduled request stream through the
+//! online read-replicate / write-collapse strategy request by request.
+//! At every *epoch* boundary (a phase, or a fixed request budget within a
+//! phase) the engine
+//!
+//! 1. snapshots the strategy's replica sets as a [`Placement`] with
+//!    nearest-copy assignment,
+//! 2. replays the epoch's own requests through the packet simulator under
+//!    that placement (zero-allocation workspace kernel by default, the
+//!    naive reference kernel for differential pinning), and
+//! 3. records an [`EpochSummary`]: congestion of the online traffic the
+//!    epoch added, migration cost (replications × `D`, collapses), and
+//!    the replay's makespan/latency.
+//!
+//! Per-phase aggregation and the hindsight (static nibble) comparison
+//! give the [`ScenarioReport`]. Independent seeds shard across cores via
+//! [`run_scenario_sharded`].
+
+use crate::spec::{ReplayKernel, ScenarioSpec};
+use hbn_core::nibble_placement;
+use hbn_dynamic::{DynamicStats, DynamicTree, OnlineRequest};
+use hbn_load::{LoadMap, LoadRatio, Placement};
+use hbn_sim::{simulate_reference, simulate_with, Request, SimError, SimResult, SimWorkspace};
+use hbn_topology::Network;
+use hbn_workload::{AccessMatrix, PhaseRequest};
+use rayon::prelude::*;
+
+/// Metrics of one replay epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSummary {
+    /// Index of the phase this epoch belongs to.
+    pub phase: usize,
+    /// Requests served in the epoch.
+    pub requests: u64,
+    /// Reads among them.
+    pub reads: u64,
+    /// Writes among them.
+    pub writes: u64,
+    /// Replication events the online strategy performed.
+    pub replications: u64,
+    /// Write-collapse events.
+    pub collapses: u64,
+    /// Data-movement traffic charged for replications (`replications × D`).
+    pub migration_traffic: u64,
+    /// Congestion of the online traffic added during this epoch alone.
+    pub online_congestion: LoadRatio,
+    /// Congestion of the epoch snapshot placement serving the epoch's
+    /// frequency matrix.
+    pub placement_congestion: LoadRatio,
+    /// Simulated makespan of the epoch replay, in slots.
+    pub makespan: u64,
+    /// Mean request latency of the replay, in slots.
+    pub mean_latency: f64,
+    /// 99th-percentile request latency of the replay.
+    pub p99_latency: u64,
+    /// Live objects at the epoch boundary.
+    pub live_objects: usize,
+}
+
+/// Per-phase aggregation of the phase's epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// Phase label from the schedule.
+    pub label: String,
+    /// Replay epochs the phase was split into.
+    pub epochs: usize,
+    /// Requests served.
+    pub requests: u64,
+    /// Reads among them.
+    pub reads: u64,
+    /// Writes among them.
+    pub writes: u64,
+    /// Replication events.
+    pub replications: u64,
+    /// Collapse events.
+    pub collapses: u64,
+    /// Replication data movement (`replications × D`).
+    pub migration_traffic: u64,
+    /// Congestion of the online traffic added during the phase.
+    pub online_congestion: LoadRatio,
+    /// Summed epoch makespans (total simulated slots for the phase).
+    pub makespan: u64,
+    /// Request-weighted mean replay latency.
+    pub mean_latency: f64,
+    /// Worst epoch p99 latency.
+    pub p99_latency: u64,
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Topology label.
+    pub topology: String,
+    /// Stream seed of this run.
+    pub seed: u64,
+    /// Per-phase summaries, in schedule order.
+    pub phases: Vec<PhaseSummary>,
+    /// All epoch summaries, in replay order.
+    pub epochs: Vec<EpochSummary>,
+    /// Total requests served.
+    pub total_requests: u64,
+    /// Total simulated slots across all epoch replays.
+    pub total_makespan: u64,
+    /// Congestion of the full online run (service + broadcast +
+    /// replication traffic).
+    pub online_congestion: LoadRatio,
+    /// Congestion of the hindsight static nibble placement on the
+    /// aggregated frequency matrix.
+    pub hindsight_congestion: LoadRatio,
+    /// `online / hindsight` congestion ratio (`None` when hindsight is 0).
+    pub competitive_ratio: Option<f64>,
+    /// Online strategy event counters over the whole run.
+    pub stats: DynamicStats,
+}
+
+fn stats_delta(cur: DynamicStats, prev: DynamicStats) -> DynamicStats {
+    DynamicStats {
+        reads: cur.reads - prev.reads,
+        writes: cur.writes - prev.writes,
+        replications: cur.replications - prev.replications,
+        collapses: cur.collapses - prev.collapses,
+    }
+}
+
+/// Snapshot the online strategy's replica sets for the objects touched by
+/// `matrix` as a placement with nearest-copy assignment.
+fn snapshot_placement(net: &Network, online: &DynamicTree, matrix: &AccessMatrix) -> Placement {
+    let mut placement = Placement::new(matrix.n_objects());
+    for x in matrix.objects() {
+        if !matrix.object_entries(x).is_empty() {
+            placement.set_copies(x, online.replicas(x).to_vec());
+        }
+    }
+    placement.nearest_assignment(net, matrix);
+    placement
+}
+
+/// Run one scenario to completion.
+///
+/// # Panics
+///
+/// Panics if an epoch replay fails — with a valid spec this can only be
+/// [`SimError::SlotBudgetExceeded`] from an undersized
+/// [`hbn_sim::SimConfig::max_slots`].
+pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
+    try_run_scenario(spec).unwrap_or_else(|e| panic!("scenario {:?} failed: {e}", spec.name))
+}
+
+/// [`run_scenario`], surfacing replay errors instead of panicking.
+pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError> {
+    let net = spec.topology.build();
+    let max_objects = spec.schedule.max_objects();
+    let mut online = DynamicTree::new(&net, max_objects, spec.threshold);
+    let mut ws = SimWorkspace::new();
+    let mut stream = spec.schedule.stream(&net, spec.seed);
+
+    let mut epochs: Vec<EpochSummary> = Vec::new();
+    let mut phases: Vec<PhaseSummary> = Vec::new();
+    let mut aggregate = AccessMatrix::new(max_objects);
+    let mut load_mark = LoadMap::zero(&net);
+    let mut stats_mark = DynamicStats::default();
+
+    let mut epoch_trace: Vec<Request> = Vec::new();
+
+    for (phase_idx, phase) in spec.schedule.phases.iter().enumerate() {
+        let mut phase_epochs: Vec<EpochSummary> = Vec::new();
+        let phase_start_load = load_mark.clone();
+        let mut remaining = phase.requests;
+        while remaining > 0 {
+            let epoch_len = if spec.epoch_requests == 0 {
+                remaining
+            } else {
+                spec.epoch_requests.min(remaining)
+            };
+            remaining -= epoch_len;
+
+            epoch_trace.clear();
+            let mut epoch_matrix = AccessMatrix::new(max_objects);
+            let mut reads = 0u64;
+            let mut writes = 0u64;
+            for PhaseRequest { processor, object, is_write } in stream.by_ref().take(epoch_len) {
+                online.serve(&net, OnlineRequest { processor, object, is_write });
+                epoch_trace.push(Request { processor, object, is_write });
+                if is_write {
+                    writes += 1;
+                    epoch_matrix.add(processor, object, 0, 1);
+                    aggregate.add(processor, object, 0, 1);
+                } else {
+                    reads += 1;
+                    epoch_matrix.add(processor, object, 1, 0);
+                    aggregate.add(processor, object, 1, 0);
+                }
+            }
+
+            // Epoch boundary: snapshot, replay, summarise.
+            let placement = snapshot_placement(&net, &online, &epoch_matrix);
+            let sim: SimResult = match spec.kernel {
+                ReplayKernel::Workspace => {
+                    simulate_with(&mut ws, &net, &epoch_matrix, &placement, &epoch_trace, spec.sim)?
+                }
+                ReplayKernel::Reference => {
+                    simulate_reference(&net, &epoch_matrix, &placement, &epoch_trace, spec.sim)?
+                }
+            };
+
+            let mut online_delta = online.loads().clone();
+            online_delta.sub_assign(&load_mark);
+            load_mark = online.loads().clone();
+            let delta = stats_delta(online.stats(), stats_mark);
+            stats_mark = online.stats();
+
+            phase_epochs.push(EpochSummary {
+                phase: phase_idx,
+                requests: (reads + writes),
+                reads,
+                writes,
+                replications: delta.replications,
+                collapses: delta.collapses,
+                migration_traffic: delta.replications * spec.threshold,
+                online_congestion: online_delta.congestion(&net).congestion,
+                placement_congestion: LoadMap::from_placement(&net, &epoch_matrix, &placement)
+                    .congestion(&net)
+                    .congestion,
+                makespan: sim.makespan,
+                mean_latency: sim.mean_latency,
+                p99_latency: sim.p99_latency,
+                live_objects: stream.live_objects().len(),
+            });
+        }
+
+        let mut phase_delta = online.loads().clone();
+        phase_delta.sub_assign(&phase_start_load);
+        phases.push(summarise_phase(
+            phase.label.clone(),
+            &phase_epochs,
+            phase_delta.congestion(&net).congestion,
+        ));
+        epochs.extend(phase_epochs);
+    }
+
+    let online_congestion = online.congestion(&net);
+    let hindsight_placement = nibble_placement(&net, &aggregate);
+    let hindsight_congestion =
+        LoadMap::from_placement(&net, &aggregate, &hindsight_placement).congestion(&net).congestion;
+
+    Ok(ScenarioReport {
+        name: spec.name.clone(),
+        topology: spec.topology.label(),
+        seed: spec.seed,
+        total_requests: epochs.iter().map(|e| e.requests).sum(),
+        total_makespan: epochs.iter().map(|e| e.makespan).sum(),
+        phases,
+        epochs,
+        online_congestion,
+        hindsight_congestion,
+        competitive_ratio: online_congestion.ratio_to(hindsight_congestion),
+        stats: online.stats(),
+    })
+}
+
+fn summarise_phase(
+    label: String,
+    epochs: &[EpochSummary],
+    online_congestion: LoadRatio,
+) -> PhaseSummary {
+    let requests: u64 = epochs.iter().map(|e| e.requests).sum();
+    let latency_weighted: f64 =
+        epochs.iter().map(|e| e.mean_latency * e.requests as f64).sum::<f64>();
+    PhaseSummary {
+        label,
+        epochs: epochs.len(),
+        requests,
+        reads: epochs.iter().map(|e| e.reads).sum(),
+        writes: epochs.iter().map(|e| e.writes).sum(),
+        replications: epochs.iter().map(|e| e.replications).sum(),
+        collapses: epochs.iter().map(|e| e.collapses).sum(),
+        migration_traffic: epochs.iter().map(|e| e.migration_traffic).sum(),
+        online_congestion,
+        makespan: epochs.iter().map(|e| e.makespan).sum(),
+        mean_latency: if requests > 0 { latency_weighted / requests as f64 } else { 0.0 },
+        p99_latency: epochs.iter().map(|e| e.p99_latency).max().unwrap_or(0),
+    }
+}
+
+/// Run the same scenario across many seeds, sharded over cores with
+/// rayon. Each shard is fully independent (own network, strategy and
+/// simulator workspace); reports come back in seed order.
+pub fn run_scenario_sharded(spec: &ScenarioSpec, seeds: &[u64]) -> Vec<ScenarioReport> {
+    seeds
+        .par_iter()
+        .map(|&seed| {
+            let mut shard = spec.clone();
+            shard.seed = seed;
+            run_scenario(&shard)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TopologyFamily;
+    use hbn_workload::phases::full_tour;
+
+    #[test]
+    fn sharded_runs_match_individual_runs_in_seed_order() {
+        let spec = ScenarioSpec::new(
+            "sharded",
+            TopologyFamily::Caterpillar { spine: 3, legs: 2 },
+            full_tour(5, 80),
+            2,
+            0,
+        );
+        let seeds = [3u64, 1, 7];
+        let sharded = run_scenario_sharded(&spec, &seeds);
+        assert_eq!(sharded.len(), seeds.len());
+        for (&seed, report) in seeds.iter().zip(&sharded) {
+            let mut solo = spec.clone();
+            solo.seed = seed;
+            assert_eq!(report, &run_scenario(&solo), "shard for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn phase_summaries_partition_the_run() {
+        let mut spec = ScenarioSpec::new(
+            "partition",
+            TopologyFamily::Balanced { branching: 3, height: 2 },
+            full_tour(6, 90),
+            1,
+            5,
+        );
+        spec.epoch_requests = 40; // 90 → epochs of 40/40/10 per phase
+        let report = run_scenario(&spec);
+        assert_eq!(report.phases.len(), spec.schedule.phases.len());
+        for (phase, summary) in spec.schedule.phases.iter().zip(&report.phases) {
+            assert_eq!(summary.label, phase.label);
+            assert_eq!(summary.requests as usize, phase.requests);
+            assert_eq!(summary.epochs, 3);
+            assert_eq!(summary.reads + summary.writes, summary.requests);
+        }
+        assert_eq!(report.total_requests as usize, spec.schedule.total_requests());
+        let epoch_total: u64 = report.epochs.iter().map(|e| e.requests).sum();
+        assert_eq!(epoch_total, report.total_requests);
+        // Migration cost is replications × D (here D = 1).
+        let migration: u64 = report.phases.iter().map(|p| p.migration_traffic).sum();
+        assert_eq!(migration, report.stats.replications);
+    }
+}

@@ -1,0 +1,151 @@
+//! Declarative scenario specifications.
+
+use hbn_sim::SimConfig;
+use hbn_topology::generators::{balanced, caterpillar, star, BandwidthProfile};
+use hbn_topology::{Bandwidth, Network};
+use hbn_workload::PhaseSchedule;
+
+/// A topology family a scenario instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyFamily {
+    /// Uniform-bandwidth balanced tree of the given branching and height.
+    Balanced {
+        /// Children per bus.
+        branching: usize,
+        /// Tree height (processors at the leaves).
+        height: u32,
+    },
+    /// Balanced tree with fat-tree bandwidths (doubling towards the root,
+    /// capped).
+    FatBalanced {
+        /// Children per bus.
+        branching: usize,
+        /// Tree height.
+        height: u32,
+    },
+    /// A single bus with all processors attached.
+    Star {
+        /// Number of processors.
+        processors: usize,
+        /// Bandwidth of the single bus.
+        bus_bandwidth: Bandwidth,
+    },
+    /// A caterpillar: a spine of buses, each carrying `legs` processors.
+    Caterpillar {
+        /// Buses along the spine.
+        spine: usize,
+        /// Processors per spine bus.
+        legs: usize,
+    },
+}
+
+impl TopologyFamily {
+    /// Instantiate the network.
+    pub fn build(&self) -> Network {
+        match *self {
+            TopologyFamily::Balanced { branching, height } => {
+                balanced(branching, height, BandwidthProfile::Uniform)
+            }
+            TopologyFamily::FatBalanced { branching, height } => {
+                balanced(branching, height, BandwidthProfile::FatTree { base: 2, cap: 32 })
+            }
+            TopologyFamily::Star { processors, bus_bandwidth } => star(processors, bus_bandwidth),
+            TopologyFamily::Caterpillar { spine, legs } => {
+                caterpillar(spine, legs, BandwidthProfile::Uniform)
+            }
+        }
+    }
+
+    /// A compact human-readable label, e.g. `balanced(3,2)`.
+    pub fn label(&self) -> String {
+        match *self {
+            TopologyFamily::Balanced { branching, height } => {
+                format!("balanced({branching},{height})")
+            }
+            TopologyFamily::FatBalanced { branching, height } => {
+                format!("fat-balanced({branching},{height})")
+            }
+            TopologyFamily::Star { processors, bus_bandwidth } => {
+                format!("star({processors},b={bus_bandwidth})")
+            }
+            TopologyFamily::Caterpillar { spine, legs } => format!("caterpillar({spine},{legs})"),
+        }
+    }
+}
+
+/// Which simulator kernel replays the epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayKernel {
+    /// The zero-allocation [`hbn_sim::SimWorkspace`] kernel (default).
+    #[default]
+    Workspace,
+    /// The naive [`hbn_sim::simulate_reference`] kernel — used by the
+    /// differential suite to pin the engine's replay summaries.
+    Reference,
+}
+
+/// A complete scenario: topology, phase-scheduled workload, online
+/// strategy parameters and replay configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (reported in summaries and benchmark documents).
+    pub name: String,
+    /// The topology family to instantiate.
+    pub topology: TopologyFamily,
+    /// The phase schedule driving the request stream.
+    pub schedule: PhaseSchedule,
+    /// Replication threshold `D` of the online strategy (object size in
+    /// requests).
+    pub threshold: u64,
+    /// Stream seed; [`crate::run_scenario_sharded`] overrides it per shard.
+    pub seed: u64,
+    /// Requests per replay epoch; `0` replays each phase as one epoch.
+    pub epoch_requests: usize,
+    /// Which simulator kernel replays the epochs.
+    pub kernel: ReplayKernel,
+    /// Simulator configuration for the replays.
+    pub sim: SimConfig,
+}
+
+impl ScenarioSpec {
+    /// A scenario with the default epoch granularity (one epoch per
+    /// phase), the workspace kernel and default simulator configuration.
+    pub fn new(
+        name: impl Into<String>,
+        topology: TopologyFamily,
+        schedule: PhaseSchedule,
+        threshold: u64,
+        seed: u64,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            topology,
+            schedule,
+            threshold,
+            seed,
+            epoch_requests: 0,
+            kernel: ReplayKernel::default(),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build_and_label() {
+        for family in [
+            TopologyFamily::Balanced { branching: 3, height: 2 },
+            TopologyFamily::FatBalanced { branching: 3, height: 2 },
+            TopologyFamily::Star { processors: 6, bus_bandwidth: 4 },
+            TopologyFamily::Caterpillar { spine: 3, legs: 2 },
+        ] {
+            let net = family.build();
+            net.check_invariants().unwrap();
+            assert!(net.n_processors() >= 2, "{}", family.label());
+            assert!(!family.label().is_empty());
+        }
+    }
+}

@@ -13,6 +13,31 @@
 //! across replays; the naive kernel is retained as
 //! [`simulate_reference`] and pinned to the fast one by the differential
 //! test suite.
+//!
+//! ## Replaying a workload
+//!
+//! Expand a frequency matrix into a trace and replay it under a
+//! placement:
+//!
+//! ```
+//! use hbn_load::Placement;
+//! use hbn_sim::{expand, simulate, SimConfig};
+//! use hbn_topology::generators::star;
+//! use hbn_workload::{AccessMatrix, ObjectId};
+//!
+//! let net = star(3, 100);
+//! let p = net.processors();
+//! let mut matrix = AccessMatrix::new(1);
+//! matrix.add(p[0], ObjectId(0), 1, 0); // one read from p0
+//!
+//! // Serve it from a copy on p1: the packet crosses two switches.
+//! let placement = Placement::single_leaf(&net, &matrix, |_| p[1]);
+//! let result = simulate(&net, &matrix, &placement, &expand(&matrix), SimConfig::default())
+//!     .expect("full replays are always routable");
+//! assert_eq!(result.delivered_requests, 1);
+//! assert_eq!(result.makespan, 2);
+//! assert_eq!(result.mean_latency, 2.0);
+//! ```
 
 #![warn(missing_docs)]
 

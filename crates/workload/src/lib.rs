@@ -10,8 +10,10 @@
 pub mod freq;
 pub mod generators;
 pub mod objects;
+pub mod phases;
 pub mod stats;
 
 pub use freq::{AccessEntry, AccessMatrix, WorkloadError};
 pub use objects::ObjectId;
+pub use phases::{PhaseKind, PhaseRequest, PhaseSchedule, PhaseSpec, PhaseStream};
 pub use stats::{workload_stats, ObjectStats, WorkloadStats};

@@ -1,0 +1,812 @@
+//! Phase schedules: online access patterns that *shift over time*.
+//!
+//! The static generators in [`crate::generators`] describe one frequency
+//! matrix; real traffic (parallel-program globals, VSM pages, WWW pages —
+//! the paper's motivating workloads) moves through regimes: popularity is
+//! skewed, hotspots migrate between processors, load arrives in bursts,
+//! read/write mixes flip, objects are created and deleted. A
+//! [`PhaseSchedule`] strings such regimes together and a [`PhaseStream`]
+//! turns it into an *online* request sequence, one request at a time, so
+//! arbitrarily long scenarios never materialize a full trace.
+//!
+//! Every stream is deterministic given the schedule, the network and a
+//! `u64` seed, and emits exactly [`PhaseSpec::requests`] requests per
+//! phase; churn phases retire live objects and mint fresh ids, and a
+//! retired object is never referenced again (asserted by the test suite
+//! and relied on by the scenario engine).
+//!
+//! ```
+//! use hbn_topology::generators::{balanced, BandwidthProfile};
+//! use hbn_workload::phases::{PhaseKind, PhaseSchedule, PhaseSpec};
+//!
+//! let net = balanced(3, 2, BandwidthProfile::Uniform);
+//! let schedule = PhaseSchedule::new(
+//!     8,
+//!     vec![
+//!         PhaseSpec::new("warm", PhaseKind::StaticZipf { skew: 0.9, write_fraction: 0.1 }, 100),
+//!         PhaseSpec::new("churn", PhaseKind::ObjectChurn { churn_every: 25, skew: 0.9, write_fraction: 0.3 }, 100),
+//!     ],
+//! );
+//! let requests: Vec<_> = schedule.stream(&net, 7).collect();
+//! assert_eq!(requests.len(), schedule.total_requests());
+//! // `max_objects()` budgets one churn insertion per `churn_every`
+//! // requests (100/25 = 4 on top of the 8 initial objects), an upper
+//! // bound on the ids the stream can mint — the phase itself fires three
+//! // events, at requests 25, 50 and 75 (the i = 0 boundary never churns).
+//! assert_eq!(schedule.max_objects(), 12);
+//! ```
+
+use crate::freq::AccessMatrix;
+use crate::generators::Zipf;
+use crate::objects::ObjectId;
+use hbn_topology::{Network, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One request of an online phase stream.
+///
+/// The same triple as the simulator's trace requests and the dynamic
+/// strategy's online requests; the scenario engine converts as it routes
+/// the stream through both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseRequest {
+    /// The issuing processor (a leaf of the network).
+    pub processor: NodeId,
+    /// The accessed object.
+    pub object: ObjectId,
+    /// `true` for writes.
+    pub is_write: bool,
+}
+
+/// An access-pattern family governing one phase of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhaseKind {
+    /// Stationary WWW-style traffic: object popularity is Zipf(`skew`)
+    /// over the live objects, requesting processors are uniform, and a
+    /// `write_fraction` of requests are writes.
+    StaticZipf {
+        /// Zipf exponent of the popularity ranking (`0` = uniform).
+        skew: f64,
+        /// Probability that a request is a write.
+        write_fraction: f64,
+    },
+    /// A hot working set pinned to a *home* processor that migrates
+    /// through the machine — the VSM page-migration regime.
+    HotspotMigration {
+        /// Size of the hot object set (clamped to the live set).
+        hot_objects: usize,
+        /// Probability that a request targets the hot set from the home.
+        hot_fraction: f64,
+        /// Requests between home migrations (`0` disables migration).
+        migrate_every: usize,
+        /// Probability that a request is a write.
+        write_fraction: f64,
+    },
+    /// Bursty traffic: each burst picks a small object subset and one
+    /// requesting processor, hammers them, then moves on.
+    Bursty {
+        /// Requests per burst (≥ 1).
+        burst_len: usize,
+        /// Objects touched per burst (clamped to the live set).
+        burst_objects: usize,
+        /// Probability that a request is a write.
+        write_fraction: f64,
+    },
+    /// Read-heavy / write-heavy flips: the write fraction alternates
+    /// between two levels every `flip_every` requests (starting with
+    /// `read_writes`), while popularity stays Zipf(`skew`).
+    MixFlip {
+        /// Requests between flips (≥ 1).
+        flip_every: usize,
+        /// Write fraction of the read-heavy half-cycles.
+        read_writes: f64,
+        /// Write fraction of the write-heavy half-cycles.
+        write_writes: f64,
+        /// Zipf exponent of the popularity ranking.
+        skew: f64,
+    },
+    /// Object churn: every `churn_every` requests one uniformly random
+    /// live object is retired (never referenced again) and a fresh object
+    /// id is minted in its place.
+    ObjectChurn {
+        /// Requests between churn events (≥ 1).
+        churn_every: usize,
+        /// Zipf exponent of the popularity ranking over live objects.
+        skew: f64,
+        /// Probability that a request is a write.
+        write_fraction: f64,
+    },
+    /// Adversarial single-bus saturation: requesters alternate between
+    /// two processor groups on opposite sides of one bus, over a small
+    /// object set, so every replication and write broadcast crosses that
+    /// bus.
+    SingleBusSaturation {
+        /// Probability that a request is a write (high values force the
+        /// read-replicate / write-collapse ping-pong).
+        write_fraction: f64,
+        /// Objects in the contended set (clamped to the live set).
+        contended_objects: usize,
+    },
+}
+
+/// One phase: a labelled access-pattern family and a request volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Human-readable phase label (reported in scenario summaries).
+    pub label: String,
+    /// The access-pattern family.
+    pub kind: PhaseKind,
+    /// Exact number of requests this phase emits.
+    pub requests: usize,
+}
+
+impl PhaseSpec {
+    /// A phase emitting `requests` requests of pattern `kind`.
+    pub fn new(label: impl Into<String>, kind: PhaseKind, requests: usize) -> Self {
+        PhaseSpec { label: label.into(), kind, requests }
+    }
+
+    /// Number of churn events (object deletions/insertions) this phase
+    /// performs.
+    pub fn churn_events(&self) -> usize {
+        match self.kind {
+            PhaseKind::ObjectChurn { churn_every, .. } if churn_every > 0 => {
+                self.requests / churn_every
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// A declarative multi-phase access pattern over a growing object space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSchedule {
+    /// Objects live at the start of the schedule (ids `0..initial_objects`).
+    pub initial_objects: usize,
+    /// The phases, executed in order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl PhaseSchedule {
+    /// A schedule starting from `initial_objects ≥ 1` live objects.
+    pub fn new(initial_objects: usize, phases: Vec<PhaseSpec>) -> Self {
+        assert!(initial_objects >= 1, "a schedule needs at least one live object");
+        PhaseSchedule { initial_objects, phases }
+    }
+
+    /// Total requests the schedule emits.
+    pub fn total_requests(&self) -> usize {
+        self.phases.iter().map(|p| p.requests).sum()
+    }
+
+    /// Upper bound on the number of distinct object ids the stream can
+    /// reference: the initial set plus every churn insertion. Size
+    /// strategy/placement state (`DynamicTree::new`, `AccessMatrix::new`)
+    /// with this.
+    pub fn max_objects(&self) -> usize {
+        self.initial_objects + self.phases.iter().map(PhaseSpec::churn_events).sum::<usize>()
+    }
+
+    /// The streaming request source for this schedule on `net`,
+    /// deterministic in `seed`.
+    pub fn stream<'a>(&'a self, net: &'a Network, seed: u64) -> PhaseStream<'a> {
+        PhaseStream::new(self, net, seed)
+    }
+
+    /// Aggregate the whole stream into the read/write frequency matrix
+    /// `h_r, h_w` — the hindsight view a static placement would be
+    /// computed from. Materializes counts, not the trace.
+    pub fn matrix(&self, net: &Network, seed: u64) -> AccessMatrix {
+        let mut m = AccessMatrix::new(self.max_objects());
+        for r in self.stream(net, seed) {
+            if r.is_write {
+                m.add(r.processor, r.object, 0, 1);
+            } else {
+                m.add(r.processor, r.object, 1, 0);
+            }
+        }
+        m
+    }
+}
+
+/// Per-phase sampling state, rebuilt when the stream enters a phase.
+#[derive(Debug)]
+enum PhaseState {
+    Zipf {
+        zipf: Zipf,
+        write_fraction: f64,
+    },
+    Hotspot {
+        zipf: Zipf,
+        hot: usize,
+        hot_fraction: f64,
+        migrate_every: usize,
+        write_fraction: f64,
+        home: usize,
+    },
+    Bursty {
+        burst_len: usize,
+        burst_objects: usize,
+        write_fraction: f64,
+        // Current burst: live-set indices and the requesting processor.
+        objects: Vec<usize>,
+        processor: usize,
+        emitted: usize,
+    },
+    MixFlip {
+        zipf: Zipf,
+        flip_every: usize,
+        read_writes: f64,
+        write_writes: f64,
+    },
+    Churn {
+        zipf: Zipf,
+        churn_every: usize,
+        write_fraction: f64,
+    },
+    SingleBus {
+        write_fraction: f64,
+        contended: Vec<usize>,
+        // Processor groups on opposite sides of the saturated bus.
+        side_a: Vec<NodeId>,
+        side_b: Vec<NodeId>,
+        emitted: usize,
+    },
+}
+
+/// Streaming request source of a [`PhaseSchedule`]: an iterator over
+/// [`PhaseRequest`]s that holds only O(live objects) state.
+#[derive(Debug)]
+pub struct PhaseStream<'a> {
+    schedule: &'a PhaseSchedule,
+    net: &'a Network,
+    rng: StdRng,
+    /// Live object ids; churn replaces entries in place.
+    live: Vec<ObjectId>,
+    /// Retired object ids, in retirement order.
+    retired: Vec<ObjectId>,
+    next_object: u32,
+    phase_idx: usize,
+    emitted_in_phase: usize,
+    state: Option<PhaseState>,
+}
+
+impl<'a> PhaseStream<'a> {
+    fn new(schedule: &'a PhaseSchedule, net: &'a Network, seed: u64) -> Self {
+        assert!(net.n_processors() >= 2, "phase streams need at least two processors");
+        let mut s = PhaseStream {
+            schedule,
+            net,
+            rng: StdRng::seed_from_u64(seed),
+            live: (0..schedule.initial_objects as u32).map(ObjectId).collect(),
+            retired: Vec::new(),
+            next_object: schedule.initial_objects as u32,
+            phase_idx: 0,
+            emitted_in_phase: 0,
+            state: None,
+        };
+        s.enter_phase();
+        s
+    }
+
+    /// Index of the current phase (advances as the stream crosses a
+    /// phase boundary while emitting).
+    pub fn phase_index(&self) -> usize {
+        self.phase_idx
+    }
+
+    /// Object ids currently live (churn mutates this set).
+    pub fn live_objects(&self) -> &[ObjectId] {
+        &self.live
+    }
+
+    /// Object ids retired by churn so far, in retirement order.
+    pub fn retired_objects(&self) -> &[ObjectId] {
+        &self.retired
+    }
+
+    /// Build the sampling state for the phase at `phase_idx` (no-op past
+    /// the last phase).
+    fn enter_phase(&mut self) {
+        let Some(phase) = self.schedule.phases.get(self.phase_idx) else {
+            self.state = None;
+            return;
+        };
+        let n_live = self.live.len();
+        let procs = self.net.processors();
+        self.state = Some(match phase.kind {
+            PhaseKind::StaticZipf { skew, write_fraction } => {
+                PhaseState::Zipf { zipf: Zipf::new(n_live, skew), write_fraction }
+            }
+            PhaseKind::HotspotMigration {
+                hot_objects,
+                hot_fraction,
+                migrate_every,
+                write_fraction,
+            } => PhaseState::Hotspot {
+                zipf: Zipf::new(n_live, 1.0),
+                hot: hot_objects.clamp(1, n_live),
+                hot_fraction,
+                migrate_every,
+                write_fraction,
+                home: self.rng.gen_range(0..procs.len()),
+            },
+            PhaseKind::Bursty { burst_len, burst_objects, write_fraction } => PhaseState::Bursty {
+                burst_len: burst_len.max(1),
+                burst_objects: burst_objects.clamp(1, n_live),
+                write_fraction,
+                objects: Vec::new(),
+                processor: 0,
+                emitted: 0,
+            },
+            PhaseKind::MixFlip { flip_every, read_writes, write_writes, skew } => {
+                PhaseState::MixFlip {
+                    zipf: Zipf::new(n_live, skew),
+                    flip_every: flip_every.max(1),
+                    read_writes,
+                    write_writes,
+                }
+            }
+            PhaseKind::ObjectChurn { churn_every, skew, write_fraction } => PhaseState::Churn {
+                zipf: Zipf::new(n_live, skew),
+                churn_every: churn_every.max(1),
+                write_fraction,
+            },
+            PhaseKind::SingleBusSaturation { write_fraction, contended_objects } => {
+                let (side_a, side_b) = self.split_bus_sides();
+                let k = contended_objects.clamp(1, n_live);
+                PhaseState::SingleBus {
+                    write_fraction,
+                    contended: (0..k).collect(),
+                    side_a,
+                    side_b,
+                    emitted: 0,
+                }
+            }
+        });
+    }
+
+    /// Split the processors across the most balanced bus: the two child
+    /// subtrees with the most processors on each side. Falls back to an
+    /// even split of the processor list on degenerate trees.
+    fn split_bus_sides(&mut self) -> (Vec<NodeId>, Vec<NodeId>) {
+        let procs = self.net.processors();
+        let mut best: Option<(usize, Vec<NodeId>, Vec<NodeId>)> = None;
+        for bus in self.net.nodes().filter(|&v| self.net.is_bus(v)) {
+            // Group the processors by their first hop away from `bus`.
+            let mut groups: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+            for &p in procs {
+                if p == bus {
+                    continue;
+                }
+                let hop = self.net.step_towards(bus, p);
+                match groups.iter_mut().find(|(h, _)| *h == hop) {
+                    Some((_, g)) => g.push(p),
+                    None => groups.push((hop, vec![p])),
+                }
+            }
+            if groups.len() < 2 {
+                continue;
+            }
+            groups.sort_by_key(|(_, g)| std::cmp::Reverse(g.len()));
+            let score = groups[0].1.len().min(groups[1].1.len());
+            if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
+                let b = groups.swap_remove(1).1;
+                let a = groups.swap_remove(0).1;
+                best = Some((score, a, b));
+            }
+        }
+        match best {
+            Some((_, a, b)) => (a, b),
+            None => {
+                let mid = procs.len() / 2;
+                (procs[..mid].to_vec(), procs[mid..].to_vec())
+            }
+        }
+    }
+
+    /// Emit the next request of the current phase. `self.state` is the
+    /// matching variant for `self.schedule.phases[self.phase_idx]`.
+    fn emit(&mut self) -> PhaseRequest {
+        let procs = self.net.processors();
+        let i = self.emitted_in_phase;
+        let state = self.state.as_mut().expect("emit called with an active phase");
+        match state {
+            PhaseState::Zipf { zipf, write_fraction } => {
+                let object = self.live[zipf.sample(&mut self.rng)];
+                PhaseRequest {
+                    processor: procs[self.rng.gen_range(0..procs.len())],
+                    object,
+                    is_write: self.rng.gen_bool(write_fraction.clamp(0.0, 1.0)),
+                }
+            }
+            PhaseState::Hotspot {
+                zipf,
+                hot,
+                hot_fraction,
+                migrate_every,
+                write_fraction,
+                home,
+            } => {
+                if *migrate_every > 0 && i > 0 && i.is_multiple_of(*migrate_every) {
+                    // The working set moves: pick a fresh home processor.
+                    let next = self.rng.gen_range(0..procs.len() - 1);
+                    *home = if next >= *home { next + 1 } else { next };
+                }
+                let is_write = self.rng.gen_bool(write_fraction.clamp(0.0, 1.0));
+                if self.rng.gen_bool(hot_fraction.clamp(0.0, 1.0)) {
+                    let object = self.live[self.rng.gen_range(0..*hot)];
+                    PhaseRequest { processor: procs[*home], object, is_write }
+                } else {
+                    let object = self.live[zipf.sample(&mut self.rng)];
+                    PhaseRequest {
+                        processor: procs[self.rng.gen_range(0..procs.len())],
+                        object,
+                        is_write,
+                    }
+                }
+            }
+            PhaseState::Bursty {
+                burst_len,
+                burst_objects,
+                write_fraction,
+                objects,
+                processor,
+                emitted,
+            } => {
+                if *emitted % *burst_len == 0 {
+                    // Start a new burst: fresh object subset, fresh source.
+                    objects.clear();
+                    for _ in 0..*burst_objects {
+                        objects.push(self.rng.gen_range(0..self.live.len()));
+                    }
+                    *processor = self.rng.gen_range(0..procs.len());
+                }
+                let object = self.live[objects[*emitted % objects.len()]];
+                *emitted += 1;
+                PhaseRequest {
+                    processor: procs[*processor],
+                    object,
+                    is_write: self.rng.gen_bool(write_fraction.clamp(0.0, 1.0)),
+                }
+            }
+            PhaseState::MixFlip { zipf, flip_every, read_writes, write_writes } => {
+                let write_fraction =
+                    if (i / *flip_every).is_multiple_of(2) { *read_writes } else { *write_writes };
+                PhaseRequest {
+                    processor: procs[self.rng.gen_range(0..procs.len())],
+                    object: self.live[zipf.sample(&mut self.rng)],
+                    is_write: self.rng.gen_bool(write_fraction.clamp(0.0, 1.0)),
+                }
+            }
+            PhaseState::Churn { zipf, churn_every, write_fraction } => {
+                if i > 0 && i.is_multiple_of(*churn_every) {
+                    // Retire one uniformly random live object and mint a
+                    // fresh id in its slot; the retired id never recurs.
+                    let slot = self.rng.gen_range(0..self.live.len());
+                    self.retired.push(self.live[slot]);
+                    self.live[slot] = ObjectId(self.next_object);
+                    self.next_object += 1;
+                }
+                PhaseRequest {
+                    processor: procs[self.rng.gen_range(0..procs.len())],
+                    object: self.live[zipf.sample(&mut self.rng)],
+                    is_write: self.rng.gen_bool(write_fraction.clamp(0.0, 1.0)),
+                }
+            }
+            PhaseState::SingleBus { write_fraction, contended, side_a, side_b, emitted } => {
+                // Alternate sides so every consecutive pair of requests on
+                // an object straddles the bus.
+                let side = if *emitted % 2 == 0 { &*side_a } else { &*side_b };
+                let object = self.live[contended[(*emitted / 2) % contended.len()]];
+                *emitted += 1;
+                PhaseRequest {
+                    processor: side[self.rng.gen_range(0..side.len())],
+                    object,
+                    is_write: self.rng.gen_bool(write_fraction.clamp(0.0, 1.0)),
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for PhaseStream<'_> {
+    type Item = PhaseRequest;
+
+    fn next(&mut self) -> Option<PhaseRequest> {
+        loop {
+            let phase = self.schedule.phases.get(self.phase_idx)?;
+            if self.emitted_in_phase >= phase.requests {
+                self.phase_idx += 1;
+                self.emitted_in_phase = 0;
+                self.enter_phase();
+                continue;
+            }
+            let req = self.emit();
+            self.emitted_in_phase += 1;
+            return Some(req);
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining: usize = self
+            .schedule
+            .phases
+            .iter()
+            .skip(self.phase_idx)
+            .map(|p| p.requests)
+            .sum::<usize>()
+            .saturating_sub(self.emitted_in_phase);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for PhaseStream<'_> {}
+
+/// A ready-made six-phase schedule touring every [`PhaseKind`] family —
+/// the "as many scenarios as you can imagine" smoke test. `volume` is the
+/// per-phase request count.
+pub fn full_tour(initial_objects: usize, volume: usize) -> PhaseSchedule {
+    PhaseSchedule::new(
+        initial_objects,
+        vec![
+            PhaseSpec::new(
+                "static-zipf",
+                PhaseKind::StaticZipf { skew: 0.9, write_fraction: 0.1 },
+                volume,
+            ),
+            PhaseSpec::new(
+                "hotspot-migration",
+                PhaseKind::HotspotMigration {
+                    hot_objects: 4,
+                    hot_fraction: 0.8,
+                    migrate_every: volume.div_ceil(5).max(1),
+                    write_fraction: 0.2,
+                },
+                volume,
+            ),
+            PhaseSpec::new(
+                "bursty",
+                PhaseKind::Bursty { burst_len: 50, burst_objects: 3, write_fraction: 0.15 },
+                volume,
+            ),
+            PhaseSpec::new(
+                "mix-flip",
+                PhaseKind::MixFlip {
+                    flip_every: volume.div_ceil(4).max(1),
+                    read_writes: 0.02,
+                    write_writes: 0.8,
+                    skew: 0.7,
+                },
+                volume,
+            ),
+            PhaseSpec::new(
+                "object-churn",
+                PhaseKind::ObjectChurn {
+                    churn_every: volume.div_ceil(8).max(1),
+                    skew: 0.9,
+                    write_fraction: 0.25,
+                },
+                volume,
+            ),
+            PhaseSpec::new(
+                "single-bus-saturation",
+                PhaseKind::SingleBusSaturation { write_fraction: 0.5, contended_objects: 2 },
+                volume,
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbn_topology::generators::{balanced, star, BandwidthProfile};
+    use std::collections::HashSet;
+
+    fn net() -> Network {
+        balanced(3, 2, BandwidthProfile::Uniform)
+    }
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let t = net();
+        let schedule = full_tour(8, 200);
+        let a: Vec<PhaseRequest> = schedule.stream(&t, 42).collect();
+        let b: Vec<PhaseRequest> = schedule.stream(&t, 42).collect();
+        assert_eq!(a, b);
+        let c: Vec<PhaseRequest> = schedule.stream(&t, 43).collect();
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn matrix_totals_match_requested_volume() {
+        let t = net();
+        let schedule = full_tour(8, 150);
+        let m = schedule.matrix(&t, 5);
+        assert_eq!(m.grand_total() as usize, schedule.total_requests());
+        assert_eq!(m.n_objects(), schedule.max_objects());
+        m.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn every_phase_emits_exactly_its_volume() {
+        let t = net();
+        let schedule = full_tour(6, 97);
+        let mut stream = schedule.stream(&t, 1);
+        for i in 0..schedule.phases.len() {
+            for j in 0..schedule.phases[i].requests {
+                assert!(stream.next().is_some());
+                if j == 0 {
+                    assert_eq!(stream.phase_index(), i);
+                }
+            }
+        }
+        assert!(stream.next().is_none());
+        assert_eq!(stream.len(), 0);
+    }
+
+    #[test]
+    fn churn_never_references_retired_objects() {
+        let t = net();
+        let schedule = PhaseSchedule::new(
+            6,
+            vec![
+                PhaseSpec::new(
+                    "churn",
+                    PhaseKind::ObjectChurn { churn_every: 10, skew: 1.0, write_fraction: 0.3 },
+                    400,
+                ),
+                PhaseSpec::new(
+                    "after",
+                    PhaseKind::StaticZipf { skew: 0.5, write_fraction: 0.1 },
+                    200,
+                ),
+            ],
+        );
+        let mut stream = schedule.stream(&t, 9);
+        let mut dead: HashSet<ObjectId> = HashSet::new();
+        let mut retired_seen = 0;
+        while let Some(req) = stream.next() {
+            for &r in &stream.retired_objects()[retired_seen..] {
+                dead.insert(r);
+            }
+            retired_seen = stream.retired_objects().len();
+            assert!(!dead.contains(&req.object), "request to retired object {:?}", req.object);
+            assert!((req.object.index()) < schedule.max_objects());
+        }
+        assert_eq!(stream.retired_objects().len(), 39, "400 requests / churn_every 10, minus i=0");
+        // The follow-up phase keeps honouring earlier retirements: its
+        // live set is the churned one.
+        assert_eq!(stream.live_objects().len(), 6);
+    }
+
+    #[test]
+    fn churn_mints_fresh_ids_up_to_max_objects() {
+        let t = net();
+        let schedule = PhaseSchedule::new(
+            4,
+            vec![PhaseSpec::new(
+                "churn",
+                PhaseKind::ObjectChurn { churn_every: 5, skew: 0.0, write_fraction: 0.0 },
+                100,
+            )],
+        );
+        assert_eq!(schedule.max_objects(), 4 + 20);
+        let mut stream = schedule.stream(&t, 3);
+        for _ in stream.by_ref() {}
+        // 100/5 = 20 events, but the i=0 boundary does not churn.
+        assert_eq!(stream.retired_objects().len(), 19);
+        let live: HashSet<u32> = stream.live_objects().iter().map(|o| o.0).collect();
+        assert_eq!(live.len(), 4);
+        assert!(live.iter().all(|&o| (o as usize) < schedule.max_objects()));
+    }
+
+    #[test]
+    fn single_bus_phase_alternates_sides() {
+        let t = net();
+        let schedule = PhaseSchedule::new(
+            4,
+            vec![PhaseSpec::new(
+                "sat",
+                PhaseKind::SingleBusSaturation { write_fraction: 0.5, contended_objects: 2 },
+                200,
+            )],
+        );
+        let reqs: Vec<PhaseRequest> = schedule.stream(&t, 11).collect();
+        // Consecutive requests to the same object come from processors
+        // whose pairwise path crosses the split bus: they are never equal.
+        for pair in reqs.chunks(2) {
+            if let [a, b] = pair {
+                assert_eq!(a.object, b.object);
+                assert_ne!(a.processor, b.processor, "sides must differ");
+            }
+        }
+        let touched: HashSet<u32> = reqs.iter().map(|r| r.object.0).collect();
+        assert_eq!(touched.len(), 2, "contended set has two objects");
+    }
+
+    #[test]
+    fn hotspot_migration_moves_the_home() {
+        let t = net();
+        let schedule = PhaseSchedule::new(
+            8,
+            vec![PhaseSpec::new(
+                "hot",
+                PhaseKind::HotspotMigration {
+                    hot_objects: 2,
+                    hot_fraction: 1.0,
+                    migrate_every: 50,
+                    write_fraction: 0.0,
+                },
+                300,
+            )],
+        );
+        let reqs: Vec<PhaseRequest> = schedule.stream(&t, 13).collect();
+        // With hot_fraction 1.0 all requests come from the per-window
+        // home; at least two distinct homes must appear across windows.
+        let homes: HashSet<NodeId> = reqs.iter().map(|r| r.processor).collect();
+        assert!(homes.len() >= 2, "home never migrated: {homes:?}");
+        for window in reqs.chunks(50) {
+            let w: HashSet<NodeId> = window.iter().map(|r| r.processor).collect();
+            assert_eq!(w.len(), 1, "one home per window");
+        }
+    }
+
+    #[test]
+    fn mix_flip_alternates_write_rates() {
+        let t = net();
+        let schedule = PhaseSchedule::new(
+            4,
+            vec![PhaseSpec::new(
+                "flip",
+                PhaseKind::MixFlip {
+                    flip_every: 250,
+                    read_writes: 0.0,
+                    write_writes: 1.0,
+                    skew: 0.5,
+                },
+                1000,
+            )],
+        );
+        let reqs: Vec<PhaseRequest> = schedule.stream(&t, 17).collect();
+        for (i, chunk) in reqs.chunks(250).enumerate() {
+            let writes = chunk.iter().filter(|r| r.is_write).count();
+            if i % 2 == 0 {
+                assert_eq!(writes, 0, "read-heavy half-cycle {i}");
+            } else {
+                assert_eq!(writes, 250, "write-heavy half-cycle {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_bursts_share_source_and_objects() {
+        let t = star(6, 4);
+        let schedule = PhaseSchedule::new(
+            12,
+            vec![PhaseSpec::new(
+                "bursty",
+                PhaseKind::Bursty { burst_len: 25, burst_objects: 2, write_fraction: 0.0 },
+                100,
+            )],
+        );
+        let reqs: Vec<PhaseRequest> = schedule.stream(&t, 19).collect();
+        for burst in reqs.chunks(25) {
+            let procs: HashSet<NodeId> = burst.iter().map(|r| r.processor).collect();
+            assert_eq!(procs.len(), 1, "one source per burst");
+            let objs: HashSet<u32> = burst.iter().map(|r| r.object.0).collect();
+            assert!(objs.len() <= 2, "at most burst_objects objects");
+        }
+    }
+
+    #[test]
+    fn size_hint_tracks_remaining_requests() {
+        let t = net();
+        let schedule = full_tour(6, 40);
+        let mut stream = schedule.stream(&t, 23);
+        assert_eq!(stream.len(), 240);
+        stream.next();
+        assert_eq!(stream.len(), 239);
+    }
+}

@@ -29,6 +29,12 @@
 //! assert!(outcome.placement.is_leaf_only(&net));
 //! println!("congestion = {}", congestion.congestion);
 //! ```
+//!
+//! For end-to-end experiments — phase-scheduled online traffic served by
+//! the dynamic strategy and replayed on the simulator — see
+//! [`scenario`].
+
+#![warn(missing_docs)]
 
 pub use hbn_baselines as baselines;
 pub use hbn_core as core;
@@ -36,6 +42,7 @@ pub use hbn_distributed as distributed;
 pub use hbn_dynamic as dynamic;
 pub use hbn_exact as exact;
 pub use hbn_load as load;
+pub use hbn_scenario as scenario;
 pub use hbn_sim as sim;
 pub use hbn_topology as topology;
 pub use hbn_workload as workload;
