@@ -112,7 +112,9 @@ pub fn emit_simulator_json(
 }
 
 /// One cell of the scenario matrix: a (family, topology) pair aggregated
-/// over its seed shards.
+/// over its seed shards. Each cell is self-describing: it carries the
+/// strategy threshold, epoch granularity and kernel pair it was produced
+/// under, so trajectories stay comparable when the matrix defaults move.
 #[derive(Debug, Clone)]
 pub struct ScenarioBenchRecord {
     /// Access-pattern family label, e.g. `object-churn`.
@@ -127,6 +129,13 @@ pub struct ScenarioBenchRecord {
     pub requests_per_seed: usize,
     /// Replay epochs per shard.
     pub epochs: usize,
+    /// Replication threshold `D` of the online strategy.
+    pub threshold_d: u64,
+    /// Requests per replay epoch (`0` = one epoch per phase).
+    pub epoch_requests: usize,
+    /// Kernel pair that produced the cell (serve/replay), e.g.
+    /// `workspace`.
+    pub kernel: String,
     /// Mean total simulated makespan (slots) over the shards.
     pub mean_makespan_slots: f64,
     /// Mean online congestion over the shards.
@@ -169,6 +178,7 @@ pub fn render_scenarios_json(records: &[ScenarioBenchRecord]) -> String {
         out.push_str(&format!(
             "    {{\"family\": \"{}\", \"topology\": \"{}\", \"processors\": {}, \
              \"seeds\": {}, \"requests_per_seed\": {}, \"epochs\": {}, \
+             \"threshold_d\": {}, \"epoch_requests\": {}, \"kernel\": \"{}\", \
              \"mean_makespan_slots\": {}, \"mean_online_congestion\": {}, \
              \"mean_competitive_ratio\": {}, \"mean_replications\": {}, \
              \"mean_collapses\": {}, \"mean_latency_slots\": {}, \
@@ -179,6 +189,9 @@ pub fn render_scenarios_json(records: &[ScenarioBenchRecord]) -> String {
             r.seeds,
             r.requests_per_seed,
             r.epochs,
+            r.threshold_d,
+            r.epoch_requests,
+            json_escape(&r.kernel),
             json_f64(r.mean_makespan_slots),
             json_f64(r.mean_online_congestion),
             r.mean_competitive_ratio.map(json_f64).unwrap_or_else(|| "null".to_string()),
@@ -208,6 +221,86 @@ fn count_distinct<'a>(
 pub fn emit_scenarios_json(path: &str, records: &[ScenarioBenchRecord]) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     f.write_all(render_scenarios_json(records).as_bytes())
+}
+
+/// One timed serve-loop run of the online strategy.
+#[derive(Debug, Clone)]
+pub struct DynamicBenchRecord {
+    /// Network label, e.g. `balanced(4,3)`.
+    pub network: String,
+    /// Number of processors (leaves).
+    pub processors: usize,
+    /// Live objects at schedule start.
+    pub objects: usize,
+    /// Requests served.
+    pub requests: usize,
+    /// Replication threshold `D`.
+    pub threshold_d: u64,
+    /// Which kernel ran (`workspace`, `reference`,
+    /// `workspace-sharded(xN)`).
+    pub kernel: String,
+    /// Wall-clock seconds for the serve loop.
+    pub wall_seconds: f64,
+    /// Replication events performed.
+    pub replications: u64,
+    /// Write-collapse events performed.
+    pub collapses: u64,
+}
+
+impl DynamicBenchRecord {
+    /// Served requests per wall-clock second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests as f64 / self.wall_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Render the dynamic serve-loop benchmark document.
+pub fn render_dynamic_json(records: &[DynamicBenchRecord], speedup: Option<f64>) -> String {
+    let emitted_at = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"dynamic_serve_throughput\",\n");
+    out.push_str(&format!("  \"emitted_at_unix\": {emitted_at},\n"));
+    out.push_str(&format!(
+        "  \"speedup_workspace_vs_reference\": {},\n",
+        speedup.map(json_f64).unwrap_or_else(|| "null".to_string())
+    ));
+    out.push_str("  \"instances\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"network\": \"{}\", \"processors\": {}, \"objects\": {}, \
+             \"requests\": {}, \"threshold_d\": {}, \"kernel\": \"{}\", \
+             \"wall_seconds\": {}, \"requests_per_sec\": {}, \
+             \"replications\": {}, \"collapses\": {}}}{}\n",
+            json_escape(&r.network),
+            r.processors,
+            r.objects,
+            r.requests,
+            r.threshold_d,
+            json_escape(&r.kernel),
+            json_f64(r.wall_seconds),
+            json_f64(r.requests_per_sec()),
+            r.replications,
+            r.collapses,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render and write the dynamic serve-loop document to `path`.
+pub fn emit_dynamic_json(
+    path: &str,
+    records: &[DynamicBenchRecord],
+    speedup: Option<f64>,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_dynamic_json(records, speedup).as_bytes())
 }
 
 #[cfg(test)]
@@ -260,6 +353,9 @@ mod tests {
             seeds: 4,
             requests_per_seed: 2500,
             epochs: 3,
+            threshold_d: 3,
+            epoch_requests: 0,
+            kernel: "workspace".into(),
             mean_makespan_slots: 1200.0,
             mean_online_congestion: 310.5,
             mean_competitive_ratio: Some(2.4),
@@ -292,5 +388,48 @@ mod tests {
         r.mean_competitive_ratio = None;
         let doc = render_scenarios_json(&[r]);
         assert!(doc.contains("\"mean_competitive_ratio\": null"));
+    }
+
+    #[test]
+    fn scenario_cells_are_self_describing() {
+        let doc = render_scenarios_json(&[scenario_record("static-zipf", "balanced(4,3)")]);
+        assert!(doc.contains("\"threshold_d\": 3"));
+        assert!(doc.contains("\"epoch_requests\": 0"));
+        assert!(doc.contains("\"kernel\": \"workspace\""));
+    }
+
+    fn dynamic_record(kernel: &str) -> DynamicBenchRecord {
+        DynamicBenchRecord {
+            network: "balanced(4,3)".into(),
+            processors: 64,
+            objects: 64,
+            requests: 100_000,
+            threshold_d: 3,
+            kernel: kernel.into(),
+            wall_seconds: 0.05,
+            replications: 900,
+            collapses: 120,
+        }
+    }
+
+    #[test]
+    fn dynamic_document_shape_is_stable() {
+        let doc = render_dynamic_json(
+            &[dynamic_record("workspace"), dynamic_record("reference")],
+            Some(4.2),
+        );
+        assert!(doc.contains("\"bench\": \"dynamic_serve_throughput\""));
+        assert!(doc.contains("\"speedup_workspace_vs_reference\": 4.200000"));
+        // 100k requests in 0.05 s → 2M requests/sec.
+        assert!(doc.contains("\"requests_per_sec\": 2000000.000000"));
+        assert!(doc.contains("\"threshold_d\": 3"));
+        assert_eq!(doc.matches("\"kernel\"").count(), 2);
+        assert_eq!(doc.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn dynamic_null_speedup_renders_as_null() {
+        let doc = render_dynamic_json(&[dynamic_record("workspace")], None);
+        assert!(doc.contains("\"speedup_workspace_vs_reference\": null"));
     }
 }

@@ -2,100 +2,64 @@
 //! of `hbn_workload::phases` crossed with several topology families, each
 //! cell run across independent seed shards (rayon). Each run streams the
 //! phase schedule through the online read-replicate / write-collapse
-//! strategy and replays every epoch on the zero-allocation packet
-//! simulator, so the numbers below exercise the paper's actual pipeline:
-//! online traffic → dynamic placement → congestion → completion time.
+//! strategy (zero-allocation workspace serve kernel, object-sharded) and
+//! replays every epoch on the zero-allocation packet simulator, so the
+//! numbers below exercise the paper's actual pipeline: online traffic →
+//! dynamic placement → congestion → completion time.
 //!
-//! Emits `BENCH_scenarios.json` so the scenario trajectory is tracked
-//! across PRs alongside `BENCH_simulator.json`.
+//! Production scale reaches `fat-balanced(4,3)` (64 processors) at
+//! ≥ 100k requests per seed, with bounded replay epochs so saturated
+//! cells stay linear in the backlog; `HBN_EXP_QUICK=1` drops the volumes
+//! so CI can run the same matrix in seconds. Emits `BENCH_scenarios.json` (with
+//! self-describing cells: threshold, epoch granularity, kernel) so the
+//! scenario trajectory is tracked across PRs alongside
+//! `BENCH_simulator.json` and `BENCH_dynamic.json`.
 
-use hbn_bench::{emit_scenarios_json, ScenarioBenchRecord, Table};
+use hbn_bench::{emit_scenarios_json, exp_quick, ScenarioBenchRecord, Table};
 use hbn_scenario::{run_scenario_sharded, ScenarioSpec, TopologyFamily};
-use hbn_testutil::{seeded_rng, seeded_rng_stream};
-use hbn_workload::phases::{PhaseKind, PhaseSchedule, PhaseSpec};
+use hbn_testutil::{family_schedules, seeded_rng, seeded_rng_stream};
+use hbn_workload::phases::PhaseSchedule;
 use rand::Rng;
 use std::time::Instant;
 
-/// Requests in the warm-up phase preceding each family phase.
-const WARMUP: usize = 400;
-/// Requests in the family phase itself.
-const VOLUME: usize = 2000;
 /// Live objects at schedule start.
 const OBJECTS: usize = 24;
 /// Replication threshold `D` of the online strategy.
 const THRESHOLD: u64 = 3;
 /// Seed shards per matrix cell.
 const SHARDS: usize = 4;
+/// Requests per replay epoch. Bounding the epoch bounds the simulator's
+/// slot-loop backlog on saturated cells (the blocked-packet set is
+/// re-scanned every slot), which keeps 100k-request runs linear instead
+/// of quadratic in the backlog.
+const EPOCH_REQUESTS: usize = 5_000;
+
+/// (warm-up requests, measured-phase requests) per schedule: ≥ 100k per
+/// seed at production scale, CI-sized in quick mode.
+fn volumes() -> (usize, usize) {
+    if exp_quick() {
+        (400, 2_000)
+    } else {
+        (4_000, 100_000)
+    }
+}
 
 /// The access-pattern families of the matrix: a light stationary warm-up
 /// (so the strategy starts from a populated replica state) followed by
-/// the family phase under measurement.
+/// the family phase under measurement. The canonical six-family set is
+/// shared with the dynamic-kernel differential suites via `hbn-testutil`.
 fn families() -> Vec<(&'static str, PhaseSchedule)> {
-    let warmup =
-        PhaseSpec::new("warmup", PhaseKind::StaticZipf { skew: 0.8, write_fraction: 0.1 }, WARMUP);
-    let phase = |label: &'static str, kind: PhaseKind| {
-        PhaseSchedule::new(OBJECTS, vec![warmup.clone(), PhaseSpec::new(label, kind, VOLUME)])
-    };
-    vec![
-        (
-            "static-zipf",
-            phase("static-zipf", PhaseKind::StaticZipf { skew: 1.1, write_fraction: 0.1 }),
-        ),
-        (
-            "hotspot-migration",
-            phase(
-                "hotspot-migration",
-                PhaseKind::HotspotMigration {
-                    hot_objects: 6,
-                    hot_fraction: 0.8,
-                    migrate_every: VOLUME / 5,
-                    write_fraction: 0.2,
-                },
-            ),
-        ),
-        (
-            "bursty",
-            phase(
-                "bursty",
-                PhaseKind::Bursty { burst_len: 50, burst_objects: 3, write_fraction: 0.15 },
-            ),
-        ),
-        (
-            "mix-flip",
-            phase(
-                "mix-flip",
-                PhaseKind::MixFlip {
-                    flip_every: VOLUME / 4,
-                    read_writes: 0.02,
-                    write_writes: 0.8,
-                    skew: 0.7,
-                },
-            ),
-        ),
-        (
-            "object-churn",
-            phase(
-                "object-churn",
-                PhaseKind::ObjectChurn {
-                    churn_every: VOLUME / 10,
-                    skew: 0.9,
-                    write_fraction: 0.25,
-                },
-            ),
-        ),
-        (
-            "single-bus-saturation",
-            phase(
-                "single-bus-saturation",
-                PhaseKind::SingleBusSaturation { write_fraction: 0.5, contended_objects: 2 },
-            ),
-        ),
-    ]
+    let (warmup, volume) = volumes();
+    family_schedules(OBJECTS, warmup, volume)
 }
 
 fn topologies() -> Vec<TopologyFamily> {
     vec![
         TopologyFamily::Balanced { branching: 3, height: 2 },
+        // The 64-processor scale row. Fat-tree bandwidths: at this size a
+        // uniform b = 1 tree saturates by construction and the replay
+        // measures nothing but simulator backlog.
+        TopologyFamily::FatBalanced { branching: 4, height: 3 },
         TopologyFamily::Star { processors: 12, bus_bandwidth: 4 },
         TopologyFamily::Caterpillar { spine: 4, legs: 3 },
     ]
@@ -111,12 +75,15 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 }
 
 fn main() {
+    let (warmup, volume) = volumes();
     println!(
         "EXP-SCEN — scenario matrix: {} access-pattern families x {} topologies, \
-         {} seed shards each\n",
+         {} seed shards each, {} requests per seed{}\n",
         families().len(),
         topologies().len(),
-        SHARDS
+        SHARDS,
+        warmup + volume,
+        if exp_quick() { " (HBN_EXP_QUICK)" } else { "" }
     );
 
     // All shard seeds flow from the canonical RNG constructions in
@@ -135,6 +102,7 @@ fn main() {
         "coll",
         "mean lat",
         "wall (ms)",
+        "req/s",
     ]);
 
     for (family, schedule) in families() {
@@ -142,13 +110,14 @@ fn main() {
             let cell_base: u64 = seed_source.gen();
             let seeds: Vec<u64> =
                 (0..SHARDS as u64).map(|s| seeded_rng_stream(cell_base, s).gen()).collect();
-            let spec = ScenarioSpec::new(
+            let mut spec = ScenarioSpec::new(
                 format!("{family}@{}", topology.label()),
                 topology,
                 schedule.clone(),
                 THRESHOLD,
                 0,
             );
+            spec.epoch_requests = EPOCH_REQUESTS;
             let processors = topology.build().n_processors();
 
             let start = Instant::now();
@@ -163,6 +132,9 @@ fn main() {
                 seeds: SHARDS,
                 requests_per_seed: schedule.total_requests(),
                 epochs: reports[0].epochs.len(),
+                threshold_d: spec.threshold,
+                epoch_requests: spec.epoch_requests,
+                kernel: spec.kernel_label(),
                 mean_makespan_slots: mean(reports.iter().map(|r| r.total_makespan as f64)),
                 mean_online_congestion: mean(reports.iter().map(|r| r.online_congestion.as_f64())),
                 mean_competitive_ratio: if ratios.is_empty() {
@@ -194,6 +166,7 @@ fn main() {
                 format!("{:.0}", rec.mean_collapses),
                 format!("{:.2}", rec.mean_latency_slots),
                 format!("{:.1}", wall * 1e3),
+                format!("{:.0}", rec.requests_per_sec()),
             ]);
             records.push(rec);
         }

@@ -9,7 +9,18 @@ pub mod bench_json;
 pub mod table;
 
 pub use bench_json::{
-    emit_scenarios_json, emit_simulator_json, render_scenarios_json, render_simulator_json,
-    ScenarioBenchRecord, SimBenchRecord,
+    emit_dynamic_json, emit_scenarios_json, emit_simulator_json, render_dynamic_json,
+    render_scenarios_json, render_simulator_json, DynamicBenchRecord, ScenarioBenchRecord,
+    SimBenchRecord,
 };
 pub use table::Table;
+
+/// Whether the experiment binaries should run in quick mode
+/// (`HBN_EXP_QUICK=1`): same matrix shape, drastically reduced request
+/// volumes, so CI can exercise the full pipeline without paying for the
+/// production-scale instances. Benchmark documents emitted in quick mode
+/// still carry their per-cell volumes, so trajectories remain
+/// interpretable.
+pub fn exp_quick() -> bool {
+    std::env::var("HBN_EXP_QUICK").is_ok_and(|v| v == "1")
+}

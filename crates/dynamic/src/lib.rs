@@ -11,7 +11,12 @@
 //!
 //! Feed requests to a [`DynamicTree`] one at a time; it maintains a
 //! connected replica subtree per object and charges all traffic to a load
-//! map comparable with the static placements:
+//! map comparable with the static placements. The default kernel is
+//! allocation-free in steady state and O(depth) amortized per request
+//! (generation-stamped membership, lazy counter resets — see `DESIGN.md`
+//! §5); pass a reusable [`DynamicWorkspace`] to
+//! [`DynamicTree::serve_with`] to share scratch across strategies, and use
+//! [`DynamicTree::serve_reference`] for the naive pinned reference kernel:
 //!
 //! ```
 //! use hbn_dynamic::{DynamicTree, OnlineRequest};
@@ -40,7 +45,11 @@
 #![warn(missing_docs)]
 
 pub mod competitive;
+pub mod sharded;
 pub mod strategy;
+pub mod workspace;
 
 pub use competitive::{run_competitive, CompetitiveReport};
-pub use strategy::{DynamicStats, DynamicTree, OnlineRequest};
+pub use sharded::ShardedDynamic;
+pub use strategy::{online_trace, DynamicStats, DynamicTree, OnlineRequest};
+pub use workspace::DynamicWorkspace;

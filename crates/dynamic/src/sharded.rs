@@ -1,0 +1,131 @@
+//! Object-sharded serving: the parallel form of the serve loop.
+//!
+//! All strategy state is per-object and every traffic charge is a
+//! per-object sum into the load map, so requests of different objects
+//! never interact. Partitioning objects across independent
+//! [`DynamicTree`]s (preserving per-object request order, which a trace
+//! scan does) and merging per-shard outcomes — [`hbn_load::LoadMap`]
+//! addition, [`DynamicStats::merge`], replicas read from the owning
+//! shard — reproduces the unsharded run **bit for bit**. The scenario
+//! engine serves its epochs through this type, and
+//! `exp_dynamic_throughput` measures it directly against the unsharded
+//! kernels.
+//!
+//! Each shard scans the whole trace and serves only its own objects, so
+//! a serve pass costs O(shards × trace) scanning on top of the actual
+//! serve work; keep the shard count at or below the worker count.
+
+use crate::strategy::{DynamicStats, DynamicTree, OnlineRequest};
+use hbn_load::LoadMap;
+use hbn_topology::{Network, NodeId};
+use hbn_workload::ObjectId;
+use rayon::prelude::*;
+
+/// One object shard: an independent strategy (with its internally owned
+/// workspace). Shard `idx` owns every object with
+/// `object.index() % n_shards == idx`.
+#[derive(Debug)]
+struct Shard {
+    idx: usize,
+    tree: DynamicTree,
+}
+
+/// The online strategy sharded by object across rayon workers, with
+/// exact (bit-for-bit) merge semantics. Serves through the
+/// zero-allocation workspace kernel.
+#[derive(Debug)]
+pub struct ShardedDynamic {
+    shards: Vec<Shard>,
+}
+
+impl ShardedDynamic {
+    /// A fresh sharded strategy for `n_objects` objects on `net` with
+    /// replication threshold `threshold`. `n_shards == 0` picks the rayon
+    /// worker count; the count is clamped to `[1, n_objects]`.
+    pub fn new(net: &Network, n_objects: usize, threshold: u64, n_shards: usize) -> Self {
+        let n_shards = if n_shards == 0 { rayon::current_num_threads() } else { n_shards }
+            .clamp(1, n_objects.max(1));
+        ShardedDynamic {
+            shards: (0..n_shards)
+                .map(|idx| Shard { idx, tree: DynamicTree::new(net, n_objects, threshold) })
+                .collect(),
+        }
+    }
+
+    /// Number of object shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Serve a request trace: every shard scans the trace and serves the
+    /// requests of its own objects, in trace order. Per-object request
+    /// order — the only order the strategy is sensitive to — is
+    /// preserved, so the merged outcome equals the unsharded one.
+    pub fn serve_trace(&mut self, net: &Network, trace: &[OnlineRequest]) {
+        let n_shards = self.shards.len();
+        self.shards.par_iter_mut().for_each(|shard| {
+            for &req in trace {
+                if req.object.index() % n_shards == shard.idx {
+                    shard.tree.serve(net, req);
+                }
+            }
+        });
+    }
+
+    /// Current copy nodes of `x`, from the owning shard.
+    pub fn replicas(&self, x: ObjectId) -> &[NodeId] {
+        self.shards[x.index() % self.shards.len()].tree.replicas(x)
+    }
+
+    /// Sum the per-shard cumulative loads into `out` (on top of whatever
+    /// `out` already holds).
+    pub fn add_loads_to(&self, out: &mut LoadMap) {
+        for shard in &self.shards {
+            out.add_assign(shard.tree.loads());
+        }
+    }
+
+    /// Merged event counters.
+    pub fn stats(&self) -> DynamicStats {
+        self.shards.iter().fold(DynamicStats::default(), |acc, s| acc.merge(s.tree.stats()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbn_topology::generators::{balanced, BandwidthProfile};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sharded_serving_matches_unsharded_bit_for_bit() {
+        let net = balanced(3, 2, BandwidthProfile::Uniform);
+        let procs = net.processors();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let trace: Vec<OnlineRequest> = (0..2_000)
+            .map(|_| OnlineRequest {
+                processor: procs[rng.gen_range(0..procs.len())],
+                object: ObjectId(rng.gen_range(0..7)),
+                is_write: rng.gen_bool(0.2),
+            })
+            .collect();
+
+        let mut whole = DynamicTree::new(&net, 7, 2);
+        for &req in &trace {
+            whole.serve(&net, req);
+        }
+
+        for n_shards in [1usize, 3, 7, 16] {
+            let mut sharded = ShardedDynamic::new(&net, 7, 2, n_shards);
+            assert!(sharded.n_shards() <= 7);
+            sharded.serve_trace(&net, &trace);
+            let mut merged = LoadMap::zero(&net);
+            sharded.add_loads_to(&mut merged);
+            assert_eq!(&merged, whole.loads(), "{n_shards} shards");
+            assert_eq!(sharded.stats(), whole.stats());
+            for x in 0..7u32 {
+                assert_eq!(sharded.replicas(ObjectId(x)), whole.replicas(ObjectId(x)));
+            }
+        }
+    }
+}

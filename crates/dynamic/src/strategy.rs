@@ -24,7 +24,21 @@
 //! replications — is charged to the same per-edge loads as the static
 //! model, so online congestion is directly comparable to the offline
 //! (hindsight) nibble placement.
+//!
+//! # Two kernels
+//!
+//! [`DynamicTree::serve_with`] (and the convenience [`DynamicTree::serve`])
+//! is the production kernel: allocation-free in steady state and O(depth)
+//! amortized per request, built on generation-stamped replica membership,
+//! epoch-stamped lazy counter resets and a connected-set Steiner broadcast
+//! (see `DESIGN.md` §5). [`DynamicTree::serve_reference`] retains the
+//! naive kernel — O(|R|) membership scans, a fresh path `Vec` per request,
+//! an O(n) counter memset per write, an allocating Steiner computation per
+//! broadcast — as the semantic reference; the differential suite pins the
+//! two to each other bit for bit. One [`DynamicTree`] instance must be
+//! driven by a single kernel for its whole life (asserted).
 
+use crate::workspace::DynamicWorkspace;
 use hbn_load::LoadMap;
 use hbn_topology::{EdgeId, Network, NodeId};
 use hbn_workload::ObjectId;
@@ -40,14 +54,132 @@ pub struct OnlineRequest {
     pub is_write: bool,
 }
 
-/// Per-object state of the online strategy.
+impl From<hbn_workload::PhaseRequest> for OnlineRequest {
+    fn from(r: hbn_workload::PhaseRequest) -> OnlineRequest {
+        OnlineRequest { processor: r.processor, object: r.object, is_write: r.is_write }
+    }
+}
+
+/// Materialize a phase schedule's request stream as an online trace —
+/// the shared feed of the differential suites and the serve-loop
+/// benchmarks.
+pub fn online_trace(
+    net: &Network,
+    schedule: &hbn_workload::PhaseSchedule,
+    seed: u64,
+) -> Vec<OnlineRequest> {
+    schedule.stream(net, seed).map(OnlineRequest::from).collect()
+}
+
+/// One node-indexed slot of an object's stamped state. Because every edge
+/// is identified by its child node, a node's membership stamp and its
+/// parent edge's read counter share the slot — one bounds check and one
+/// cache line per touch.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    /// Membership stamp: the node holds a copy iff `member == gen`.
+    member: u64,
+    /// Counter stamp: `count` is live iff `cstamp == gen`.
+    cstamp: u64,
+    /// Read counter of the node's parent edge.
+    count: u64,
+}
+
+/// Per-object state, materialized lazily on the object's first request —
+/// constructing a strategy for millions of objects costs one pointer-sized
+/// slot per untouched object.
+///
+/// Membership and counters are *generation-stamped*: a write-collapse
+/// bumps `gen`, and one increment invalidates every membership bit and
+/// every counter at once, replacing the naive kernel's O(n) memset. The
+/// slot vector grows on demand to the highest touched node id, so an
+/// object whose traffic stays inside one subtree never pays for the whole
+/// network.
 #[derive(Debug, Clone)]
 struct ObjectState {
     /// Nodes holding copies; always a connected subtree, never empty
     /// after the first request.
     replicas: Vec<NodeId>,
-    /// Read counters per edge (indexed by `EdgeId`).
-    counters: Vec<u64>,
+    /// Current membership/counter generation (starts at 1 so the slots'
+    /// implicit zero stamps never match).
+    gen: u64,
+    /// Stamped membership + counter slots, indexed by node id. The
+    /// reference kernel uses `count` densely (sized to the network,
+    /// memset on write) and ignores the stamps.
+    slots: Vec<Slot>,
+}
+
+impl ObjectState {
+    fn new() -> ObjectState {
+        ObjectState { replicas: Vec::new(), gen: 1, slots: Vec::new() }
+    }
+
+    /// Grow the slot vector with zeroed slots so that index `i` is valid.
+    /// No-op once the object's touched region is covered — the steady
+    /// state allocates nothing.
+    #[inline]
+    fn grow_to(&mut self, i: usize) {
+        if self.slots.len() <= i {
+            self.slots.resize(i + 1, Slot::default());
+        }
+    }
+
+    /// O(1) membership test against the current generation.
+    #[inline]
+    fn contains(&self, v: NodeId) -> bool {
+        self.slots.get(v.index()).is_some_and(|s| s.member == self.gen)
+    }
+
+    /// Add `v` to the replica set (stamping its membership slot).
+    #[inline]
+    fn insert_replica(&mut self, v: NodeId) {
+        self.replicas.push(v);
+        self.grow_to(v.index());
+        self.slots[v.index()].member = self.gen;
+    }
+
+    /// Collapse the replica set to the single survivor `v`: one generation
+    /// bump invalidates every membership stamp and every counter — O(1)
+    /// instead of the reference kernel's O(n) memset.
+    #[inline]
+    fn collapse_to(&mut self, v: NodeId) {
+        self.replicas.clear();
+        self.gen += 1;
+        self.insert_replica(v);
+    }
+
+    /// Current value of the read counter on `e` (0 when its stamp is
+    /// stale).
+    #[inline]
+    fn counter(&self, e: EdgeId) -> u64 {
+        match self.slots.get(e.index()) {
+            Some(s) if s.cstamp == self.gen => s.count,
+            _ => 0,
+        }
+    }
+
+    /// Count one read crossing `e`, reviving a stale counter as 0 first.
+    #[inline]
+    fn count_read(&mut self, e: EdgeId) {
+        self.grow_to(e.index());
+        let gen = self.gen;
+        let slot = &mut self.slots[e.index()];
+        if slot.cstamp != gen {
+            slot.cstamp = gen;
+            slot.count = 0;
+        }
+        slot.count += 1;
+    }
+
+    /// Reset the (live) counter on `e` after a replication crossed it.
+    #[inline]
+    fn reset_counter(&mut self, e: EdgeId) {
+        self.grow_to(e.index());
+        let gen = self.gen;
+        let slot = &mut self.slots[e.index()];
+        slot.cstamp = gen;
+        slot.count = 0;
+    }
 }
 
 /// Counters accumulated over a run.
@@ -63,35 +195,68 @@ pub struct DynamicStats {
     pub collapses: u64,
 }
 
+impl DynamicStats {
+    /// Pointwise sum — merges the counters of independent object shards.
+    pub fn merge(self, other: DynamicStats) -> DynamicStats {
+        DynamicStats {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            replications: self.replications + other.replications,
+            collapses: self.collapses + other.collapses,
+        }
+    }
+}
+
+/// Which serve kernel a [`DynamicTree`] instance is driven by; fixed at
+/// the first serve call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServeMode {
+    Fast,
+    Reference,
+}
+
 /// The online strategy over all objects of a network.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DynamicTree {
     threshold: u64,
-    objects: Vec<ObjectState>,
+    /// Lazily materialized per-object state: untouched objects cost one
+    /// `None` slot.
+    objects: Vec<Option<Box<ObjectState>>>,
     loads: LoadMap,
     stats: DynamicStats,
     n_nodes: usize,
+    mode: Option<ServeMode>,
+    /// Internally owned workspace backing the convenience
+    /// [`DynamicTree::serve`].
+    ws: DynamicWorkspace,
 }
 
 impl DynamicTree {
     /// A fresh strategy for `n_objects` objects on `net`, replicating
     /// after `threshold ≥ 1` reads cross an edge (the object "size" `D`).
+    ///
+    /// Per-object state is materialized on first touch, so `n_objects` can
+    /// be in the millions: construction costs one pointer-sized slot per
+    /// object and nothing else.
     pub fn new(net: &Network, n_objects: usize, threshold: u64) -> Self {
         assert!(threshold >= 1, "the replication threshold must be positive");
         DynamicTree {
             threshold,
-            objects: (0..n_objects)
-                .map(|_| ObjectState { replicas: Vec::new(), counters: vec![0; net.n_nodes()] })
-                .collect(),
+            objects: vec![None; n_objects],
             loads: LoadMap::zero(net),
             stats: DynamicStats::default(),
             n_nodes: net.n_nodes(),
+            mode: None,
+            ws: DynamicWorkspace::new(),
         }
     }
 
     /// Current copy nodes of `x` (empty before its first request).
     pub fn replicas(&self, x: ObjectId) -> &[NodeId] {
-        &self.objects[x.index()].replicas
+        match &self.objects[x.index()] {
+            Some(st) => &st.replicas,
+            None => &[],
+        }
     }
 
     /// Accumulated per-edge loads (service + broadcast + replication).
@@ -104,23 +269,142 @@ impl DynamicTree {
         self.stats
     }
 
-    /// Process one request, charging its traffic to the load map.
+    /// Pin this instance to one serve kernel.
+    #[inline]
+    fn lock_mode(&mut self, mode: ServeMode) {
+        match self.mode {
+            None => self.mode = Some(mode),
+            Some(m) => assert_eq!(
+                m, mode,
+                "a DynamicTree must be driven by a single serve kernel \
+                 (serve/serve_with or serve_reference, not both)"
+            ),
+        }
+    }
+
+    /// Process one request with the internally owned workspace — the
+    /// ergonomic form of [`DynamicTree::serve_with`], equally
+    /// allocation-free in steady state.
     pub fn serve(&mut self, net: &Network, req: OnlineRequest) {
+        let mut ws = std::mem::take(&mut self.ws);
+        self.serve_with(&mut ws, net, req);
+        self.ws = ws;
+    }
+
+    /// Process one request on the zero-allocation kernel, charging its
+    /// traffic to the load map.
+    ///
+    /// Per request the kernel walks the requester → replica-set path once
+    /// (O(1) membership tests via generation stamps), counts reads and
+    /// grows the replica set along that path, and on writes broadcasts
+    /// over the connected replica subtree (O(|R|), amortized against the
+    /// replications that built `R`) before collapsing it with a single
+    /// generation bump. Amortized cost: O(path length) = O(depth); heap
+    /// allocations: none once the per-object stamp vectors and the
+    /// workspace path buffer have reached their high-water sizes.
+    pub fn serve_with(&mut self, ws: &mut DynamicWorkspace, net: &Network, req: OnlineRequest) {
         assert_eq!(net.n_nodes(), self.n_nodes, "network mismatch");
-        let st = &mut self.objects[req.object.index()];
+        self.lock_mode(ServeMode::Fast);
+        let st =
+            self.objects[req.object.index()].get_or_insert_with(|| Box::new(ObjectState::new()));
         if st.replicas.is_empty() {
             // First touch: materialise the object at the requester for
             // free (the adversary pays the same placement).
-            st.replicas.push(req.processor);
+            st.insert_replica(req.processor);
+        }
+        if !req.is_write && st.contains(req.processor) {
+            // Local read: served by the requester's own copy — no
+            // traffic, no counters, no state change. This is the steady
+            // state of read-dominated serving (hot objects replicated
+            // everywhere), so it exits in O(1).
+            self.stats.reads += 1;
+            return;
         }
         // Serve at the nearest copy: the entry point of the walk from the
         // requester towards the (connected) replica set.
+        let anchor = st.replicas[0];
+        ws.path.clear();
+        let mut v = req.processor;
+        while !st.contains(v) {
+            let next = net.step_towards(v, anchor);
+            // The edge id is the child endpoint of the hop.
+            let hop_edge = if net.parent(next) == v { next } else { v };
+            ws.path.push(EdgeId::from(hop_edge));
+            v = next;
+        }
+        for &e in &ws.path {
+            self.loads.add_edge(e, 1);
+        }
+
+        if req.is_write {
+            self.stats.writes += 1;
+            if st.replicas.len() > 1 {
+                // Update broadcast over the replica subtree. `R` is
+                // connected, so its Steiner tree is exactly its induced
+                // edge set: every parent edge whose both endpoints hold a
+                // copy. O(|R|) with stamped membership tests — the
+                // connected-set specialization of
+                // `hbn_topology::steiner::add_steiner_load` (pinned to it
+                // by the differential suite via the reference kernel).
+                for &r in &st.replicas {
+                    if r != net.root() && st.contains(net.parent(r)) {
+                        self.loads.add_edge(EdgeId::from(r), 1);
+                    }
+                }
+                self.stats.collapses += 1;
+            }
+            // Collapse to the copy serving the writer (`v`): one
+            // generation bump resets membership and all counters.
+            st.collapse_to(v);
+        } else {
+            self.stats.reads += 1;
+            // Count the read on every traversed edge; grow the replica
+            // set across saturated edges, from the replica side outwards,
+            // so connectivity is preserved.
+            for &e in &ws.path {
+                st.count_read(e);
+            }
+            let mut frontier = v;
+            for &e in ws.path.iter().rev() {
+                if st.counter(e) < self.threshold {
+                    break;
+                }
+                // Replicate one step towards the reader: the data moves
+                // across `e`, costing `threshold` (the object size).
+                let (child, parent) = net.edge_endpoints(e);
+                let next = if child == frontier { parent } else { child };
+                self.loads.add_edge(e, self.threshold);
+                st.reset_counter(e);
+                st.insert_replica(next);
+                self.stats.replications += 1;
+                frontier = next;
+            }
+        }
+    }
+
+    /// Process one request on the naive kernel: linear membership scans, a
+    /// fresh path `Vec` per request, a dense counter vector memset on
+    /// every write, and an allocating virtual-tree Steiner computation per
+    /// broadcast. Retained as the semantic reference the workspace kernel
+    /// is differentially pinned against.
+    pub fn serve_reference(&mut self, net: &Network, req: OnlineRequest) {
+        assert_eq!(net.n_nodes(), self.n_nodes, "network mismatch");
+        self.lock_mode(ServeMode::Reference);
+        let n_nodes = self.n_nodes;
+        let st = self.objects[req.object.index()].get_or_insert_with(|| {
+            let mut st = ObjectState::new();
+            // The reference kernel addresses counters densely.
+            st.slots.resize(n_nodes, Slot::default());
+            Box::new(st)
+        });
+        if st.replicas.is_empty() {
+            st.replicas.push(req.processor);
+        }
         let target = st.replicas[0];
         let mut path: Vec<EdgeId> = Vec::new();
         let mut v = req.processor;
         while !st.replicas.contains(&v) {
             let next = net.step_towards(v, target);
-            // The edge id is the child endpoint of the hop.
             let hop_edge = if net.parent(next) == v { next } else { v };
             path.push(EdgeId::from(hop_edge));
             v = next;
@@ -141,26 +425,21 @@ impl DynamicTree {
             }
             st.replicas.clear();
             st.replicas.push(v);
-            st.counters.iter_mut().for_each(|c| *c = 0);
+            st.slots.iter_mut().for_each(|s| s.count = 0);
         } else {
             self.stats.reads += 1;
-            // Count the read on every traversed edge; grow the replica
-            // set across saturated edges, from the replica side outwards,
-            // so connectivity is preserved.
             for &e in &path {
-                st.counters[e.index()] += 1;
+                st.slots[e.index()].count += 1;
             }
             let mut frontier = v;
             for &e in path.iter().rev() {
-                if st.counters[e.index()] < self.threshold {
+                if st.slots[e.index()].count < self.threshold {
                     break;
                 }
-                // Replicate one step towards the reader: the data moves
-                // across `e`, costing `threshold` (the object size).
                 let (child, parent) = net.edge_endpoints(e);
                 let next = if child == frontier { parent } else { child };
                 self.loads.add_edge(e, self.threshold);
-                st.counters[e.index()] = 0;
+                st.slots[e.index()].count = 0;
                 st.replicas.push(next);
                 self.stats.replications += 1;
                 frontier = next;
@@ -198,6 +477,17 @@ mod tests {
     }
 
     #[test]
+    fn untouched_objects_have_no_state() {
+        let net = star(3, 4);
+        let p = net.processors();
+        let mut d = DynamicTree::new(&net, 1_000, 2);
+        assert!(d.replicas(ObjectId(777)).is_empty());
+        d.serve(&net, read(p[0], 777));
+        assert_eq!(d.replicas(ObjectId(777)), &[p[0]]);
+        assert!(d.objects.iter().filter(|o| o.is_some()).count() == 1);
+    }
+
+    #[test]
     fn repeated_remote_reads_trigger_replication() {
         let net = star(3, 4);
         let p = net.processors();
@@ -228,6 +518,25 @@ mod tests {
         d.serve(&net, write(p[2], 0));
         assert_eq!(d.replicas(ObjectId(0)).len(), 1);
         assert_eq!(d.stats().collapses, 1);
+    }
+
+    #[test]
+    fn collapse_resets_counters_lazily() {
+        let net = star(4, 4);
+        let p = net.processors();
+        let mut d = DynamicTree::new(&net, 1, 2);
+        d.serve(&net, read(p[0], 0));
+        // One read from p1 leaves both path counters at 1.
+        d.serve(&net, read(p[1], 0));
+        assert_eq!(d.stats().replications, 0);
+        // The write collapse must discard those counts (via the generation
+        // bump): a single post-collapse read cannot replicate.
+        d.serve(&net, write(p[0], 0));
+        d.serve(&net, read(p[1], 0));
+        assert_eq!(d.stats().replications, 0);
+        // But the second one saturates the path again.
+        d.serve(&net, read(p[1], 0));
+        assert_eq!(d.stats().replications, 2);
     }
 
     #[test]
@@ -290,5 +599,15 @@ mod tests {
     fn zero_threshold_rejected() {
         let net = star(3, 4);
         let _ = DynamicTree::new(&net, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single serve kernel")]
+    fn mixing_kernels_is_rejected() {
+        let net = star(3, 4);
+        let p = net.processors();
+        let mut d = DynamicTree::new(&net, 1, 2);
+        d.serve(&net, read(p[0], 0));
+        d.serve_reference(&net, read(p[1], 0));
     }
 }

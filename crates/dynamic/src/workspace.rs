@@ -1,0 +1,30 @@
+//! The reusable scratch of the zero-allocation serve kernel.
+//!
+//! [`crate::DynamicTree::serve_with`] walks one request path per call and
+//! needs a path buffer for it; the naive kernel allocated a fresh
+//! `Vec<EdgeId>` per request. A [`DynamicWorkspace`] owns that buffer and
+//! is reused across requests, objects, strategies and networks: it
+//! reaches a high-water capacity and stays.
+//!
+//! One workspace serves any number of [`crate::DynamicTree`]s — a single
+//! workspace driving several strategies in turn is valid (the scratch
+//! carries no per-strategy state).
+
+use hbn_topology::EdgeId;
+
+/// Reusable buffers for [`crate::DynamicTree::serve_with`]. Construct
+/// once, pass to any number of serve calls; contents are transient per
+/// call, capacity persists.
+#[derive(Debug, Default)]
+pub struct DynamicWorkspace {
+    /// Edges of the current request's walk, requester → replica entry
+    /// point.
+    pub(crate) path: Vec<EdgeId>,
+}
+
+impl DynamicWorkspace {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> DynamicWorkspace {
+        DynamicWorkspace::default()
+    }
+}

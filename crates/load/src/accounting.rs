@@ -67,6 +67,13 @@ impl LoadMap {
         self.edge.iter().sum()
     }
 
+    /// Zero every edge load in place, keeping the allocation. Used by the
+    /// scenario engine's epoch-delta accumulators, which reuse one map per
+    /// run instead of cloning the strategy's cumulative loads every epoch.
+    pub fn reset(&mut self) {
+        self.edge.fill(0);
+    }
+
     /// Pointwise sum with another load map.
     pub fn add_assign(&mut self, other: &LoadMap) {
         assert_eq!(self.edge.len(), other.edge.len());
@@ -114,15 +121,17 @@ impl LoadMap {
     }
 
     /// Loads of a full placement over all objects. Picks the sparse or
-    /// dense per-object accounting based on the support size.
+    /// dense per-object accounting based on the support size; one Steiner
+    /// scratch is shared across all objects' broadcast computations.
     pub fn from_placement(net: &Network, matrix: &AccessMatrix, placement: &Placement) -> LoadMap {
         let mut out = LoadMap::zero(net);
+        let mut scratch = steiner::SteinerScratch::new();
         for x in matrix.objects() {
             let support = placement.assignment(x).len() + placement.copies(x).len();
             // Dense accounting costs O(|V|); sparse costs roughly
             // O(support · height).
             if support * (net.height() as usize + 1) < net.n_nodes() {
-                add_object_loads_sparse(net, matrix, placement, x, &mut out);
+                sparse_loads_with(net, matrix, placement, x, &mut scratch, &mut out);
             } else {
                 add_object_loads_dense(net, matrix, placement, x, &mut out);
             }
@@ -152,6 +161,21 @@ pub fn add_object_loads_sparse(
     x: ObjectId,
     out: &mut LoadMap,
 ) {
+    let mut scratch = steiner::SteinerScratch::new();
+    sparse_loads_with(net, matrix, placement, x, &mut scratch, out);
+}
+
+/// [`add_object_loads_sparse`] with a caller-provided Steiner scratch, so
+/// bulk accounting ([`LoadMap::from_placement`]) reuses one scratch
+/// across all objects.
+fn sparse_loads_with(
+    net: &Network,
+    matrix: &AccessMatrix,
+    placement: &Placement,
+    x: ObjectId,
+    scratch: &mut steiner::SteinerScratch,
+    out: &mut LoadMap,
+) {
     for e in placement.assignment(x) {
         let weight = e.reads + e.writes;
         if weight == 0 {
@@ -163,7 +187,7 @@ pub fn add_object_loads_sparse(
     }
     let kappa = matrix.write_contention(x);
     if kappa > 0 {
-        for edge in steiner::steiner_edges(net, placement.copies(x)) {
+        for &edge in steiner::steiner_edges_with(net, placement.copies(x), scratch) {
             out.edge[edge.index()] += kappa;
         }
     }
@@ -390,5 +414,8 @@ mod tests {
         a.add_assign(&b);
         assert_eq!(a.edge_load(EdgeId(1)), 8);
         assert_eq!(a.total(), 9);
+        a.reset();
+        assert_eq!(a.total(), 0);
+        assert_eq!(a, LoadMap::zero(&net));
     }
 }

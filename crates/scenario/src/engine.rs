@@ -16,11 +16,15 @@
 //!
 //! Per-phase aggregation and the hindsight (static nibble) comparison
 //! give the [`ScenarioReport`]. Independent seeds shard across cores via
-//! [`run_scenario_sharded`].
+//! [`run_scenario_sharded`]; *within* one run the serve loop additionally
+//! shards by object (objects are independent, so per-shard strategies and
+//! load maps merge exactly — see `DESIGN.md` §5), and all per-epoch
+//! bookkeeping runs through preallocated delta accumulators instead of
+//! cloning the strategy's cumulative load map every epoch.
 
-use crate::spec::{ReplayKernel, ScenarioSpec};
+use crate::spec::{ReplayKernel, ScenarioSpec, ServeKernel};
 use hbn_core::nibble_placement;
-use hbn_dynamic::{DynamicStats, DynamicTree, OnlineRequest};
+use hbn_dynamic::{DynamicStats, DynamicTree, OnlineRequest, ShardedDynamic};
 use hbn_load::{LoadMap, LoadRatio, Placement};
 use hbn_sim::{simulate_reference, simulate_with, Request, SimError, SimResult, SimWorkspace};
 use hbn_topology::Network;
@@ -126,9 +130,71 @@ fn stats_delta(cur: DynamicStats, prev: DynamicStats) -> DynamicStats {
     }
 }
 
+/// The serve side of one scenario run: the object-sharded workspace
+/// kernel ([`hbn_dynamic::ShardedDynamic`]) or the unsharded naive
+/// reference kernel.
+enum ServeEngine {
+    Sharded(ShardedDynamic),
+    Reference(DynamicTree),
+}
+
+impl ServeEngine {
+    fn new(net: &Network, spec: &ScenarioSpec, max_objects: usize) -> ServeEngine {
+        match spec.serve {
+            ServeKernel::Workspace => ServeEngine::Sharded(ShardedDynamic::new(
+                net,
+                max_objects,
+                spec.threshold,
+                spec.serve_shards,
+            )),
+            // The reference kernel is the unsharded timing/semantics
+            // baseline.
+            ServeKernel::Reference => {
+                ServeEngine::Reference(DynamicTree::new(net, max_objects, spec.threshold))
+            }
+        }
+    }
+
+    /// Serve one epoch's requests, in trace order.
+    fn serve_epoch(&mut self, net: &Network, trace: &[OnlineRequest]) {
+        match self {
+            ServeEngine::Sharded(sharded) => sharded.serve_trace(net, trace),
+            ServeEngine::Reference(tree) => {
+                for &req in trace {
+                    tree.serve_reference(net, req);
+                }
+            }
+        }
+    }
+
+    /// Current copy nodes of `x`.
+    fn replicas(&self, x: hbn_workload::ObjectId) -> &[hbn_topology::NodeId] {
+        match self {
+            ServeEngine::Sharded(sharded) => sharded.replicas(x),
+            ServeEngine::Reference(tree) => tree.replicas(x),
+        }
+    }
+
+    /// Sum the cumulative loads into `out` (which the caller has reset).
+    fn add_loads_to(&self, out: &mut LoadMap) {
+        match self {
+            ServeEngine::Sharded(sharded) => sharded.add_loads_to(out),
+            ServeEngine::Reference(tree) => out.add_assign(tree.loads()),
+        }
+    }
+
+    /// Event counters.
+    fn stats(&self) -> DynamicStats {
+        match self {
+            ServeEngine::Sharded(sharded) => sharded.stats(),
+            ServeEngine::Reference(tree) => tree.stats(),
+        }
+    }
+}
+
 /// Snapshot the online strategy's replica sets for the objects touched by
 /// `matrix` as a placement with nearest-copy assignment.
-fn snapshot_placement(net: &Network, online: &DynamicTree, matrix: &AccessMatrix) -> Placement {
+fn snapshot_placement(net: &Network, online: &ServeEngine, matrix: &AccessMatrix) -> Placement {
     let mut placement = Placement::new(matrix.n_objects());
     for x in matrix.objects() {
         if !matrix.object_entries(x).is_empty() {
@@ -154,21 +220,33 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
 pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError> {
     let net = spec.topology.build();
     let max_objects = spec.schedule.max_objects();
-    let mut online = DynamicTree::new(&net, max_objects, spec.threshold);
+    let mut online = ServeEngine::new(&net, spec, max_objects);
     let mut ws = SimWorkspace::new();
     let mut stream = spec.schedule.stream(&net, spec.seed);
 
     let mut epochs: Vec<EpochSummary> = Vec::new();
     let mut phases: Vec<PhaseSummary> = Vec::new();
     let mut aggregate = AccessMatrix::new(max_objects);
-    let mut load_mark = LoadMap::zero(&net);
+
+    // Epoch-delta accumulators: one preallocated map for the merged
+    // cumulative loads at the last epoch boundary, one for the current
+    // epoch's delta and one for the running phase delta — no per-epoch
+    // cloning of the strategy's load maps.
+    let mut cum = LoadMap::zero(&net);
+    let mut epoch_delta = LoadMap::zero(&net);
+    let mut phase_delta = LoadMap::zero(&net);
     let mut stats_mark = DynamicStats::default();
 
+    // Two parallel views of the epoch's requests: the simulator replay
+    // needs a `&[Request]` slice and the sharded serve fan-out a
+    // `&[OnlineRequest]` slice. The structs are field-identical but live
+    // in crates that must not depend on each other, so the cheapest
+    // correct form is two reused Copy buffers filled side by side.
     let mut epoch_trace: Vec<Request> = Vec::new();
+    let mut epoch_online: Vec<OnlineRequest> = Vec::new();
 
     for (phase_idx, phase) in spec.schedule.phases.iter().enumerate() {
         let mut phase_epochs: Vec<EpochSummary> = Vec::new();
-        let phase_start_load = load_mark.clone();
         let mut remaining = phase.requests;
         while remaining > 0 {
             let epoch_len = if spec.epoch_requests == 0 {
@@ -179,12 +257,13 @@ pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError>
             remaining -= epoch_len;
 
             epoch_trace.clear();
+            epoch_online.clear();
             let mut epoch_matrix = AccessMatrix::new(max_objects);
             let mut reads = 0u64;
             let mut writes = 0u64;
             for PhaseRequest { processor, object, is_write } in stream.by_ref().take(epoch_len) {
-                online.serve(&net, OnlineRequest { processor, object, is_write });
                 epoch_trace.push(Request { processor, object, is_write });
+                epoch_online.push(OnlineRequest { processor, object, is_write });
                 if is_write {
                     writes += 1;
                     epoch_matrix.add(processor, object, 0, 1);
@@ -195,6 +274,7 @@ pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError>
                     aggregate.add(processor, object, 1, 0);
                 }
             }
+            online.serve_epoch(&net, &epoch_online);
 
             // Epoch boundary: snapshot, replay, summarise.
             let placement = snapshot_placement(&net, &online, &epoch_matrix);
@@ -207,11 +287,16 @@ pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError>
                 }
             };
 
-            let mut online_delta = online.loads().clone();
-            online_delta.sub_assign(&load_mark);
-            load_mark = online.loads().clone();
-            let delta = stats_delta(online.stats(), stats_mark);
-            stats_mark = online.stats();
+            // epoch_delta := (merged cumulative) − cum; then roll the
+            // marks forward by pure additions.
+            epoch_delta.reset();
+            online.add_loads_to(&mut epoch_delta);
+            epoch_delta.sub_assign(&cum);
+            cum.add_assign(&epoch_delta);
+            phase_delta.add_assign(&epoch_delta);
+            let stats_now = online.stats();
+            let delta = stats_delta(stats_now, stats_mark);
+            stats_mark = stats_now;
 
             phase_epochs.push(EpochSummary {
                 phase: phase_idx,
@@ -221,7 +306,7 @@ pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError>
                 replications: delta.replications,
                 collapses: delta.collapses,
                 migration_traffic: delta.replications * spec.threshold,
-                online_congestion: online_delta.congestion(&net).congestion,
+                online_congestion: epoch_delta.congestion(&net).congestion,
                 placement_congestion: LoadMap::from_placement(&net, &epoch_matrix, &placement)
                     .congestion(&net)
                     .congestion,
@@ -232,17 +317,16 @@ pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError>
             });
         }
 
-        let mut phase_delta = online.loads().clone();
-        phase_delta.sub_assign(&phase_start_load);
         phases.push(summarise_phase(
             phase.label.clone(),
             &phase_epochs,
             phase_delta.congestion(&net).congestion,
         ));
+        phase_delta.reset();
         epochs.extend(phase_epochs);
     }
 
-    let online_congestion = online.congestion(&net);
+    let online_congestion = cum.congestion(&net).congestion;
     let hindsight_placement = nibble_placement(&net, &aggregate);
     let hindsight_congestion =
         LoadMap::from_placement(&net, &aggregate, &hindsight_placement).congestion(&net).congestion;
@@ -289,12 +373,21 @@ fn summarise_phase(
 /// Run the same scenario across many seeds, sharded over cores with
 /// rayon. Each shard is fully independent (own network, strategy and
 /// simulator workspace); reports come back in seed order.
+///
+/// Seed shards already occupy the worker pool, so an unset
+/// `serve_shards` (`0` = auto) is pinned to `1` here instead of the
+/// per-run default of one serve shard per core — nested object-sharding
+/// on top of seed-sharding would only oversubscribe. Reports are
+/// identical either way (they are invariant in the shard count).
 pub fn run_scenario_sharded(spec: &ScenarioSpec, seeds: &[u64]) -> Vec<ScenarioReport> {
     seeds
         .par_iter()
         .map(|&seed| {
             let mut shard = spec.clone();
             shard.seed = seed;
+            if shard.serve_shards == 0 {
+                shard.serve_shards = 1;
+            }
             run_scenario(&shard)
         })
         .collect()

@@ -47,4 +47,4 @@ pub use engine::{
     run_scenario, run_scenario_sharded, try_run_scenario, EpochSummary, PhaseSummary,
     ScenarioReport,
 };
-pub use spec::{ReplayKernel, ScenarioSpec, TopologyFamily};
+pub use spec::{ReplayKernel, ScenarioSpec, ServeKernel, TopologyFamily};

@@ -84,6 +84,20 @@ pub enum ReplayKernel {
     Reference,
 }
 
+/// Which online-strategy kernel serves the request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeKernel {
+    /// The zero-allocation [`hbn_dynamic::DynamicWorkspace`] kernel
+    /// (default), sharded by object across rayon workers.
+    #[default]
+    Workspace,
+    /// The naive [`hbn_dynamic::DynamicTree::serve_reference`] kernel,
+    /// unsharded — used by the differential suite to pin the engine's
+    /// online traffic, and by `exp_dynamic_throughput` as the timing
+    /// baseline.
+    Reference,
+}
+
 /// A complete scenario: topology, phase-scheduled workload, online
 /// strategy parameters and replay configuration.
 #[derive(Debug, Clone)]
@@ -103,6 +117,13 @@ pub struct ScenarioSpec {
     pub epoch_requests: usize,
     /// Which simulator kernel replays the epochs.
     pub kernel: ReplayKernel,
+    /// Which online-strategy kernel serves the stream.
+    pub serve: ServeKernel,
+    /// Object shards the serve loop fans out over (objects are
+    /// independent; per-shard loads merge exactly). `0` picks the rayon
+    /// worker count; [`ServeKernel::Reference`] always runs unsharded.
+    /// Reports are bit-for-bit identical for every shard count.
+    pub serve_shards: usize,
     /// Simulator configuration for the replays.
     pub sim: SimConfig,
 }
@@ -125,7 +146,30 @@ impl ScenarioSpec {
             seed,
             epoch_requests: 0,
             kernel: ReplayKernel::default(),
+            serve: ServeKernel::default(),
+            serve_shards: 0,
             sim: SimConfig::default(),
+        }
+    }
+
+    /// A compact label of the kernel pair driving this spec (recorded in
+    /// benchmark cells so they are self-describing), e.g. `workspace` when
+    /// both the serve and replay kernels are the production ones.
+    pub fn kernel_label(&self) -> String {
+        match (self.serve, self.kernel) {
+            (ServeKernel::Workspace, ReplayKernel::Workspace) => "workspace".into(),
+            (ServeKernel::Reference, ReplayKernel::Reference) => "reference".into(),
+            (serve, replay) => format!(
+                "serve={}/replay={}",
+                match serve {
+                    ServeKernel::Workspace => "workspace",
+                    ServeKernel::Reference => "reference",
+                },
+                match replay {
+                    ReplayKernel::Workspace => "workspace",
+                    ReplayKernel::Reference => "reference",
+                }
+            ),
         }
     }
 }

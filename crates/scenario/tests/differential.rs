@@ -3,7 +3,7 @@
 //! kernel must produce identical epoch replay summaries for the same
 //! scenario, and the engine itself must be deterministic in its seed.
 
-use hbn_scenario::{run_scenario, ReplayKernel, ScenarioSpec, TopologyFamily};
+use hbn_scenario::{run_scenario, ReplayKernel, ScenarioSpec, ServeKernel, TopologyFamily};
 use hbn_workload::phases::{full_tour, PhaseKind, PhaseSchedule, PhaseSpec};
 
 fn small_spec() -> ScenarioSpec {
@@ -32,6 +32,30 @@ fn workspace_and_reference_kernels_agree_on_every_epoch() {
         assert_eq!(a, b, "replay summaries diverged in phase {}", a.phase);
     }
     assert_eq!(ws_report, ref_report);
+}
+
+#[test]
+fn workspace_and_reference_serve_kernels_agree_end_to_end() {
+    // The online-strategy side of the pipeline: the sharded
+    // zero-allocation serve kernel and the unsharded naive reference
+    // kernel must yield identical reports — online congestion deltas,
+    // replica snapshots (and therefore every replay metric), stats.
+    let ws_spec = small_spec();
+    let mut ref_spec = small_spec();
+    ref_spec.serve = ServeKernel::Reference;
+    assert_eq!(run_scenario(&ws_spec), run_scenario(&ref_spec));
+}
+
+#[test]
+fn reports_are_invariant_under_serve_shard_count() {
+    let mut one = small_spec();
+    one.serve_shards = 1;
+    let baseline = run_scenario(&one);
+    for shards in [2usize, 3, 5, 16] {
+        let mut spec = small_spec();
+        spec.serve_shards = shards;
+        assert_eq!(run_scenario(&spec), baseline, "{shards} serve shards");
+    }
 }
 
 #[test]

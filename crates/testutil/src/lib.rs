@@ -8,6 +8,7 @@
 
 use hbn_topology::generators::{random_network, BandwidthProfile};
 use hbn_topology::Network;
+use hbn_workload::phases::{PhaseKind, PhaseSchedule, PhaseSpec};
 use hbn_workload::{AccessMatrix, ObjectId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -28,6 +29,67 @@ pub fn seeded_rng_stream(base: u64, stream: u64) -> StdRng {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// The canonical six access-pattern families of the scenario matrix, each
+/// as a warm-up + measured-phase schedule: a light stationary warm-up (so
+/// strategies start from a populated replica state) followed by the family
+/// phase itself. One construction point shared by `exp_scenario_matrix`
+/// and the dynamic-kernel differential suites, so "all six families" means
+/// the same six schedules everywhere.
+pub fn family_schedules(
+    initial_objects: usize,
+    warmup: usize,
+    volume: usize,
+) -> Vec<(&'static str, PhaseSchedule)> {
+    let warm =
+        PhaseSpec::new("warmup", PhaseKind::StaticZipf { skew: 0.8, write_fraction: 0.1 }, warmup);
+    let phase = |label: &'static str, kind: PhaseKind| {
+        (
+            label,
+            PhaseSchedule::new(
+                initial_objects,
+                vec![warm.clone(), PhaseSpec::new(label, kind, volume)],
+            ),
+        )
+    };
+    vec![
+        phase("static-zipf", PhaseKind::StaticZipf { skew: 1.1, write_fraction: 0.1 }),
+        phase(
+            "hotspot-migration",
+            PhaseKind::HotspotMigration {
+                hot_objects: 6,
+                hot_fraction: 0.8,
+                migrate_every: (volume / 5).max(1),
+                write_fraction: 0.2,
+            },
+        ),
+        phase(
+            "bursty",
+            PhaseKind::Bursty { burst_len: 50, burst_objects: 3, write_fraction: 0.15 },
+        ),
+        phase(
+            "mix-flip",
+            PhaseKind::MixFlip {
+                flip_every: (volume / 4).max(1),
+                read_writes: 0.02,
+                write_writes: 0.8,
+                skew: 0.7,
+            },
+        ),
+        phase(
+            "object-churn",
+            PhaseKind::ObjectChurn {
+                churn_every: (volume / 10).max(1),
+                skew: 0.9,
+                write_fraction: 0.25,
+            },
+        ),
+        phase(
+            "single-bus-saturation",
+            PhaseKind::SingleBusSaturation { write_fraction: 0.5, contended_objects: 2 },
+        ),
+    ]
 }
 
 /// Parameters from which a random network is deterministically grown.
@@ -128,6 +190,21 @@ mod tests {
         let s0: u64 = seeded_rng_stream(9, 0).gen();
         let s1: u64 = seeded_rng_stream(9, 1).gen();
         assert_ne!(s0, s1, "streams must diverge");
+    }
+
+    #[test]
+    fn family_schedules_cover_all_six_families() {
+        let fams = family_schedules(12, 40, 200);
+        assert_eq!(fams.len(), 6);
+        for (label, schedule) in &fams {
+            assert_eq!(schedule.phases.len(), 2);
+            assert_eq!(schedule.phases[0].label, "warmup");
+            assert_eq!(&schedule.phases[1].label, label);
+            assert_eq!(schedule.total_requests(), 240);
+            assert!(schedule.max_objects() >= 12);
+        }
+        let labels: Vec<&str> = fams.iter().map(|(l, _)| *l).collect();
+        assert!(labels.contains(&"object-churn") && labels.contains(&"single-bus-saturation"));
     }
 
     #[test]

@@ -9,6 +9,29 @@
 use crate::ids::{EdgeId, NodeId};
 use crate::tree::Network;
 
+/// Reusable buffers for repeated Steiner-tree computations.
+///
+/// The virtual-tree construction sorts the terminal set and collects path
+/// edges; callers on hot paths (the bulk load accounting runs one Steiner
+/// computation per object of a placement) hand the same scratch to every
+/// call so the buffers reach a high-water capacity once and no further
+/// allocation happens. The dynamic strategy's write broadcast does not
+/// need this machinery at all: its terminal set is connected, so the
+/// Steiner tree degenerates to the induced edge set (see
+/// `hbn-dynamic`).
+#[derive(Debug, Default)]
+pub struct SteinerScratch {
+    terminals: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+}
+
+impl SteinerScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> SteinerScratch {
+        SteinerScratch::default()
+    }
+}
+
 /// Edges of the Steiner tree spanning `terminals`, computed in
 /// `O(k log k + output)` time via the virtual-tree technique (sort by
 /// preorder time, walk consecutive LCAs).
@@ -16,26 +39,41 @@ use crate::tree::Network;
 /// Returns an empty set for fewer than two terminals. Duplicate terminals
 /// are allowed.
 pub fn steiner_edges(net: &Network, terminals: &[NodeId]) -> Vec<EdgeId> {
+    let mut scratch = SteinerScratch::new();
+    steiner_edges_with(net, terminals, &mut scratch);
+    std::mem::take(&mut scratch.edges)
+}
+
+/// [`steiner_edges`] into caller-provided scratch: no allocation once the
+/// scratch buffers have grown to the working-set size. The returned slice
+/// (sorted, deduplicated — identical to [`steiner_edges`]) borrows the
+/// scratch and is valid until its next use.
+pub fn steiner_edges_with<'s>(
+    net: &Network,
+    terminals: &[NodeId],
+    scratch: &'s mut SteinerScratch,
+) -> &'s [EdgeId] {
+    scratch.edges.clear();
     if terminals.len() < 2 {
-        return Vec::new();
+        return &scratch.edges;
     }
-    let mut ts: Vec<NodeId> = terminals.to_vec();
-    ts.sort_unstable_by_key(|&v| net.preorder_index(v));
-    ts.dedup();
-    if ts.len() == 1 {
-        return Vec::new();
+    scratch.terminals.clear();
+    scratch.terminals.extend_from_slice(terminals);
+    scratch.terminals.sort_unstable_by_key(|&v| net.preorder_index(v));
+    scratch.terminals.dedup();
+    if scratch.terminals.len() == 1 {
+        return &scratch.edges;
     }
     // The Steiner tree is the union of the paths between preorder-adjacent
     // terminals plus the path closing through the overall LCA; collecting
     // path edges of consecutive pairs covers every Steiner edge at least
     // once (classic virtual tree property).
-    let mut edges = Vec::new();
-    for w in ts.windows(2) {
-        edges.extend(net.path_edges_iter(w[0], w[1]));
+    for w in scratch.terminals.windows(2) {
+        scratch.edges.extend(net.path_edges_iter(w[0], w[1]));
     }
-    edges.sort_unstable();
-    edges.dedup();
-    edges
+    scratch.edges.sort_unstable();
+    scratch.edges.dedup();
+    &scratch.edges
 }
 
 /// Total number of edges in the Steiner tree of `terminals`; the write
@@ -49,7 +87,20 @@ pub fn steiner_size(net: &Network, terminals: &[NodeId]) -> usize {
 /// entries. Used by the load accounting, which processes many objects and
 /// wants to avoid repeated allocation.
 pub fn add_steiner_load(net: &Network, terminals: &[NodeId], weight: u64, out: &mut [u64]) {
-    for e in steiner_edges(net, terminals) {
+    let mut scratch = SteinerScratch::new();
+    add_steiner_load_with(net, terminals, weight, &mut scratch, out);
+}
+
+/// [`add_steiner_load`] with caller-provided scratch: fully allocation-free
+/// once the scratch has reached its high-water capacity.
+pub fn add_steiner_load_with(
+    net: &Network,
+    terminals: &[NodeId],
+    weight: u64,
+    scratch: &mut SteinerScratch,
+    out: &mut [u64],
+) {
+    for &e in steiner_edges_with(net, terminals, scratch) {
         out[e.index()] += weight;
     }
 }
@@ -132,6 +183,36 @@ mod tests {
                 .collect();
             assert_eq!(got, want, "mask {mask:#b}");
         }
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_api_on_all_subsets() {
+        let t = two_level();
+        let procs = t.processors().to_vec();
+        let mut scratch = SteinerScratch::new();
+        for mask in 0u32..(1 << procs.len()) {
+            let terminals: Vec<NodeId> = procs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &p)| p)
+                .collect();
+            let want = steiner_edges(&t, &terminals);
+            // The same scratch is reused across every subset.
+            assert_eq!(steiner_edges_with(&t, &terminals, &mut scratch), want, "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn add_steiner_load_with_reuses_scratch() {
+        let t = two_level();
+        let mut buf = vec![0u64; t.n_nodes()];
+        let mut scratch = SteinerScratch::new();
+        add_steiner_load_with(&t, &[NodeId(3), NodeId(7)], 4, &mut scratch, &mut buf);
+        add_steiner_load_with(&t, &[NodeId(3), NodeId(4)], 1, &mut scratch, &mut buf);
+        assert_eq!(buf[3], 5);
+        assert_eq!(buf[4], 1);
+        assert_eq!(buf[7], 4);
     }
 
     #[test]

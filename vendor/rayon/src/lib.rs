@@ -12,6 +12,7 @@
 /// The import surface mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+    pub use crate::IntoParallelRefMutIterator;
 }
 
 /// Number of worker threads: `RAYON_NUM_THREADS` override, else the
@@ -67,6 +68,62 @@ impl<'d, T: Sync> ParIter<'d, T> {
         F: Fn(&'d T) + Sync,
     {
         run_chunked(self.items, &|item| f(item));
+    }
+}
+
+/// `.par_iter_mut()` entry point for slice-like containers.
+pub trait IntoParallelRefMutIterator<'d> {
+    /// The mutably referenced item type.
+    type Item: Send + 'd;
+    /// A parallel iterator mutably borrowing the container's items.
+    fn par_iter_mut(&'d mut self) -> ParIterMut<'d, Self::Item>;
+}
+
+impl<'d, T: Send + 'd> IntoParallelRefMutIterator<'d> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'d mut self) -> ParIterMut<'d, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'d, T: Send + 'd> IntoParallelRefMutIterator<'d> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'d mut self) -> ParIterMut<'d, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Mutably borrowing parallel iterator over a slice.
+pub struct ParIterMut<'d, T> {
+    items: &'d mut [T],
+}
+
+impl<'d, T: Send> ParIterMut<'d, T> {
+    /// Run `f` on every item in parallel, one contiguous chunk of items
+    /// per worker thread.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for chunk_items in self.items.chunks_mut(chunk) {
+                let f = &f;
+                scope.spawn(move || {
+                    for item in chunk_items {
+                        f(item);
+                    }
+                });
+            }
+        });
     }
 }
 
@@ -133,6 +190,19 @@ mod tests {
             sum.fetch_add(x, Ordering::Relaxed);
         });
         assert_eq!(sum.into_inner(), 5050);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_every_item() {
+        let mut data: Vec<u64> = (0..503).collect();
+        data.par_iter_mut().for_each(|x| *x *= 3);
+        assert_eq!(data, (0..503).map(|x| x * 3).collect::<Vec<_>>());
+        let mut single = [41u64];
+        single.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(single, [42]);
+        let mut empty: Vec<u64> = Vec::new();
+        empty.par_iter_mut().for_each(|x| *x += 1);
+        assert!(empty.is_empty());
     }
 
     #[test]
