@@ -5,6 +5,8 @@
 //! * sequential vs parallel per-object steps 1–2;
 //! * exact-rational vs float congestion comparison.
 
+#![warn(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use hbn_core::{ExtendedNibble, ExtendedNibbleOptions, FreeEdgePolicy, MappingOptions};
 use hbn_load::{LoadMap, LoadRatio};

@@ -4,6 +4,8 @@
 //! six-family phase tour at `balanced(4,3)` (64 processors), plus a
 //! write-heavy ping-pong instance tracking the collapse fast path.
 
+#![warn(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hbn_dynamic::{online_trace, DynamicTree, DynamicWorkspace, OnlineRequest};
 use hbn_topology::generators::{balanced, star, BandwidthProfile};

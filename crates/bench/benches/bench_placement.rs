@@ -2,6 +2,8 @@
 //! mapping and the full extended-nibble strategy, swept over `|X|` and
 //! `|V|` (the sequential-runtime claim of Theorem 4.3, EXP-SEQ).
 
+#![warn(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hbn_core::{nibble_object, ExtendedNibble, Workspace};
 use hbn_topology::generators::{balanced, BandwidthProfile};

@@ -3,6 +3,8 @@
 //! reference, on the acceptance instance `balanced(4,3)` with 512 objects
 //! and ~15k requests, plus a smaller instance tracking per-slot overhead.
 
+#![warn(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hbn_baselines::{ExtendedNibbleStrategy, Strategy};
 use hbn_load::Placement;

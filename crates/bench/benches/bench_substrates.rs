@@ -2,6 +2,8 @@
 //! dense), congestion extraction, Steiner trees, LCA queries, and the
 //! packet simulator's slot throughput.
 
+#![warn(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hbn_core::ExtendedNibble;
 use hbn_load::LoadMap;

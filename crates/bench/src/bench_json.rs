@@ -223,6 +223,116 @@ pub fn emit_scenarios_json(path: &str, records: &[ScenarioBenchRecord]) -> std::
     f.write_all(render_scenarios_json(records).as_bytes())
 }
 
+/// One cell of the strategy matrix: a (family, topology, strategy)
+/// triple aggregated over its seed shards — the EXP-STRAT comparison of
+/// the static, dynamic and hybrid data-management strategies under the
+/// same workloads.
+#[derive(Debug, Clone)]
+pub struct StrategyBenchRecord {
+    /// Access-pattern family label, e.g. `hotspot-migration`.
+    pub family: String,
+    /// Topology label, e.g. `balanced(3,2)`.
+    pub topology: String,
+    /// Strategy label, e.g. `dynamic`, `periodic-static(4)`,
+    /// `hybrid(4)`.
+    pub strategy: String,
+    /// Number of processors (leaves).
+    pub processors: usize,
+    /// Seed shards aggregated into this record.
+    pub seeds: usize,
+    /// Requests served per shard.
+    pub requests_per_seed: usize,
+    /// Replay epochs per shard.
+    pub epochs: usize,
+    /// Replication / migration charge `D` per edge a copy crosses.
+    pub threshold_d: u64,
+    /// Requests per replay epoch (`0` = one epoch per phase).
+    pub epoch_requests: usize,
+    /// Mean online congestion (service + migration traffic) over the
+    /// shards.
+    pub mean_online_congestion: f64,
+    /// Mean migration traffic per shard: `D` per edge crossed while
+    /// moving copies — the same unit for all strategies.
+    pub mean_migration_traffic: f64,
+    /// Mean empirical competitive ratio (online vs hindsight nibble)
+    /// over the shards with non-zero hindsight congestion.
+    pub mean_competitive_ratio: Option<f64>,
+    /// Mean replication / migrated-copy events per shard.
+    pub mean_replications: f64,
+    /// Mean collapse / dropped-copy events per shard.
+    pub mean_collapses: f64,
+    /// Mean total simulated makespan (slots) over the shards.
+    pub mean_makespan_slots: f64,
+    /// Wall-clock seconds for all shards of this cell.
+    pub wall_seconds: f64,
+}
+
+impl StrategyBenchRecord {
+    /// Served requests per wall-clock second, across all shards.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            (self.requests_per_seed * self.seeds) as f64 / self.wall_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Render the strategy-matrix benchmark document.
+pub fn render_strategies_json(records: &[StrategyBenchRecord]) -> String {
+    let emitted_at = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let mut strategies: Vec<&String> = records.iter().map(|r| &r.strategy).collect();
+    strategies.sort_unstable();
+    strategies.dedup();
+    let mut families: Vec<&String> = records.iter().map(|r| &r.family).collect();
+    families.sort_unstable();
+    families.dedup();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"strategy_matrix\",\n");
+    out.push_str(&format!("  \"emitted_at_unix\": {emitted_at},\n"));
+    out.push_str(&format!("  \"strategies\": {},\n", strategies.len()));
+    out.push_str(&format!("  \"families\": {},\n", families.len()));
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"topology\": \"{}\", \"strategy\": \"{}\", \
+             \"processors\": {}, \"seeds\": {}, \"requests_per_seed\": {}, \
+             \"epochs\": {}, \"threshold_d\": {}, \"epoch_requests\": {}, \
+             \"mean_online_congestion\": {}, \"mean_migration_traffic\": {}, \
+             \"mean_competitive_ratio\": {}, \"mean_replications\": {}, \
+             \"mean_collapses\": {}, \"mean_makespan_slots\": {}, \
+             \"wall_seconds\": {}, \"requests_per_sec\": {}}}{}\n",
+            json_escape(&r.family),
+            json_escape(&r.topology),
+            json_escape(&r.strategy),
+            r.processors,
+            r.seeds,
+            r.requests_per_seed,
+            r.epochs,
+            r.threshold_d,
+            r.epoch_requests,
+            json_f64(r.mean_online_congestion),
+            json_f64(r.mean_migration_traffic),
+            r.mean_competitive_ratio.map(json_f64).unwrap_or_else(|| "null".to_string()),
+            json_f64(r.mean_replications),
+            json_f64(r.mean_collapses),
+            json_f64(r.mean_makespan_slots),
+            json_f64(r.wall_seconds),
+            json_f64(r.requests_per_sec()),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render and write the strategy document to `path`.
+pub fn emit_strategies_json(path: &str, records: &[StrategyBenchRecord]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_strategies_json(records).as_bytes())
+}
+
 /// One timed serve-loop run of the online strategy.
 #[derive(Debug, Clone)]
 pub struct DynamicBenchRecord {
@@ -431,5 +541,53 @@ mod tests {
     fn dynamic_null_speedup_renders_as_null() {
         let doc = render_dynamic_json(&[dynamic_record("workspace")], None);
         assert!(doc.contains("\"speedup_workspace_vs_reference\": null"));
+    }
+
+    fn strategy_record(family: &str, strategy: &str) -> StrategyBenchRecord {
+        StrategyBenchRecord {
+            family: family.into(),
+            topology: "balanced(3,2)".into(),
+            strategy: strategy.into(),
+            processors: 9,
+            seeds: 2,
+            requests_per_seed: 5000,
+            epochs: 4,
+            threshold_d: 3,
+            epoch_requests: 1250,
+            mean_online_congestion: 250.0,
+            mean_migration_traffic: 36.0,
+            mean_competitive_ratio: Some(1.8),
+            mean_replications: 12.0,
+            mean_collapses: 4.0,
+            mean_makespan_slots: 900.0,
+            wall_seconds: 0.1,
+        }
+    }
+
+    #[test]
+    fn strategy_document_counts_strategies_and_families() {
+        let doc = render_strategies_json(&[
+            strategy_record("static-zipf", "dynamic"),
+            strategy_record("static-zipf", "periodic-static(4)"),
+            strategy_record("bursty", "hybrid(4)"),
+            strategy_record("bursty", "dynamic"),
+        ]);
+        assert!(doc.contains("\"bench\": \"strategy_matrix\""));
+        assert!(doc.contains("\"strategies\": 3"));
+        assert!(doc.contains("\"families\": 2"));
+        assert_eq!(doc.matches("\"strategy\"").count(), 4);
+        // 2 seeds × 5000 requests in 0.1 s → 100k requests/sec.
+        assert!(doc.contains("\"requests_per_sec\": 100000.000000"));
+        assert!(doc.contains("\"mean_migration_traffic\": 36.000000"));
+        assert_eq!(doc.matches("},\n").count(), 3);
+    }
+
+    #[test]
+    fn strategy_null_ratio_renders_as_null() {
+        let mut r = strategy_record("mix-flip", "periodic-static(inf)");
+        r.mean_competitive_ratio = None;
+        let doc = render_strategies_json(&[r]);
+        assert!(doc.contains("\"mean_competitive_ratio\": null"));
+        assert!(doc.contains("\"strategy\": \"periodic-static(inf)\""));
     }
 }

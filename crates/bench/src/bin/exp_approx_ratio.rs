@@ -8,6 +8,8 @@
 //! * Lemma 4.5 (`L(e) ≤ 4·L_nib(e) + τ_max`) and Lemma 4.6 (bus analogue)
 //!   are verified exactly on every edge and bus.
 
+#![warn(missing_docs)]
+
 use hbn_bench::Table;
 use hbn_core::{approximation_certificate, ExtendedNibble};
 use hbn_exact::optimal_redundant_nearest;

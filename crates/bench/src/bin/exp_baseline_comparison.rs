@@ -2,6 +2,8 @@
 //! strategy against the baselines across workload families, normalised by
 //! the unrestricted-nibble lower bound.
 
+#![warn(missing_docs)]
+
 use hbn_baselines::{
     ExtendedNibbleStrategy, GreedyCongestion, LocalSearch, OwnerLeaf, RandomLeaf, Strategy,
     UnrestrictedNibble,

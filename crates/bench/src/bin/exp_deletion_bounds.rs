@@ -2,6 +2,8 @@
 //! serves between κ_x and 2κ_x requests, and per-edge loads grow by at
 //! most a factor of two over the nibble optimum.
 
+#![warn(missing_docs)]
+
 use hbn_bench::Table;
 use hbn_core::{delete_rarely_used, nibble_object, Workspace};
 use hbn_load::{LoadMap, Placement};

@@ -2,6 +2,8 @@
 //! protocol completes in `O(|X| + height)` pipelined rounds, and the full
 //! distributed schedule matches `O(|X|·|V|·log(degree) + height)` work.
 
+#![warn(missing_docs)]
+
 use hbn_bench::Table;
 use hbn_distributed::{distributed_nibble, distributed_schedule};
 use hbn_topology::generators::{balanced, bus_path, BandwidthProfile};

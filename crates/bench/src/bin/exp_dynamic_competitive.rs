@@ -3,6 +3,8 @@
 //! cited result is a competitive ratio of 3 on trees; we measure the
 //! empirical ratio across request mixes and replication thresholds.
 
+#![warn(missing_docs)]
+
 use hbn_bench::Table;
 use hbn_dynamic::{run_competitive, OnlineRequest};
 use hbn_testutil::seeded_rng;

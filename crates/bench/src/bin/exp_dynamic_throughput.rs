@@ -22,6 +22,8 @@
 //! `BENCH_scenarios.json`. `HBN_EXP_QUICK=1` shrinks the request volumes
 //! for CI.
 
+#![warn(missing_docs)]
+
 use hbn_bench::{emit_dynamic_json, exp_quick, DynamicBenchRecord, Table};
 use hbn_dynamic::{
     online_trace, DynamicStats, DynamicTree, DynamicWorkspace, OnlineRequest, ShardedDynamic,

@@ -3,6 +3,8 @@
 //! (see DESIGN.md), and the paper's original `2Σs(c)` form is shown to
 //! break on real runs — the erratum, demonstrated.
 
+#![warn(missing_docs)]
+
 use hbn_bench::Table;
 use hbn_core::{observation_3_3_holds, ExtendedNibble, InvariantForm, MappingOptions};
 use hbn_topology::generators::{balanced, bus_path, random_network, BandwidthProfile};

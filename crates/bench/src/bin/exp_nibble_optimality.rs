@@ -2,6 +2,8 @@
 //! per-edge minimum load on every edge simultaneously, its copies form a
 //! connected subgraph, and per-object loads never exceed κ_x.
 
+#![warn(missing_docs)]
+
 use hbn_bench::Table;
 use hbn_core::{nibble_object, nibble_placement, Workspace};
 use hbn_exact::min_edge_loads_exhaustive;

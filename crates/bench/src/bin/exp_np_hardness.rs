@@ -3,6 +3,8 @@
 //! exponentially with the instance size — the executable content of the
 //! NP-hardness claim.
 
+#![warn(missing_docs)]
+
 use hbn_bench::Table;
 use hbn_exact::{
     encode_partition, no_instance, optimal_nonredundant, yes_instance, PartitionInstance,

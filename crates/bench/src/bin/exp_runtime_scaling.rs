@@ -3,6 +3,8 @@
 //! `O(|X| · |V| · height(T) · log(degree(T)))` — near-linear in each
 //! parameter separately.
 
+#![warn(missing_docs)]
+
 use hbn_bench::Table;
 use hbn_core::ExtendedNibble;
 use hbn_topology::generators::{balanced, bus_path, BandwidthProfile};

@@ -15,6 +15,8 @@
 //! scenario trajectory is tracked across PRs alongside
 //! `BENCH_simulator.json` and `BENCH_dynamic.json`.
 
+#![warn(missing_docs)]
+
 use hbn_bench::{emit_scenarios_json, exp_quick, ScenarioBenchRecord, Table};
 use hbn_scenario::{run_scenario_sharded, ScenarioSpec, TopologyFamily};
 use hbn_testutil::{family_schedules, seeded_rng, seeded_rng_stream};

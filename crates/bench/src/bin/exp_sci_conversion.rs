@@ -3,6 +3,8 @@
 //! every segment of a unidirectional ringlet once, i.e. exactly the bus
 //! load of the converted network.
 
+#![warn(missing_docs)]
+
 use hbn_bench::Table;
 use hbn_core::ExtendedNibble;
 use hbn_load::LoadMap;

@@ -11,6 +11,8 @@
 //! throughput trajectory is tracked across PRs. Independent replays fan
 //! out across cores with rayon.
 
+#![warn(missing_docs)]
+
 use hbn_baselines::{ExtendedNibbleStrategy, GreedyCongestion, OwnerLeaf, RandomLeaf, Strategy};
 use hbn_bench::{emit_simulator_json, SimBenchRecord, Table};
 use hbn_load::{LoadMap, Placement};

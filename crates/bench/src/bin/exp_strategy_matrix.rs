@@ -1,0 +1,199 @@
+//! EXP-STRAT — the strategy matrix: every access-pattern family of
+//! `hbn_workload::phases` crossed with several topologies and served
+//! under each data-management strategy of the scenario engine — the
+//! dynamic read-replicate / write-collapse strategy, the periodically
+//! re-optimized static extended-nibble placement (batched
+//! `PlacementKernel`), a single up-front static placement
+//! (`periodic-static(inf)`), and the hybrid (static nibble seeds the
+//! dynamic tree's replica sets).
+//!
+//! This is the comparison the paper's headline result implies but never
+//! measures: Sections 3–4 prove the *static* placement 7-competitive,
+//! Section 1.3 points to 3-competitive *dynamic* strategies — here both
+//! serve identical phase-scheduled traffic under identical load
+//! accounting, with migration cost charged at `D` per edge a moved
+//! copy crosses (the dynamic replication unit), so
+//! congestion, migration traffic and the empirical competitive ratio
+//! (against the hindsight nibble placement) are directly comparable per
+//! (family × topology × strategy) cell.
+//!
+//! Emits `BENCH_strategies.json`; `HBN_EXP_QUICK=1` runs the same matrix
+//! at CI-sized volumes.
+
+#![warn(missing_docs)]
+
+use hbn_bench::{emit_strategies_json, exp_quick, StrategyBenchRecord, Table};
+use hbn_scenario::{run_scenario_sharded, ScenarioSpec, StrategyKind, TopologyFamily};
+use hbn_testutil::{family_schedules, seeded_rng, seeded_rng_stream};
+use hbn_workload::phases::PhaseSchedule;
+use rand::Rng;
+use std::time::Instant;
+
+/// Live objects at schedule start.
+const OBJECTS: usize = 24;
+/// Replication / migration charge `D` per edge a copy crosses.
+const THRESHOLD: u64 = 3;
+/// Seed shards per matrix cell.
+const SHARDS: usize = 2;
+
+/// (warm-up requests, measured-phase requests, requests per replay
+/// epoch) per schedule.
+fn volumes() -> (usize, usize, usize) {
+    if exp_quick() {
+        (400, 2_000, 400)
+    } else {
+        (4_000, 40_000, 4_000)
+    }
+}
+
+/// The access-pattern families (shared canonical set, warm-up +
+/// measured phase).
+fn families() -> Vec<(&'static str, PhaseSchedule)> {
+    let (warmup, volume, _) = volumes();
+    family_schedules(OBJECTS, warmup, volume)
+}
+
+fn topologies() -> Vec<TopologyFamily> {
+    vec![
+        TopologyFamily::Balanced { branching: 3, height: 2 },
+        TopologyFamily::Star { processors: 12, bus_bandwidth: 4 },
+        TopologyFamily::Caterpillar { spine: 4, legs: 3 },
+    ]
+}
+
+/// The strategy axis. The periodic strategies re-optimize every 4
+/// epochs; `periodic-static(inf)` keeps the placement computed on the
+/// warm-up traffic for the whole run.
+fn strategies() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Dynamic,
+        StrategyKind::PeriodicStatic { replace_every_epochs: 0 },
+        StrategyKind::PeriodicStatic { replace_every_epochs: 4 },
+        StrategyKind::Hybrid { reseed_every_epochs: 4 },
+    ]
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn main() {
+    let (warmup, volume, epoch_requests) = volumes();
+    println!(
+        "EXP-STRAT — strategy matrix: {} families x {} topologies x {} strategies, \
+         {} seed shards each, {} requests per seed{}\n",
+        families().len(),
+        topologies().len(),
+        strategies().len(),
+        SHARDS,
+        warmup + volume,
+        if exp_quick() { " (HBN_EXP_QUICK)" } else { "" }
+    );
+
+    let mut seed_source = seeded_rng(23);
+    let mut records: Vec<StrategyBenchRecord> = Vec::new();
+    let mut t = Table::new([
+        "family",
+        "topology",
+        "strategy",
+        "online cong.",
+        "migration",
+        "vs hindsight",
+        "repl",
+        "coll",
+        "makespan",
+        "wall (ms)",
+    ]);
+
+    for (family, schedule) in families() {
+        for topology in topologies() {
+            // One seed set per (family, topology): every strategy serves
+            // the *identical* request streams.
+            let cell_base: u64 = seed_source.gen();
+            let seeds: Vec<u64> =
+                (0..SHARDS as u64).map(|s| seeded_rng_stream(cell_base, s).gen()).collect();
+            let processors = topology.build().n_processors();
+
+            for strategy in strategies() {
+                let mut spec = ScenarioSpec::new(
+                    format!("{family}@{}@{}", topology.label(), strategy.label()),
+                    topology,
+                    schedule.clone(),
+                    THRESHOLD,
+                    0,
+                );
+                spec.strategy = strategy;
+                spec.epoch_requests = epoch_requests;
+
+                let start = Instant::now();
+                let reports = run_scenario_sharded(&spec, &seeds);
+                let wall = start.elapsed().as_secs_f64();
+
+                let ratios: Vec<f64> = reports.iter().filter_map(|r| r.competitive_ratio).collect();
+                let rec = StrategyBenchRecord {
+                    family: family.to_string(),
+                    topology: topology.label(),
+                    strategy: strategy.label(),
+                    processors,
+                    seeds: SHARDS,
+                    requests_per_seed: schedule.total_requests(),
+                    epochs: reports[0].epochs.len(),
+                    threshold_d: spec.threshold,
+                    epoch_requests: spec.epoch_requests,
+                    mean_online_congestion: mean(
+                        reports.iter().map(|r| r.online_congestion.as_f64()),
+                    ),
+                    mean_migration_traffic: mean(
+                        reports.iter().map(|r| {
+                            r.epochs.iter().map(|e| e.migration_traffic).sum::<u64>() as f64
+                        }),
+                    ),
+                    mean_competitive_ratio: if ratios.is_empty() {
+                        None
+                    } else {
+                        Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+                    },
+                    mean_replications: mean(reports.iter().map(|r| r.stats.replications as f64)),
+                    mean_collapses: mean(reports.iter().map(|r| r.stats.collapses as f64)),
+                    mean_makespan_slots: mean(reports.iter().map(|r| r.total_makespan as f64)),
+                    wall_seconds: wall,
+                };
+                t.row([
+                    family.to_string(),
+                    rec.topology.clone(),
+                    rec.strategy.clone(),
+                    format!("{:.0}", rec.mean_online_congestion),
+                    format!("{:.0}", rec.mean_migration_traffic),
+                    rec.mean_competitive_ratio.map_or("-".into(), |r| format!("{r:.2}x")),
+                    format!("{:.0}", rec.mean_replications),
+                    format!("{:.0}", rec.mean_collapses),
+                    format!("{:.0}", rec.mean_makespan_slots),
+                    format!("{:.1}", wall * 1e3),
+                ]);
+                records.push(rec);
+            }
+        }
+    }
+
+    println!("{}", t.render());
+    println!(
+        "Expected shape: on stationary read-mostly families the up-front static\n\
+         placement (periodic-static(inf)) lands near the hindsight optimum and\n\
+         the dynamic strategy pays a small replication overhead on top; under\n\
+         hotspot-migration and object-churn the frozen placement degrades while\n\
+         periodic re-optimization buys its migration traffic back in service\n\
+         congestion, and the hybrid tracks the dynamic strategy with cheaper\n\
+         convergence after each re-seed. Write-heavy flips favour the dynamic\n\
+         collapse rule everywhere.\n"
+    );
+
+    match emit_strategies_json("BENCH_strategies.json", &records) {
+        Ok(()) => println!("wrote BENCH_strategies.json"),
+        Err(e) => eprintln!("could not write BENCH_strategies.json: {e}"),
+    }
+}

@@ -105,12 +105,6 @@ impl ExtendedNibble {
         net: &Network,
         matrix: &AccessMatrix,
     ) -> Result<ExtendedOutcome, MappingError> {
-        let n_objects = matrix.n_objects();
-        let mut gravity = vec![NodeId(0); n_objects];
-        let mut all_copies: Vec<ObjectCopies> = Vec::with_capacity(n_objects);
-        let mut stats = ExtendedNibbleStats::default();
-        let mut nibble_placement = Placement::new(n_objects);
-
         // Steps 1–2 are independent per object; run them on a worker pool
         // when requested.
         let per_object: Vec<(NodeId, ObjectCopies, ObjectCopies, bool)> =
@@ -120,66 +114,78 @@ impl ExtendedNibble {
                 let mut ws = Workspace::new(net.n_nodes());
                 matrix.objects().map(|x| run_steps_for_object(net, matrix, x, &mut ws)).collect()
             };
-
-        for (x, (g, nib_copies, modified, processed)) in matrix.objects().zip(per_object) {
-            gravity[x.index()] = g;
-            apply_to_placement(&nib_copies, &mut nibble_placement);
-            if processed {
-                stats.objects_processed += 1;
-                stats.copies_deleted += nib_copies.copies.len().saturating_sub(
-                    modified.copies.len(), // net effect; splits re-add copies
-                );
-            } else {
-                stats.objects_untouched += 1;
-            }
-            all_copies.push(modified);
-        }
-        // Recompute deletion/split counters exactly (the net-effect above
-        // conflates them); cheap second pass over sizes.
-        stats.copies_deleted = 0;
-        stats.copies_split = 0;
-        for (oc, nib_len) in
-            all_copies.iter().zip(matrix.objects().map(|x| nibble_placement.copies(x).len()))
-        {
-            let now = oc.copies.len();
-            if now > nib_len {
-                stats.copies_split += now - nib_len;
-            } else {
-                stats.copies_deleted += nib_len - now;
-            }
-        }
-
-        let mut modified_placement = Placement::new(n_objects);
-        for oc in &all_copies {
-            apply_to_placement(oc, &mut modified_placement);
-        }
-
-        let mapping = map_to_leaves(net, &mut all_copies, &self.options.mapping)?;
-
-        let mut placement = Placement::new(n_objects);
-        for oc in &all_copies {
-            apply_to_placement(oc, &mut placement);
-        }
-
-        Ok(ExtendedOutcome {
-            placement,
-            nibble_placement,
-            modified_placement,
-            gravity,
-            mapping,
-            stats,
-        })
+        assemble_outcome(net, matrix, per_object, &self.options.mapping)
     }
+}
+
+/// Steps 2'–3 shared by [`ExtendedNibble::place`] and the batched
+/// [`crate::PlacementKernel`]: fold the per-object step 1–2 results (in
+/// object-id order) into the three placements and counters, then run the
+/// global mapping phase. Keeping a single assembly point is what makes the
+/// batch kernel bit-for-bit identical to the per-object path.
+pub(crate) fn assemble_outcome(
+    net: &Network,
+    matrix: &AccessMatrix,
+    per_object: Vec<ObjectSteps>,
+    mapping_options: &MappingOptions,
+) -> Result<ExtendedOutcome, MappingError> {
+    let n_objects = matrix.n_objects();
+    let mut gravity = vec![NodeId(0); n_objects];
+    let mut all_copies: Vec<ObjectCopies> = Vec::with_capacity(n_objects);
+    let mut stats = ExtendedNibbleStats::default();
+    let mut nibble_placement = Placement::new(n_objects);
+
+    for (x, (g, nib_copies, modified, processed)) in matrix.objects().zip(per_object) {
+        gravity[x.index()] = g;
+        apply_to_placement(&nib_copies, &mut nibble_placement);
+        if processed {
+            stats.objects_processed += 1;
+            stats.copies_deleted += nib_copies.copies.len().saturating_sub(
+                modified.copies.len(), // net effect; splits re-add copies
+            );
+        } else {
+            stats.objects_untouched += 1;
+        }
+        all_copies.push(modified);
+    }
+    // Recompute deletion/split counters exactly (the net-effect above
+    // conflates them); cheap second pass over sizes.
+    stats.copies_deleted = 0;
+    stats.copies_split = 0;
+    for (oc, nib_len) in
+        all_copies.iter().zip(matrix.objects().map(|x| nibble_placement.copies(x).len()))
+    {
+        let now = oc.copies.len();
+        if now > nib_len {
+            stats.copies_split += now - nib_len;
+        } else {
+            stats.copies_deleted += nib_len - now;
+        }
+    }
+
+    let mut modified_placement = Placement::new(n_objects);
+    for oc in &all_copies {
+        apply_to_placement(oc, &mut modified_placement);
+    }
+
+    let mapping = map_to_leaves(net, &mut all_copies, mapping_options)?;
+
+    let mut placement = Placement::new(n_objects);
+    for oc in &all_copies {
+        apply_to_placement(oc, &mut placement);
+    }
+
+    Ok(ExtendedOutcome { placement, nibble_placement, modified_placement, gravity, mapping, stats })
 }
 
 /// Per-object output of steps 1–2: `(gravity, nibble copies, modified
 /// copies, processed?)`.
-type ObjectSteps = (NodeId, ObjectCopies, ObjectCopies, bool);
+pub(crate) type ObjectSteps = (NodeId, ObjectCopies, ObjectCopies, bool);
 
 /// Steps 1–2 for one object: nibble, then deletion iff the nibble
 /// placement uses a bus. Returns `(gravity, nibble copies, modified
 /// copies, processed?)`.
-fn run_steps_for_object(
+pub(crate) fn run_steps_for_object(
     net: &Network,
     matrix: &AccessMatrix,
     x: hbn_workload::ObjectId,

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod batch;
 pub mod copies;
 pub mod deletion;
 pub mod extended;
@@ -18,6 +19,7 @@ pub mod nibble;
 pub use analysis::{
     approximation_certificate, certified_lower_bound, ApproxCertificate, LowerBound,
 };
+pub use batch::PlacementKernel;
 pub use copies::{CopyState, Group, ObjectCopies};
 pub use deletion::{delete_rarely_used, DeletionOutcome};
 pub use extended::{ExtendedNibble, ExtendedNibbleOptions, ExtendedNibbleStats, ExtendedOutcome};

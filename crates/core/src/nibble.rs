@@ -31,6 +31,34 @@ pub struct NibbleOutcome {
 /// Run the nibble strategy for object `x`, reusing `ws` scratch space.
 ///
 /// Objects without requests yield an empty copy set.
+///
+/// ```
+/// use hbn_core::{nibble_object, Workspace};
+/// use hbn_topology::generators::{balanced, BandwidthProfile};
+/// use hbn_workload::{AccessMatrix, ObjectId};
+///
+/// // A small balanced topology (2 children per bus, height 2) with one
+/// // object read from two distant leaves and occasionally written.
+/// let net = balanced(2, 2, BandwidthProfile::Uniform);
+/// let p = net.processors();
+/// let mut m = AccessMatrix::new(1);
+/// m.add(p[0], ObjectId(0), 8, 1);
+/// m.add(p[3], ObjectId(0), 8, 1);
+///
+/// let mut ws = Workspace::new(net.n_nodes());
+/// let out = nibble_object(&net, &m, ObjectId(0), &mut ws);
+///
+/// // κ_x = 2 writes; every node whose subtree weight exceeds κ gets a
+/// // copy, so both heavy readers hold one and the copies form a
+/// // connected subgraph through the gravity center.
+/// let nodes = out.copies.nodes();
+/// assert!(nodes.contains(&p[0]) && nodes.contains(&p[3]));
+/// assert!(nodes.contains(&out.gravity));
+/// // All 18 requests are served at some copy.
+/// assert_eq!(out.copies.total_served(), 18);
+/// // The connecting inner nodes are buses, so steps 2–3 must run.
+/// assert!(out.uses_bus);
+/// ```
 pub fn nibble_object(
     net: &Network,
     matrix: &AccessMatrix,

@@ -77,6 +77,16 @@ impl ShardedDynamic {
         self.shards[x.index() % self.shards.len()].tree.replicas(x)
     }
 
+    /// Replace the replica set of `x` on its owning shard — see
+    /// [`DynamicTree::seed_replicas`]. Per-object state lives entirely in
+    /// the owning shard, so seeding commutes with the shard merge: a
+    /// seeded sharded strategy still reproduces the seeded unsharded one
+    /// bit for bit.
+    pub fn seed_replicas(&mut self, net: &Network, x: ObjectId, nodes: &[NodeId]) {
+        let shard = x.index() % self.shards.len();
+        self.shards[shard].tree.seed_replicas(net, x, nodes);
+    }
+
     /// Sum the per-shard cumulative loads into `out` (on top of whatever
     /// `out` already holds).
     pub fn add_loads_to(&self, out: &mut LoadMap) {

@@ -282,6 +282,54 @@ impl DynamicTree {
         }
     }
 
+    /// Replace the replica set of `x` with `nodes` — the hybrid-strategy
+    /// seeding hook: a static placement (typically the connected nibble
+    /// copy set of `x`) becomes the strategy's working set, as if the
+    /// online strategy had replicated its way there.
+    ///
+    /// `nodes` must be non-empty and form a connected subgraph of the
+    /// network (the strategy's structural invariant; the nibble copy sets
+    /// of Theorem 3.1 are connected by construction — `debug_assert`ed).
+    /// `nodes[0]` becomes the walk anchor. All read counters of `x` are
+    /// discarded, exactly as a write-collapse would discard them. No
+    /// traffic is charged and no stats are counted — migration accounting
+    /// is the caller's job (the scenario engine charges the copy-set
+    /// delta at `D` per copy).
+    ///
+    /// Seeding is kernel-agnostic: it keeps the fast and reference
+    /// kernels bit-for-bit equivalent (the differential suites drive
+    /// seeded strategies through both).
+    pub fn seed_replicas(&mut self, net: &Network, x: ObjectId, nodes: &[NodeId]) {
+        assert_eq!(net.n_nodes(), self.n_nodes, "network mismatch");
+        assert!(!nodes.is_empty(), "a seeded replica set cannot be empty");
+        debug_assert!(
+            nodes.iter().all(|&r| {
+                let mut v = r;
+                while v != nodes[0] {
+                    v = net.step_towards(v, nodes[0]);
+                    if !nodes.contains(&v) {
+                        return false;
+                    }
+                }
+                true
+            }),
+            "a seeded replica set must be connected"
+        );
+        let st = self.objects[x.index()].get_or_insert_with(|| Box::new(ObjectState::new()));
+        // One generation bump invalidates the fast kernel's membership
+        // stamps and counters; the reference kernel addresses counters
+        // densely and ignores stamps, so also zero the allocated slots
+        // physically. The slot vector is *not* densified here — seeding
+        // stays O(touched + |seed|), and the reference kernel densifies
+        // lazily on its next serve call.
+        st.gen += 1;
+        st.slots.iter_mut().for_each(|s| s.count = 0);
+        st.replicas.clear();
+        for &v in nodes {
+            st.insert_replica(v);
+        }
+    }
+
     /// Process one request with the internally owned workspace — the
     /// ergonomic form of [`DynamicTree::serve_with`], equally
     /// allocation-free in steady state.
@@ -393,10 +441,13 @@ impl DynamicTree {
         let n_nodes = self.n_nodes;
         let st = self.objects[req.object.index()].get_or_insert_with(|| {
             let mut st = ObjectState::new();
-            // The reference kernel addresses counters densely.
             st.slots.resize(n_nodes, Slot::default());
             Box::new(st)
         });
+        // The reference kernel addresses counters densely; a state
+        // materialized by `seed_replicas` is sparse, so densify (no-op
+        // once covered).
+        st.grow_to(n_nodes - 1);
         if st.replicas.is_empty() {
             st.replicas.push(req.processor);
         }
@@ -592,6 +643,63 @@ mod tests {
             d.serve(&net, read(q, 0));
         }
         assert_eq!(d.loads().total(), before, "all reads are now local");
+    }
+
+    #[test]
+    fn seeding_replaces_replicas_and_discards_counters() {
+        let net = star(4, 4);
+        let p = net.processors();
+        let mut d = DynamicTree::new(&net, 1, 2);
+        d.serve(&net, read(p[0], 0));
+        // One read from p1 leaves live counters on the path.
+        d.serve(&net, read(p[1], 0));
+        // Seed a connected set through the bus: counters must be gone.
+        d.seed_replicas(&net, ObjectId(0), &[net.root(), p[2]]);
+        assert_eq!(d.replicas(ObjectId(0)), &[net.root(), p[2]]);
+        d.serve(&net, read(p[1], 0));
+        assert_eq!(d.stats().replications, 0, "stale pre-seed counters must not fire");
+        // Seeding itself charges nothing.
+        let mut fresh = DynamicTree::new(&net, 1, 2);
+        fresh.seed_replicas(&net, ObjectId(0), &[p[3]]);
+        assert_eq!(fresh.loads().total(), 0);
+        assert_eq!(fresh.stats(), DynamicStats::default());
+    }
+
+    #[test]
+    fn seeded_strategies_agree_across_kernels() {
+        use rand::{Rng, SeedableRng};
+        let net = balanced(3, 2, BandwidthProfile::Uniform);
+        let procs = net.processors();
+        let seed: Vec<NodeId> = vec![net.root(), net.children(net.root())[0]];
+        let mut fast = DynamicTree::new(&net, 2, 2);
+        let mut reference = DynamicTree::new(&net, 2, 2);
+        for d in [&mut fast, &mut reference] {
+            d.seed_replicas(&net, ObjectId(0), &seed);
+            d.seed_replicas(&net, ObjectId(1), &[procs[4]]);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..800 {
+            let req = OnlineRequest {
+                processor: procs[rng.gen_range(0..procs.len())],
+                object: ObjectId(rng.gen_range(0..2)),
+                is_write: rng.gen_bool(0.2),
+            };
+            fast.serve(&net, req);
+            reference.serve_reference(&net, req);
+        }
+        assert_eq!(fast.loads(), reference.loads());
+        assert_eq!(fast.stats(), reference.stats());
+        for x in 0..2u32 {
+            assert_eq!(fast.replicas(ObjectId(x)), reference.replicas(ObjectId(x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_seed_rejected() {
+        let net = star(3, 4);
+        let mut d = DynamicTree::new(&net, 1, 2);
+        d.seed_replicas(&net, ObjectId(0), &[]);
     }
 
     #[test]

@@ -1,7 +1,11 @@
-//! The scenario engine: stream → online strategy → epoch replay.
+//! The scenario engine: stream → data-management strategy → epoch replay.
 //!
-//! One scenario run drives the phase-scheduled request stream through the
-//! online read-replicate / write-collapse strategy request by request.
+//! One scenario run drives the phase-scheduled request stream through a
+//! [`StrategyKind`]: the online read-replicate / write-collapse strategy
+//! request by request (`Dynamic`), the batched static extended-nibble
+//! placement re-optimized from the observed traffic every few epochs
+//! (`PeriodicStatic`), or the dynamic strategy periodically re-seeded by
+//! the static pipeline (`Hybrid`).
 //! At every *epoch* boundary (a phase, or a fixed request budget within a
 //! phase) the engine
 //!
@@ -11,8 +15,10 @@
 //!    that placement (zero-allocation workspace kernel by default, the
 //!    naive reference kernel for differential pinning), and
 //! 3. records an [`EpochSummary`]: congestion of the online traffic the
-//!    epoch added, migration cost (replications × `D`, collapses), and
-//!    the replay's makespan/latency.
+//!    epoch added, migration cost (replications × `D` for the dynamic
+//!    strategy, the copy-set delta routed at `D` per edge crossed for
+//!    the static and hybrid ones),
+//!    and the replay's makespan/latency.
 //!
 //! Per-phase aggregation and the hindsight (static nibble) comparison
 //! give the [`ScenarioReport`]. Independent seeds shard across cores via
@@ -22,12 +28,12 @@
 //! bookkeeping runs through preallocated delta accumulators instead of
 //! cloning the strategy's cumulative load map every epoch.
 
-use crate::spec::{ReplayKernel, ScenarioSpec, ServeKernel};
-use hbn_core::nibble_placement;
+use crate::spec::{ReplayKernel, ScenarioSpec, ServeKernel, StrategyKind};
+use hbn_core::{nibble_placement, PlacementKernel};
 use hbn_dynamic::{DynamicStats, DynamicTree, OnlineRequest, ShardedDynamic};
-use hbn_load::{LoadMap, LoadRatio, Placement};
+use hbn_load::{nearest_copy_map, LoadMap, LoadRatio, Placement};
 use hbn_sim::{simulate_reference, simulate_with, Request, SimError, SimResult, SimWorkspace};
-use hbn_topology::Network;
+use hbn_topology::{Network, NodeId};
 use hbn_workload::{AccessMatrix, PhaseRequest};
 use rayon::prelude::*;
 
@@ -42,11 +48,16 @@ pub struct EpochSummary {
     pub reads: u64,
     /// Writes among them.
     pub writes: u64,
-    /// Replication events the online strategy performed.
+    /// `D`-sized data movements: dynamic replication events, or (static
+    /// / hybrid boundaries) migration edge transfers — one copy moved
+    /// one hop either way.
     pub replications: u64,
-    /// Write-collapse events.
+    /// Write-collapse events (dynamic), or copies dropped by a
+    /// re-optimization / re-seed (static, hybrid).
     pub collapses: u64,
-    /// Data-movement traffic charged for replications (`replications × D`).
+    /// Migration traffic charged to the strategy's loads
+    /// (`replications × D`, exactly — same unit for every
+    /// [`StrategyKind`]).
     pub migration_traffic: u64,
     /// Congestion of the online traffic added during this epoch alone.
     pub online_congestion: LoadRatio,
@@ -76,11 +87,12 @@ pub struct PhaseSummary {
     pub reads: u64,
     /// Writes among them.
     pub writes: u64,
-    /// Replication events.
+    /// `D`-sized data movements (see [`EpochSummary::replications`]).
     pub replications: u64,
-    /// Collapse events.
+    /// Collapse events / dropped copies (see
+    /// [`EpochSummary::collapses`]).
     pub collapses: u64,
-    /// Replication data movement (`replications × D`).
+    /// Migration traffic (`replications × D`).
     pub migration_traffic: u64,
     /// Congestion of the online traffic added during the phase.
     pub online_congestion: LoadRatio,
@@ -99,6 +111,9 @@ pub struct ScenarioReport {
     pub name: String,
     /// Topology label.
     pub topology: String,
+    /// Label of the data-management strategy that served the run (see
+    /// [`StrategyKind::label`]).
+    pub strategy: String,
     /// Stream seed of this run.
     pub seed: u64,
     /// Per-phase summaries, in schedule order.
@@ -130,18 +145,18 @@ fn stats_delta(cur: DynamicStats, prev: DynamicStats) -> DynamicStats {
     }
 }
 
-/// The serve side of one scenario run: the object-sharded workspace
-/// kernel ([`hbn_dynamic::ShardedDynamic`]) or the unsharded naive
-/// reference kernel.
-enum ServeEngine {
+/// The dynamic-strategy serve kernel of one run: the object-sharded
+/// workspace kernel ([`hbn_dynamic::ShardedDynamic`]) or the unsharded
+/// naive reference kernel.
+enum DynKernel {
     Sharded(ShardedDynamic),
     Reference(DynamicTree),
 }
 
-impl ServeEngine {
-    fn new(net: &Network, spec: &ScenarioSpec, max_objects: usize) -> ServeEngine {
+impl DynKernel {
+    fn new(net: &Network, spec: &ScenarioSpec, max_objects: usize) -> DynKernel {
         match spec.serve {
-            ServeKernel::Workspace => ServeEngine::Sharded(ShardedDynamic::new(
+            ServeKernel::Workspace => DynKernel::Sharded(ShardedDynamic::new(
                 net,
                 max_objects,
                 spec.threshold,
@@ -150,16 +165,16 @@ impl ServeEngine {
             // The reference kernel is the unsharded timing/semantics
             // baseline.
             ServeKernel::Reference => {
-                ServeEngine::Reference(DynamicTree::new(net, max_objects, spec.threshold))
+                DynKernel::Reference(DynamicTree::new(net, max_objects, spec.threshold))
             }
         }
     }
 
     /// Serve one epoch's requests, in trace order.
-    fn serve_epoch(&mut self, net: &Network, trace: &[OnlineRequest]) {
+    fn serve_trace(&mut self, net: &Network, trace: &[OnlineRequest]) {
         match self {
-            ServeEngine::Sharded(sharded) => sharded.serve_trace(net, trace),
-            ServeEngine::Reference(tree) => {
+            DynKernel::Sharded(sharded) => sharded.serve_trace(net, trace),
+            DynKernel::Reference(tree) => {
                 for &req in trace {
                     tree.serve_reference(net, req);
                 }
@@ -168,26 +183,270 @@ impl ServeEngine {
     }
 
     /// Current copy nodes of `x`.
-    fn replicas(&self, x: hbn_workload::ObjectId) -> &[hbn_topology::NodeId] {
+    fn replicas(&self, x: hbn_workload::ObjectId) -> &[NodeId] {
         match self {
-            ServeEngine::Sharded(sharded) => sharded.replicas(x),
-            ServeEngine::Reference(tree) => tree.replicas(x),
+            DynKernel::Sharded(sharded) => sharded.replicas(x),
+            DynKernel::Reference(tree) => tree.replicas(x),
         }
     }
 
-    /// Sum the cumulative loads into `out` (which the caller has reset).
+    /// Replace the replica set of `x` (hybrid seeding).
+    fn seed_replicas(&mut self, net: &Network, x: hbn_workload::ObjectId, nodes: &[NodeId]) {
+        match self {
+            DynKernel::Sharded(sharded) => sharded.seed_replicas(net, x, nodes),
+            DynKernel::Reference(tree) => tree.seed_replicas(net, x, nodes),
+        }
+    }
+
+    /// Sum the cumulative loads into `out` (on top of what it holds).
     fn add_loads_to(&self, out: &mut LoadMap) {
         match self {
-            ServeEngine::Sharded(sharded) => sharded.add_loads_to(out),
-            ServeEngine::Reference(tree) => out.add_assign(tree.loads()),
+            DynKernel::Sharded(sharded) => sharded.add_loads_to(out),
+            DynKernel::Reference(tree) => out.add_assign(tree.loads()),
         }
     }
 
     /// Event counters.
     fn stats(&self) -> DynamicStats {
         match self {
-            ServeEngine::Sharded(sharded) => sharded.stats(),
-            ServeEngine::Reference(tree) => tree.stats(),
+            DynKernel::Sharded(sharded) => sharded.stats(),
+            DynKernel::Reference(tree) => tree.stats(),
+        }
+    }
+}
+
+/// Charge the migration of one object's copy set from `old` to `new`:
+/// every copy in `new ∖ old` fetches a `D`-sized replica along the tree
+/// path from its nearest source copy, paying `D` on each edge crossed —
+/// the same unit as a dynamic replication, which moves one copy one hop
+/// for `D`. Sources are the old set when it is non-empty; otherwise the
+/// first new copy is the free materialization (mirroring the dynamic
+/// strategy's free first touch) and sources the rest. Returns the number
+/// of `D`-sized edge transfers charged, so the caller's
+/// `replications × D` accounting identity matches the load actually
+/// added here.
+fn charge_copy_migration(
+    net: &Network,
+    old: &[NodeId],
+    new: &[NodeId],
+    d: u64,
+    loads: &mut LoadMap,
+) -> u64 {
+    if new.is_empty() || new.iter().all(|v| old.contains(v)) {
+        return 0;
+    }
+    // Boundary-rate cold path (once per object per re-optimization, not
+    // per request): the BFS map below allocates O(|V|), which is fine at
+    // this rate; the hot epoch loop stays on preallocated accumulators.
+    let free_seed = [new[0]];
+    let sources: &[NodeId] = if old.is_empty() { &free_seed } else { old };
+    let nearest = nearest_copy_map(net, sources);
+    let mut transfers = 0;
+    for &v in new {
+        if old.contains(&v) || (old.is_empty() && v == new[0]) {
+            continue;
+        }
+        for e in net.path_edges_iter(v, nearest[v.index()]) {
+            loads.add_edge(e, d);
+            transfers += 1;
+        }
+    }
+    transfers
+}
+
+/// The periodic-static strategy state: the batch placement kernel, the
+/// current copy sets, and the strategy's own cumulative load map
+/// (service traffic under the static model plus migration traffic).
+struct StaticState {
+    kernel: PlacementKernel,
+    /// Current copy sets (assignments are rebuilt per epoch from the
+    /// epoch's frequency matrix).
+    copies: Placement,
+    loads: LoadMap,
+    /// `reads`/`writes` are served requests; `replications` counts
+    /// `D`-sized migration edge transfers (the dynamic kernel's unit)
+    /// and `collapses` dropped copies.
+    stats: DynamicStats,
+    /// Whether the bootstrap placement has been computed.
+    placed: bool,
+}
+
+/// The hybrid strategy: a dynamic kernel plus the batch kernel that
+/// periodically re-seeds it, with migration charges kept in a separate
+/// load map (the dynamic kernel owns its own).
+struct HybridState {
+    dynamic: DynKernel,
+    kernel: PlacementKernel,
+    migration_loads: LoadMap,
+    /// Seeding counters: `replications` counts `D`-sized seeding edge
+    /// transfers, `collapses` copies dropped by a re-seed.
+    seed_stats: DynamicStats,
+}
+
+/// The serve side of one scenario run, dispatching on
+/// [`StrategyKind`].
+enum ServeEngine {
+    Dynamic(DynKernel),
+    Static(StaticState),
+    Hybrid(HybridState),
+}
+
+impl ServeEngine {
+    fn new(net: &Network, spec: &ScenarioSpec, max_objects: usize) -> ServeEngine {
+        match spec.strategy {
+            StrategyKind::Dynamic => ServeEngine::Dynamic(DynKernel::new(net, spec, max_objects)),
+            StrategyKind::PeriodicStatic { .. } => ServeEngine::Static(StaticState {
+                kernel: PlacementKernel::new(net, spec.serve_shards),
+                copies: Placement::new(max_objects),
+                loads: LoadMap::zero(net),
+                stats: DynamicStats::default(),
+                placed: false,
+            }),
+            StrategyKind::Hybrid { .. } => ServeEngine::Hybrid(HybridState {
+                dynamic: DynKernel::new(net, spec, max_objects),
+                kernel: PlacementKernel::new(net, spec.serve_shards),
+                migration_loads: LoadMap::zero(net),
+                seed_stats: DynamicStats::default(),
+            }),
+        }
+    }
+
+    /// Strategy boundary work at the *start* of global epoch `epoch_idx`,
+    /// before its requests are drawn: periodic-static re-optimizes from
+    /// the observed (pre-epoch) aggregate matrix, hybrid re-seeds the
+    /// dynamic tree from the observed nibble placement. Both charge the
+    /// copy-set delta at `D` per edge crossed on each fetch path.
+    fn begin_epoch(
+        &mut self,
+        net: &Network,
+        strategy: StrategyKind,
+        epoch_idx: usize,
+        observed: &AccessMatrix,
+        d: u64,
+    ) {
+        if !strategy.is_boundary(epoch_idx) {
+            return;
+        }
+        match self {
+            ServeEngine::Dynamic(_) => {}
+            ServeEngine::Static(st) => {
+                let outcome =
+                    st.kernel.place(net, observed).expect("static re-optimization failed");
+                for x in observed.objects() {
+                    if observed.total_weight(x) == 0 {
+                        continue;
+                    }
+                    let new = outcome.placement.copies(x);
+                    let old = st.copies.copies(x);
+                    st.stats.replications += charge_copy_migration(net, old, new, d, &mut st.loads);
+                    st.stats.collapses += old.iter().filter(|v| !new.contains(v)).count() as u64;
+                }
+                st.copies = outcome.placement;
+                st.placed = true;
+            }
+            ServeEngine::Hybrid(hy) => {
+                let outcome = hy.kernel.place(net, observed).expect("hybrid re-seed failed");
+                for x in observed.objects() {
+                    // Seed with the *nibble* copy set: connected by
+                    // Theorem 3.1, which is the dynamic strategy's
+                    // structural invariant (the extended placement's
+                    // leaf-only sets are not connected).
+                    let seed = outcome.nibble_placement.copies(x);
+                    if seed.is_empty() {
+                        continue;
+                    }
+                    hy.seed_stats.replications += charge_copy_migration(
+                        net,
+                        hy.dynamic.replicas(x),
+                        seed,
+                        d,
+                        &mut hy.migration_loads,
+                    );
+                    hy.seed_stats.collapses +=
+                        hy.dynamic.replicas(x).iter().filter(|v| !seed.contains(v)).count() as u64;
+                    hy.dynamic.seed_replicas(net, x, seed);
+                }
+            }
+        }
+    }
+
+    /// Serve one epoch's requests. The dynamic and hybrid strategies
+    /// drive their serve kernel over the trace; the static strategy
+    /// computes its bootstrap placement on the first epoch (free, the
+    /// strategy's starting configuration) and materializes unseen
+    /// objects at their first requester (free, like the dynamic first
+    /// touch). Static service loads are charged later via
+    /// [`ServeEngine::charge_service`], once the epoch's snapshot
+    /// placement exists.
+    fn serve_epoch(
+        &mut self,
+        net: &Network,
+        trace: &[OnlineRequest],
+        epoch_matrix: &AccessMatrix,
+        reads: u64,
+        writes: u64,
+    ) {
+        match self {
+            ServeEngine::Dynamic(dynamic) => dynamic.serve_trace(net, trace),
+            ServeEngine::Hybrid(hy) => hy.dynamic.serve_trace(net, trace),
+            ServeEngine::Static(st) => {
+                if !st.placed {
+                    let outcome =
+                        st.kernel.place(net, epoch_matrix).expect("static bootstrap failed");
+                    st.copies = outcome.placement;
+                    st.placed = true;
+                }
+                for req in trace {
+                    if st.copies.copies(req.object).is_empty() {
+                        st.copies.add_copy(req.object, req.processor);
+                    }
+                }
+                st.stats.reads += reads;
+                st.stats.writes += writes;
+            }
+        }
+    }
+
+    /// Charge the epoch's service loads (the static placement serving
+    /// the epoch's frequency matrix) to the static strategy; the dynamic
+    /// kernels charge service traffic per request instead.
+    fn charge_service(&mut self, placement_loads: &LoadMap) {
+        if let ServeEngine::Static(st) = self {
+            st.loads.add_assign(placement_loads);
+        }
+    }
+
+    /// Current copy nodes of `x`.
+    fn replicas(&self, x: hbn_workload::ObjectId) -> &[NodeId] {
+        match self {
+            ServeEngine::Dynamic(dynamic) => dynamic.replicas(x),
+            ServeEngine::Hybrid(hy) => hy.dynamic.replicas(x),
+            ServeEngine::Static(st) => st.copies.copies(x),
+        }
+    }
+
+    /// Sum the strategy's cumulative loads into `out` (on top of what it
+    /// holds).
+    fn add_loads_to(&self, out: &mut LoadMap) {
+        match self {
+            ServeEngine::Dynamic(dynamic) => dynamic.add_loads_to(out),
+            ServeEngine::Hybrid(hy) => {
+                hy.dynamic.add_loads_to(out);
+                out.add_assign(&hy.migration_loads);
+            }
+            ServeEngine::Static(st) => out.add_assign(&st.loads),
+        }
+    }
+
+    /// Event counters. For the static strategy `replications` counts
+    /// `D`-sized migration edge transfers and `collapses` dropped
+    /// copies; the hybrid merges its seeding counters into the dynamic
+    /// kernel's.
+    fn stats(&self) -> DynamicStats {
+        match self {
+            ServeEngine::Dynamic(dynamic) => dynamic.stats(),
+            ServeEngine::Hybrid(hy) => hy.dynamic.stats().merge(hy.seed_stats),
+            ServeEngine::Static(st) => st.stats,
         }
     }
 }
@@ -245,6 +504,10 @@ pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError>
     let mut epoch_trace: Vec<Request> = Vec::new();
     let mut epoch_online: Vec<OnlineRequest> = Vec::new();
 
+    // Global epoch counter across phases — the strategy boundary clock of
+    // [`StrategyKind::is_boundary`].
+    let mut epoch_idx = 0usize;
+
     for (phase_idx, phase) in spec.schedule.phases.iter().enumerate() {
         let mut phase_epochs: Vec<EpochSummary> = Vec::new();
         let mut remaining = phase.requests;
@@ -255,6 +518,10 @@ pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError>
                 spec.epoch_requests.min(remaining)
             };
             remaining -= epoch_len;
+
+            // Strategy boundary work first: re-optimization / re-seeding
+            // sees only the traffic observed *before* this epoch.
+            online.begin_epoch(&net, spec.strategy, epoch_idx, &aggregate, spec.threshold);
 
             epoch_trace.clear();
             epoch_online.clear();
@@ -274,10 +541,16 @@ pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError>
                     aggregate.add(processor, object, 1, 0);
                 }
             }
-            online.serve_epoch(&net, &epoch_online);
+            online.serve_epoch(&net, &epoch_online, &epoch_matrix, reads, writes);
 
             // Epoch boundary: snapshot, replay, summarise.
             let placement = snapshot_placement(&net, &online, &epoch_matrix);
+            let placement_loads = LoadMap::from_placement(&net, &epoch_matrix, &placement);
+            // The static strategy's service traffic *is* the snapshot
+            // placement serving the epoch matrix; charge it before the
+            // epoch delta is taken. (No-op for dynamic/hybrid, whose
+            // kernels charged per request.)
+            online.charge_service(&placement_loads);
             let sim: SimResult = match spec.kernel {
                 ReplayKernel::Workspace => {
                     simulate_with(&mut ws, &net, &epoch_matrix, &placement, &epoch_trace, spec.sim)?
@@ -307,14 +580,13 @@ pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError>
                 collapses: delta.collapses,
                 migration_traffic: delta.replications * spec.threshold,
                 online_congestion: epoch_delta.congestion(&net).congestion,
-                placement_congestion: LoadMap::from_placement(&net, &epoch_matrix, &placement)
-                    .congestion(&net)
-                    .congestion,
+                placement_congestion: placement_loads.congestion(&net).congestion,
                 makespan: sim.makespan,
                 mean_latency: sim.mean_latency,
                 p99_latency: sim.p99_latency,
                 live_objects: stream.live_objects().len(),
             });
+            epoch_idx += 1;
         }
 
         phases.push(summarise_phase(
@@ -334,6 +606,7 @@ pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError>
     Ok(ScenarioReport {
         name: spec.name.clone(),
         topology: spec.topology.label(),
+        strategy: spec.strategy.label(),
         seed: spec.seed,
         total_requests: epochs.iter().map(|e| e.requests).sum(),
         total_makespan: epochs.iter().map(|e| e.makespan).sum(),

@@ -1,12 +1,12 @@
 //! # hbn-scenario
 //!
 //! The end-to-end scenario engine: a declarative [`ScenarioSpec`] —
-//! topology family, phase-scheduled access pattern, online strategy
-//! parameters — is turned into an online request stream, served by the
-//! dynamic read-replicate / write-collapse strategy, and every resulting
-//! placement epoch is replayed through the zero-allocation packet
-//! simulator, yielding per-phase congestion, migration-cost and latency
-//! summaries.
+//! topology family, phase-scheduled access pattern, data-management
+//! strategy ([`StrategyKind`]: dynamic, periodic-static, hybrid) — is
+//! turned into an online request stream, served by the chosen strategy,
+//! and every resulting placement epoch is replayed through the
+//! zero-allocation packet simulator, yielding per-phase congestion,
+//! migration-cost and latency summaries.
 //!
 //! This is the paper's actual pipeline: *online* access patterns
 //! (parallel-program globals, shared-memory pages, WWW pages) served on a
@@ -47,4 +47,4 @@ pub use engine::{
     run_scenario, run_scenario_sharded, try_run_scenario, EpochSummary, PhaseSummary,
     ScenarioReport,
 };
-pub use spec::{ReplayKernel, ScenarioSpec, ServeKernel, TopologyFamily};
+pub use spec::{ReplayKernel, ScenarioSpec, ServeKernel, StrategyKind, TopologyFamily};

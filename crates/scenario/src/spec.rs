@@ -98,6 +98,122 @@ pub enum ServeKernel {
     Reference,
 }
 
+/// Which data-management strategy serves the scenario's request stream —
+/// the comparison axis of `exp_strategy_matrix` (EXP-STRAT): the paper's
+/// *static* extended-nibble pipeline against the *dynamic*
+/// read-replicate / write-collapse strategy, and a hybrid of the two.
+///
+/// All three charge traffic to the same per-edge load model, so their
+/// online congestion, migration cost and competitive ratio (against the
+/// hindsight nibble placement) are directly comparable. Epoch indices
+/// below are global across the schedule's phases.
+///
+/// ```
+/// use hbn_scenario::{run_scenario, ScenarioSpec, StrategyKind, TopologyFamily};
+/// use hbn_workload::phases::full_tour;
+///
+/// // The same scenario (a small balanced topology, six phases of 60
+/// // requests) served under all three strategy kinds.
+/// let mut spec = ScenarioSpec::new(
+///     "strategies",
+///     TopologyFamily::Balanced { branching: 2, height: 2 },
+///     full_tour(6, 60),
+///     2,
+///     11,
+/// );
+/// spec.epoch_requests = 30; // two replay epochs per phase
+///
+/// for strategy in [
+///     StrategyKind::Dynamic,
+///     StrategyKind::PeriodicStatic { replace_every_epochs: 3 },
+///     StrategyKind::Hybrid { reseed_every_epochs: 3 },
+/// ] {
+///     spec.strategy = strategy;
+///     let report = run_scenario(&spec);
+///     // Every strategy serves the full stream and is replayed epoch by
+///     // epoch on the simulator.
+///     assert_eq!(report.total_requests, 360);
+///     assert_eq!(report.strategy, strategy.label());
+///     assert!(report.competitive_ratio.is_some());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// The online read-replicate / write-collapse strategy (default):
+    /// every request is served by [`hbn_dynamic::DynamicTree`], migration
+    /// cost is the `D`-sized replications the strategy performs.
+    #[default]
+    Dynamic,
+    /// Periodic static re-optimization: the batched extended-nibble
+    /// kernel ([`hbn_core::PlacementKernel`]) recomputes the placement
+    /// from the *observed* (cumulative) access matrix at epoch
+    /// boundaries, and the placement serves each epoch's traffic under
+    /// the static load model.
+    PeriodicStatic {
+        /// Re-optimize at the start of every epoch `e > 0` with
+        /// `e % replace_every_epochs == 0`; each re-optimization routes
+        /// the copy-set delta (new copies not already held) from the
+        /// nearest old copy, charging `D` per edge crossed — the same
+        /// unit as a dynamic replication, which moves a copy one hop for
+        /// `D`. `0` means ∞ — never re-optimize: the bootstrap placement
+        /// computed on the first epoch is kept for the whole run (a
+        /// single up-front static placement).
+        replace_every_epochs: usize,
+    },
+    /// The dynamic strategy, periodically re-seeded by the static
+    /// pipeline: at re-seed boundaries the batch kernel runs on the
+    /// observed matrix and each object's *nibble* copy set (connected by
+    /// Theorem 3.1) replaces the dynamic tree's replica set
+    /// ([`hbn_dynamic::DynamicTree::seed_replicas`]), charged like a
+    /// static migration; between boundaries requests are served online as
+    /// in [`StrategyKind::Dynamic`].
+    Hybrid {
+        /// Re-seed at the start of every epoch `e > 0` with
+        /// `e % reseed_every_epochs == 0`; `0` means seed exactly once,
+        /// at the start of epoch 1 (after one epoch of observation).
+        reseed_every_epochs: usize,
+    },
+}
+
+impl StrategyKind {
+    /// A compact label, e.g. `dynamic`, `periodic-static(4)`,
+    /// `periodic-static(inf)` or `hybrid(once)` (recorded in benchmark
+    /// cells and reports).
+    pub fn label(&self) -> String {
+        match *self {
+            StrategyKind::Dynamic => "dynamic".into(),
+            StrategyKind::PeriodicStatic { replace_every_epochs: 0 } => {
+                "periodic-static(inf)".into()
+            }
+            StrategyKind::PeriodicStatic { replace_every_epochs } => {
+                format!("periodic-static({replace_every_epochs})")
+            }
+            StrategyKind::Hybrid { reseed_every_epochs: 0 } => "hybrid(once)".into(),
+            StrategyKind::Hybrid { reseed_every_epochs } => {
+                format!("hybrid({reseed_every_epochs})")
+            }
+        }
+    }
+
+    /// Whether a strategy boundary (re-optimization / re-seed) falls at
+    /// the start of global epoch `epoch_idx`.
+    pub(crate) fn is_boundary(&self, epoch_idx: usize) -> bool {
+        match *self {
+            StrategyKind::Dynamic => false,
+            StrategyKind::PeriodicStatic { replace_every_epochs: k } => {
+                epoch_idx > 0 && k > 0 && epoch_idx.is_multiple_of(k)
+            }
+            StrategyKind::Hybrid { reseed_every_epochs: k } => {
+                if k == 0 {
+                    epoch_idx == 1
+                } else {
+                    epoch_idx > 0 && epoch_idx.is_multiple_of(k)
+                }
+            }
+        }
+    }
+}
+
 /// A complete scenario: topology, phase-scheduled workload, online
 /// strategy parameters and replay configuration.
 #[derive(Debug, Clone)]
@@ -108,8 +224,11 @@ pub struct ScenarioSpec {
     pub topology: TopologyFamily,
     /// The phase schedule driving the request stream.
     pub schedule: PhaseSchedule,
+    /// Which data-management strategy serves the stream.
+    pub strategy: StrategyKind,
     /// Replication threshold `D` of the online strategy (object size in
-    /// requests).
+    /// requests). The static and hybrid strategies charge migrated
+    /// copies at the same `D`.
     pub threshold: u64,
     /// Stream seed; [`crate::run_scenario_sharded`] overrides it per shard.
     pub seed: u64,
@@ -117,7 +236,9 @@ pub struct ScenarioSpec {
     pub epoch_requests: usize,
     /// Which simulator kernel replays the epochs.
     pub kernel: ReplayKernel,
-    /// Which online-strategy kernel serves the stream.
+    /// Which online-strategy kernel serves the stream (ignored by
+    /// [`StrategyKind::PeriodicStatic`], which serves through the static
+    /// placement rather than a dynamic tree).
     pub serve: ServeKernel,
     /// Object shards the serve loop fans out over (objects are
     /// independent; per-shard loads merge exactly). `0` picks the rayon
@@ -142,6 +263,7 @@ impl ScenarioSpec {
             name: name.into(),
             topology,
             schedule,
+            strategy: StrategyKind::default(),
             threshold,
             seed,
             epoch_requests: 0,

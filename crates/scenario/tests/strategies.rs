@@ -1,0 +1,251 @@
+//! Strategy-kind semantics: the periodic-static and hybrid strategies
+//! against the dynamic baseline.
+//!
+//! Pins (1) that `PeriodicStatic` with `replace_every_epochs = ∞` is a
+//! single up-front static placement — equal to a never-firing periodic
+//! strategy, migration-free, and reconstructible from the batch kernel
+//! run on the first epoch's traffic; (2) that strategy reports are
+//! invariant across serve kernels and shard counts; (3) that a hybrid
+//! whose re-seed boundary never fires is exactly the dynamic strategy;
+//! and (4) the migration-cost accounting identity
+//! `migration_traffic = replications × D` on every epoch.
+
+use hbn_core::PlacementKernel;
+use hbn_load::{LoadMap, Placement};
+use hbn_scenario::{
+    run_scenario, ReplayKernel, ScenarioReport, ScenarioSpec, ServeKernel, StrategyKind,
+    TopologyFamily,
+};
+use hbn_testutil::family_schedules;
+use hbn_workload::phases::full_tour;
+use hbn_workload::AccessMatrix;
+use proptest::prelude::*;
+
+fn base_spec(seed: u64, epoch_requests: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(
+        "strategies",
+        TopologyFamily::Balanced { branching: 3, height: 2 },
+        full_tour(8, 120),
+        2,
+        seed,
+    );
+    spec.epoch_requests = epoch_requests;
+    spec
+}
+
+/// Compare two reports up to the strategy label (which legitimately
+/// differs between two parameterizations of the same behaviour).
+fn assert_reports_equal_modulo_label(a: &ScenarioReport, b: &ScenarioReport) {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    a.strategy = String::new();
+    b.strategy = String::new();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn periodic_static_inf_never_migrates() {
+    let mut spec = base_spec(5, 40);
+    spec.strategy = StrategyKind::PeriodicStatic { replace_every_epochs: 0 };
+    let report = run_scenario(&spec);
+    assert_eq!(report.strategy, "periodic-static(inf)");
+    assert_eq!(report.stats.replications, 0, "∞ never re-optimizes, so it never migrates");
+    assert_eq!(report.stats.collapses, 0);
+    assert_eq!(report.total_requests, 720);
+    assert_eq!(report.stats.reads + report.stats.writes, 720);
+    let migration: u64 = report.epochs.iter().map(|e| e.migration_traffic).sum();
+    assert_eq!(migration, 0);
+}
+
+/// The ∞ strategy *is* the bootstrap placement: reconstruct it by
+/// running the batch kernel on the first epoch's matrix, then replaying
+/// the serving semantics (first-touch materialization, nearest-copy
+/// service under the static load model) epoch by epoch.
+#[test]
+fn periodic_static_inf_matches_manual_upfront_placement() {
+    let spec = {
+        let mut s = base_spec(9, 48);
+        s.strategy = StrategyKind::PeriodicStatic { replace_every_epochs: 0 };
+        s
+    };
+    let report = run_scenario(&spec);
+
+    let net = spec.topology.build();
+    let max_objects = spec.schedule.max_objects();
+    let mut stream = spec.schedule.stream(&net, spec.seed);
+
+    // Materialize the epoch split exactly as the engine does.
+    let mut epoch_lens: Vec<usize> = Vec::new();
+    for phase in &spec.schedule.phases {
+        let mut remaining = phase.requests;
+        while remaining > 0 {
+            let len = spec.epoch_requests.min(remaining).max(if spec.epoch_requests == 0 {
+                remaining
+            } else {
+                0
+            });
+            epoch_lens.push(len);
+            remaining -= len;
+        }
+    }
+    assert_eq!(epoch_lens.len(), report.epochs.len(), "same epoch split");
+
+    let mut copies: Option<Placement> = None;
+    for (idx, &len) in epoch_lens.iter().enumerate() {
+        let mut epoch_matrix = AccessMatrix::new(max_objects);
+        let mut first_touch: Vec<(hbn_workload::ObjectId, hbn_topology::NodeId)> = Vec::new();
+        for req in stream.by_ref().take(len) {
+            epoch_matrix.add(
+                req.processor,
+                req.object,
+                u64::from(!req.is_write),
+                u64::from(req.is_write),
+            );
+            first_touch.push((req.object, req.processor));
+        }
+        let placement = copies.get_or_insert_with(|| {
+            // The up-front placement: the batch kernel on epoch 0's
+            // matrix.
+            PlacementKernel::new(&net, 1).place(&net, &epoch_matrix).unwrap().placement
+        });
+        for &(x, p) in &first_touch {
+            if placement.copies(x).is_empty() {
+                placement.add_copy(x, p);
+            }
+        }
+        let mut serving = Placement::new(max_objects);
+        for x in epoch_matrix.objects() {
+            if !epoch_matrix.object_entries(x).is_empty() {
+                serving.set_copies(x, placement.copies(x).to_vec());
+            }
+        }
+        serving.nearest_assignment(&net, &epoch_matrix);
+        let service = LoadMap::from_placement(&net, &epoch_matrix, &serving);
+        assert_eq!(
+            service.congestion(&net).congestion,
+            report.epochs[idx].placement_congestion,
+            "epoch {idx} serving congestion"
+        );
+        // With no migration ever, the epoch's online congestion is
+        // exactly its service congestion.
+        assert_eq!(
+            service.congestion(&net).congestion,
+            report.epochs[idx].online_congestion,
+            "epoch {idx} online congestion"
+        );
+    }
+}
+
+#[test]
+fn hybrid_with_unreachable_boundary_is_dynamic() {
+    for seed in [1u64, 6, 23] {
+        let mut dynamic = base_spec(seed, 40);
+        dynamic.strategy = StrategyKind::Dynamic;
+        let mut hybrid = base_spec(seed, 40);
+        // 720 requests / 40 per epoch = 18 epochs; a boundary at every
+        // 10_000th epoch never fires, so the hybrid must degenerate to
+        // the dynamic strategy exactly.
+        hybrid.strategy = StrategyKind::Hybrid { reseed_every_epochs: 10_000 };
+        assert_reports_equal_modulo_label(&run_scenario(&dynamic), &run_scenario(&hybrid));
+    }
+}
+
+#[test]
+fn strategy_reports_are_invariant_across_serve_kernels_and_shards() {
+    for strategy in [
+        StrategyKind::PeriodicStatic { replace_every_epochs: 3 },
+        StrategyKind::Hybrid { reseed_every_epochs: 3 },
+        StrategyKind::Hybrid { reseed_every_epochs: 0 },
+    ] {
+        let mut reference = base_spec(7, 30);
+        reference.strategy = strategy;
+        reference.serve = ServeKernel::Reference;
+        reference.kernel = ReplayKernel::Reference;
+        let expected = run_scenario(&reference);
+
+        for serve_shards in [1usize, 3, 5] {
+            let mut spec = base_spec(7, 30);
+            spec.strategy = strategy;
+            spec.serve = ServeKernel::Workspace;
+            spec.serve_shards = serve_shards;
+            let got = run_scenario(&spec);
+            assert_eq!(
+                got,
+                expected,
+                "strategy {} must be kernel- and shard-invariant (shards={serve_shards})",
+                strategy.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn migration_traffic_is_replications_times_threshold_everywhere() {
+    for strategy in [
+        StrategyKind::Dynamic,
+        StrategyKind::PeriodicStatic { replace_every_epochs: 2 },
+        StrategyKind::PeriodicStatic { replace_every_epochs: 0 },
+        StrategyKind::Hybrid { reseed_every_epochs: 2 },
+    ] {
+        let mut spec = base_spec(13, 36);
+        spec.threshold = 3;
+        spec.strategy = strategy;
+        let report = run_scenario(&spec);
+        for (i, epoch) in report.epochs.iter().enumerate() {
+            assert_eq!(
+                epoch.migration_traffic,
+                epoch.replications * spec.threshold,
+                "strategy {}, epoch {i}",
+                strategy.label()
+            );
+        }
+        let total: u64 = report.epochs.iter().map(|e| e.migration_traffic).sum();
+        assert_eq!(total, report.stats.replications * spec.threshold, "{}", strategy.label());
+    }
+}
+
+#[test]
+fn periodic_static_migrates_when_the_working_set_moves() {
+    // Hotspot migration moves the hot set between processor clusters;
+    // a re-optimizing static strategy must pay migration traffic.
+    let (_, schedule) = family_schedules(12, 60, 600).swap_remove(1);
+    let mut spec = ScenarioSpec::new(
+        "hotspot-static",
+        TopologyFamily::Balanced { branching: 3, height: 2 },
+        schedule,
+        2,
+        3,
+    );
+    spec.epoch_requests = 60;
+    spec.strategy = StrategyKind::PeriodicStatic { replace_every_epochs: 2 };
+    let report = run_scenario(&spec);
+    assert!(
+        report.stats.replications > 0,
+        "re-optimization under a moving hotspot must migrate copies"
+    );
+    assert!(report.competitive_ratio.is_some());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `replace_every_epochs = ∞` (0) behaves exactly like a periodic
+    /// strategy whose boundary never fires: one up-front placement,
+    /// kept for the whole run.
+    #[test]
+    fn periodic_static_inf_equals_upfront(seed in 0u64..1_000, epoch_requests in 20usize..70) {
+        let mut inf = base_spec(seed, epoch_requests);
+        inf.strategy = StrategyKind::PeriodicStatic { replace_every_epochs: 0 };
+        let mut never = base_spec(seed, epoch_requests);
+        // 720 requests split into ≥ 11 epochs; 10_000 never divides a
+        // live epoch index.
+        never.strategy = StrategyKind::PeriodicStatic { replace_every_epochs: 10_000 };
+        let inf_report = run_scenario(&inf);
+        prop_assert_eq!(inf_report.stats.replications, 0);
+        let mut a = inf_report;
+        let mut b = run_scenario(&never);
+        a.strategy = String::new();
+        b.strategy = String::new();
+        prop_assert_eq!(a, b);
+    }
+}

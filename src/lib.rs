@@ -52,6 +52,7 @@ pub mod prelude {
     pub use hbn_baselines::Strategy;
     pub use hbn_core::{
         approximation_certificate, ExtendedNibble, ExtendedNibbleOptions, ExtendedOutcome,
+        PlacementKernel,
     };
     pub use hbn_load::{LoadMap, LoadRatio, Placement};
     pub use hbn_topology::{Network, NetworkBuilder, NodeId};
