@@ -333,6 +333,71 @@ pub fn emit_strategies_json(path: &str, records: &[StrategyBenchRecord]) -> std:
     f.write_all(render_strategies_json(records).as_bytes())
 }
 
+/// One checkpoint/restore determinism cell of EXP-RESUME: a scenario run
+/// unbroken versus checkpointed mid-run and resumed, with the resumed
+/// report compared bit-for-bit against the unbroken one.
+#[derive(Debug, Clone)]
+pub struct SessionResumeRecord {
+    /// Scenario label, e.g. `hotspot-migration@balanced(3,2)`.
+    pub scenario: String,
+    /// Strategy label the run was served under.
+    pub strategy: String,
+    /// Stream seed.
+    pub seed: u64,
+    /// Total replay epochs of the run.
+    pub epochs_total: usize,
+    /// Global epoch index the checkpoint was taken at.
+    pub checkpoint_epoch: usize,
+    /// Whether the resumed run's report equalled the unbroken run's
+    /// bit for bit (the acceptance gate — always `true` in an emitted
+    /// document, since a mismatch aborts the experiment).
+    pub resumed_equal: bool,
+    /// Wall-clock seconds of the unbroken run.
+    pub unbroken_wall_seconds: f64,
+    /// Wall-clock seconds of the resumed suffix (restore + remaining
+    /// epochs) — what a crash recovery actually pays.
+    pub resume_wall_seconds: f64,
+}
+
+/// Render the session-resume determinism document.
+pub fn render_session_resume_json(records: &[SessionResumeRecord]) -> String {
+    let emitted_at = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let all_equal = records.iter().all(|r| r.resumed_equal);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"session_resume\",\n");
+    out.push_str(&format!("  \"emitted_at_unix\": {emitted_at},\n"));
+    out.push_str(&format!("  \"all_resumes_exact\": {all_equal},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"strategy\": \"{}\", \"seed\": {}, \
+             \"epochs_total\": {}, \"checkpoint_epoch\": {}, \"resumed_equal\": {}, \
+             \"unbroken_wall_seconds\": {}, \"resume_wall_seconds\": {}}}{}\n",
+            json_escape(&r.scenario),
+            json_escape(&r.strategy),
+            r.seed,
+            r.epochs_total,
+            r.checkpoint_epoch,
+            r.resumed_equal,
+            json_f64(r.unbroken_wall_seconds),
+            json_f64(r.resume_wall_seconds),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render and write the session-resume document to `path`.
+pub fn emit_session_resume_json(
+    path: &str,
+    records: &[SessionResumeRecord],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_session_resume_json(records).as_bytes())
+}
+
 /// One timed serve-loop run of the online strategy.
 #[derive(Debug, Clone)]
 pub struct DynamicBenchRecord {
@@ -589,5 +654,25 @@ mod tests {
         let doc = render_strategies_json(&[r]);
         assert!(doc.contains("\"mean_competitive_ratio\": null"));
         assert!(doc.contains("\"strategy\": \"periodic-static(inf)\""));
+    }
+
+    #[test]
+    fn session_resume_document_shape_is_stable() {
+        let r = SessionResumeRecord {
+            scenario: "static-zipf@balanced(3,2)".into(),
+            strategy: "hybrid(4)".into(),
+            seed: 7,
+            epochs_total: 12,
+            checkpoint_epoch: 6,
+            resumed_equal: true,
+            unbroken_wall_seconds: 0.2,
+            resume_wall_seconds: 0.09,
+        };
+        let doc = render_session_resume_json(&[r.clone(), r]);
+        assert!(doc.contains("\"bench\": \"session_resume\""));
+        assert!(doc.contains("\"all_resumes_exact\": true"));
+        assert!(doc.contains("\"checkpoint_epoch\": 6"));
+        assert_eq!(doc.matches("\"resumed_equal\": true").count(), 2);
+        assert_eq!(doc.matches("},\n").count(), 1);
     }
 }

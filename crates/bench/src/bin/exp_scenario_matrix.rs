@@ -19,7 +19,7 @@
 
 use hbn_bench::{emit_scenarios_json, exp_quick, ScenarioBenchRecord, Table};
 use hbn_scenario::{run_scenario_sharded, ScenarioSpec, TopologyFamily};
-use hbn_testutil::{family_schedules, seeded_rng, seeded_rng_stream};
+use hbn_testutil::{cell_seeds, family_schedules, seeded_rng};
 use hbn_workload::phases::PhaseSchedule;
 use rand::Rng;
 use std::time::Instant;
@@ -109,17 +109,12 @@ fn main() {
 
     for (family, schedule) in families() {
         for topology in topologies() {
-            let cell_base: u64 = seed_source.gen();
-            let seeds: Vec<u64> =
-                (0..SHARDS as u64).map(|s| seeded_rng_stream(cell_base, s).gen()).collect();
-            let mut spec = ScenarioSpec::new(
-                format!("{family}@{}", topology.label()),
-                topology,
-                schedule.clone(),
-                THRESHOLD,
-                0,
-            );
-            spec.epoch_requests = EPOCH_REQUESTS;
+            let seeds = cell_seeds(seed_source.gen(), SHARDS);
+            let spec =
+                ScenarioSpec::builder(format!("{family}@{topology}"), topology, schedule.clone())
+                    .threshold(THRESHOLD)
+                    .epoch_requests(EPOCH_REQUESTS)
+                    .build();
             let processors = topology.build().n_processors();
 
             let start = Instant::now();
@@ -134,7 +129,7 @@ fn main() {
                 seeds: SHARDS,
                 requests_per_seed: schedule.total_requests(),
                 epochs: reports[0].epochs.len(),
-                threshold_d: spec.threshold,
+                threshold_d: spec.exec.threshold,
                 epoch_requests: spec.epoch_requests,
                 kernel: spec.kernel_label(),
                 mean_makespan_slots: mean(reports.iter().map(|r| r.total_makespan as f64)),
@@ -147,11 +142,14 @@ fn main() {
                 mean_replications: mean(reports.iter().map(|r| r.stats.replications as f64)),
                 mean_collapses: mean(reports.iter().map(|r| r.stats.collapses as f64)),
                 mean_latency_slots: mean(reports.iter().map(|r| {
-                    let total: u64 = r.phases.iter().map(|p| p.requests).sum();
+                    let total: u64 = r.phases.iter().map(|p| p.traffic.requests).sum();
                     if total == 0 {
                         0.0
                     } else {
-                        r.phases.iter().map(|p| p.mean_latency * p.requests as f64).sum::<f64>()
+                        r.phases
+                            .iter()
+                            .map(|p| p.mean_latency * p.traffic.requests as f64)
+                            .sum::<f64>()
                             / total as f64
                     }
                 })),

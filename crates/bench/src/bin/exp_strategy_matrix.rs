@@ -4,13 +4,17 @@
 //! dynamic read-replicate / write-collapse strategy, the periodically
 //! re-optimized static extended-nibble placement (batched
 //! `PlacementKernel`), a single up-front static placement
-//! (`periodic-static(inf)`), and the hybrid (static nibble seeds the
-//! dynamic tree's replica sets).
+//! (`periodic-static(inf)`), the hybrid (static nibble seeds the dynamic
+//! tree's replica sets), and two policies that exist only through the
+//! public `Strategy` trait: `frozen-static` (place once, never
+//! re-optimize — the paper's pure static model as its own policy) and
+//! `threshold-switch` (serve dynamically until the observed write
+//! fraction crosses a bound, then swap to a static placement).
 //!
 //! This is the comparison the paper's headline result implies but never
 //! measures: Sections 3–4 prove the *static* placement 7-competitive,
-//! Section 1.3 points to 3-competitive *dynamic* strategies — here both
-//! serve identical phase-scheduled traffic under identical load
+//! Section 1.3 points to 3-competitive *dynamic* strategies — here all
+//! of them serve identical phase-scheduled traffic under identical load
 //! accounting, with migration cost charged at `D` per edge a moved
 //! copy crosses (the dynamic replication unit), so
 //! congestion, migration traffic and the empirical competitive ratio
@@ -23,8 +27,11 @@
 #![warn(missing_docs)]
 
 use hbn_bench::{emit_strategies_json, exp_quick, StrategyBenchRecord, Table};
-use hbn_scenario::{run_scenario_sharded, ScenarioSpec, StrategyKind, TopologyFamily};
-use hbn_testutil::{family_schedules, seeded_rng, seeded_rng_stream};
+use hbn_scenario::{
+    run_scenario_sharded, run_scenario_sharded_with, FrozenStatic, ScenarioReport, ScenarioSpec,
+    StrategyKind, ThresholdSwitch, TopologyFamily,
+};
+use hbn_testutil::{cell_seeds, family_schedules, seeded_rng};
 use hbn_workload::phases::PhaseSchedule;
 use rand::Rng;
 use std::time::Instant;
@@ -61,15 +68,67 @@ fn topologies() -> Vec<TopologyFamily> {
     ]
 }
 
+/// One row of the strategy axis: either a built-in `StrategyKind` or a
+/// trait-only policy with its own construction path.
+enum StrategyAxis {
+    /// A built-in kind, run through the enum constructor layer.
+    Kind(StrategyKind),
+    /// `FrozenStatic` — only expressible via the `Strategy` trait.
+    Frozen,
+    /// `ThresholdSwitch` — only expressible via the `Strategy` trait.
+    Switch {
+        /// Observed write fraction that triggers the switch.
+        write_bound: f64,
+        /// Earliest epoch the switch may fire.
+        min_epochs: usize,
+    },
+}
+
+impl StrategyAxis {
+    fn label(&self) -> String {
+        match *self {
+            StrategyAxis::Kind(kind) => kind.to_string(),
+            StrategyAxis::Frozen => "frozen-static".into(),
+            StrategyAxis::Switch { write_bound, min_epochs } => {
+                format!("threshold-switch(w>={write_bound:.2},after={min_epochs})")
+            }
+        }
+    }
+
+    /// Run the cell: built-ins through `run_scenario_sharded`, trait-only
+    /// strategies through the factory-based sharded runner.
+    fn run(&self, spec: &ScenarioSpec, seeds: &[u64]) -> Vec<ScenarioReport> {
+        match *self {
+            StrategyAxis::Kind(kind) => {
+                let mut spec = spec.clone();
+                spec.strategy = kind;
+                run_scenario_sharded(&spec, seeds)
+            }
+            StrategyAxis::Frozen => run_scenario_sharded_with(spec, seeds, |net, exec, n| {
+                Box::new(FrozenStatic::new(net, exec, n))
+            }),
+            StrategyAxis::Switch { write_bound, min_epochs } => {
+                run_scenario_sharded_with(spec, seeds, move |net, exec, n| {
+                    Box::new(ThresholdSwitch::new(net, exec, n, write_bound, min_epochs))
+                })
+            }
+        }
+    }
+}
+
 /// The strategy axis. The periodic strategies re-optimize every 4
 /// epochs; `periodic-static(inf)` keeps the placement computed on the
-/// warm-up traffic for the whole run.
-fn strategies() -> Vec<StrategyKind> {
+/// warm-up traffic for the whole run; the threshold switch flips to
+/// static once ≥ 15% of the observed traffic is writes (epoch 2 at the
+/// earliest, so it has a dynamic prefix to migrate away from).
+fn strategies() -> Vec<StrategyAxis> {
     vec![
-        StrategyKind::Dynamic,
-        StrategyKind::PeriodicStatic { replace_every_epochs: 0 },
-        StrategyKind::PeriodicStatic { replace_every_epochs: 4 },
-        StrategyKind::Hybrid { reseed_every_epochs: 4 },
+        StrategyAxis::Kind(StrategyKind::Dynamic),
+        StrategyAxis::Kind(StrategyKind::PeriodicStatic { replace_every_epochs: 0 }),
+        StrategyAxis::Kind(StrategyKind::PeriodicStatic { replace_every_epochs: 4 }),
+        StrategyAxis::Kind(StrategyKind::Hybrid { reseed_every_epochs: 4 }),
+        StrategyAxis::Frozen,
+        StrategyAxis::Switch { write_bound: 0.15, min_epochs: 2 },
     ]
 }
 
@@ -114,44 +173,42 @@ fn main() {
         for topology in topologies() {
             // One seed set per (family, topology): every strategy serves
             // the *identical* request streams.
-            let cell_base: u64 = seed_source.gen();
-            let seeds: Vec<u64> =
-                (0..SHARDS as u64).map(|s| seeded_rng_stream(cell_base, s).gen()).collect();
+            let seeds = cell_seeds(seed_source.gen(), SHARDS);
             let processors = topology.build().n_processors();
 
             for strategy in strategies() {
-                let mut spec = ScenarioSpec::new(
-                    format!("{family}@{}@{}", topology.label(), strategy.label()),
+                let spec = ScenarioSpec::builder(
+                    format!("{family}@{topology}@{}", strategy.label()),
                     topology,
                     schedule.clone(),
-                    THRESHOLD,
-                    0,
-                );
-                spec.strategy = strategy;
-                spec.epoch_requests = epoch_requests;
+                )
+                .threshold(THRESHOLD)
+                .epoch_requests(epoch_requests)
+                .build();
 
                 let start = Instant::now();
-                let reports = run_scenario_sharded(&spec, &seeds);
+                let reports = strategy.run(&spec, &seeds);
                 let wall = start.elapsed().as_secs_f64();
 
                 let ratios: Vec<f64> = reports.iter().filter_map(|r| r.competitive_ratio).collect();
                 let rec = StrategyBenchRecord {
                     family: family.to_string(),
-                    topology: topology.label(),
-                    strategy: strategy.label(),
+                    topology: topology.to_string(),
+                    // Label from the report, i.e. `Strategy::label()`
+                    // itself — the bench cell cannot drift from what the
+                    // engine records.
+                    strategy: reports[0].strategy.clone(),
                     processors,
                     seeds: SHARDS,
                     requests_per_seed: schedule.total_requests(),
                     epochs: reports[0].epochs.len(),
-                    threshold_d: spec.threshold,
+                    threshold_d: spec.exec.threshold,
                     epoch_requests: spec.epoch_requests,
                     mean_online_congestion: mean(
                         reports.iter().map(|r| r.online_congestion.as_f64()),
                     ),
                     mean_migration_traffic: mean(
-                        reports.iter().map(|r| {
-                            r.epochs.iter().map(|e| e.migration_traffic).sum::<u64>() as f64
-                        }),
+                        reports.iter().map(|r| r.traffic.migration_traffic as f64),
                     ),
                     mean_competitive_ratio: if ratios.is_empty() {
                         None
@@ -183,13 +240,15 @@ fn main() {
     println!("{}", t.render());
     println!(
         "Expected shape: on stationary read-mostly families the up-front static\n\
-         placement (periodic-static(inf)) lands near the hindsight optimum and\n\
-         the dynamic strategy pays a small replication overhead on top; under\n\
-         hotspot-migration and object-churn the frozen placement degrades while\n\
-         periodic re-optimization buys its migration traffic back in service\n\
-         congestion, and the hybrid tracks the dynamic strategy with cheaper\n\
-         convergence after each re-seed. Write-heavy flips favour the dynamic\n\
-         collapse rule everywhere.\n"
+         placements (periodic-static(inf), frozen-static — identical policies,\n\
+         one expressed through the enum, one through the trait) land near the\n\
+         hindsight optimum and the dynamic strategy pays a small replication\n\
+         overhead on top; under hotspot-migration and object-churn the frozen\n\
+         placement degrades while periodic re-optimization buys its migration\n\
+         traffic back in service congestion, and the hybrid tracks the dynamic\n\
+         strategy with cheaper convergence after each re-seed. Write-heavy\n\
+         flips favour the dynamic collapse rule everywhere — which is exactly\n\
+         the regime where threshold-switch stays dynamic longest.\n"
     );
 
     match emit_strategies_json("BENCH_strategies.json", &records) {

@@ -9,9 +9,10 @@ pub mod bench_json;
 pub mod table;
 
 pub use bench_json::{
-    emit_dynamic_json, emit_scenarios_json, emit_simulator_json, emit_strategies_json,
-    render_dynamic_json, render_scenarios_json, render_simulator_json, render_strategies_json,
-    DynamicBenchRecord, ScenarioBenchRecord, SimBenchRecord, StrategyBenchRecord,
+    emit_dynamic_json, emit_scenarios_json, emit_session_resume_json, emit_simulator_json,
+    emit_strategies_json, render_dynamic_json, render_scenarios_json, render_session_resume_json,
+    render_simulator_json, render_strategies_json, DynamicBenchRecord, ScenarioBenchRecord,
+    SessionResumeRecord, SimBenchRecord, StrategyBenchRecord,
 };
 pub use table::Table;
 

@@ -97,6 +97,23 @@ pub struct PlacementKernel {
     n_nodes: usize,
 }
 
+impl Clone for PlacementKernel {
+    /// Cloning copies the kernel's *configuration* (mapping options,
+    /// shard count, network size) and gives the clone fresh, empty
+    /// scratch. The scratch is an allocation cache, not state — a clone's
+    /// [`PlacementKernel::place`] output is identical to the original's —
+    /// so this is exactly what a strategy checkpoint needs.
+    fn clone(&self) -> Self {
+        PlacementKernel {
+            mapping: self.mapping,
+            shards: (0..self.shards.len())
+                .map(|idx| BatchShard { idx, ws: Workspace::new(self.n_nodes), out: Vec::new() })
+                .collect(),
+            n_nodes: self.n_nodes,
+        }
+    }
+}
+
 impl PlacementKernel {
     /// A batch kernel for `net` with `n_shards` object shards (`0` picks
     /// the rayon worker count) and default mapping options.

@@ -24,7 +24,7 @@ use rayon::prelude::*;
 /// One object shard: an independent strategy (with its internally owned
 /// workspace). Shard `idx` owns every object with
 /// `object.index() % n_shards == idx`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Shard {
     idx: usize,
     tree: DynamicTree,
@@ -32,8 +32,9 @@ struct Shard {
 
 /// The online strategy sharded by object across rayon workers, with
 /// exact (bit-for-bit) merge semantics. Serves through the
-/// zero-allocation workspace kernel.
-#[derive(Debug)]
+/// zero-allocation workspace kernel. `Clone` snapshots every shard's
+/// full state (see [`DynamicTree`]), so clones resume exactly.
+#[derive(Debug, Clone)]
 pub struct ShardedDynamic {
     shards: Vec<Shard>,
 }

@@ -216,7 +216,12 @@ enum ServeMode {
 }
 
 /// The online strategy over all objects of a network.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the full strategy state — replica sets, edge
+/// counters, loads, stats — so a clone driven forward reproduces the
+/// original bit for bit (the checkpoint/restore contract of scenario
+/// sessions).
+#[derive(Debug, Clone)]
 pub struct DynamicTree {
     threshold: u64,
     /// Lazily materialized per-object state: untouched objects cost one

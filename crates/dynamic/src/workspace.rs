@@ -15,7 +15,7 @@ use hbn_topology::EdgeId;
 /// Reusable buffers for [`crate::DynamicTree::serve_with`]. Construct
 /// once, pass to any number of serve calls; contents are transient per
 /// call, capacity persists.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DynamicWorkspace {
     /// Edges of the current request's walk, requester → replica entry
     /// point.

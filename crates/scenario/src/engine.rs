@@ -1,48 +1,47 @@
-//! The scenario engine: stream → data-management strategy → epoch replay.
+//! Report types and batch entry points of the scenario engine.
 //!
 //! One scenario run drives the phase-scheduled request stream through a
-//! [`StrategyKind`]: the online read-replicate / write-collapse strategy
-//! request by request (`Dynamic`), the batched static extended-nibble
-//! placement re-optimized from the observed traffic every few epochs
-//! (`PeriodicStatic`), or the dynamic strategy periodically re-seeded by
-//! the static pipeline (`Hybrid`).
-//! At every *epoch* boundary (a phase, or a fixed request budget within a
-//! phase) the engine
+//! data-management [`crate::Strategy`] (built-ins via
+//! [`crate::StrategyKind`], arbitrary policies via
+//! [`crate::Session::with_strategy`]). At every *epoch* boundary (a
+//! phase, or a fixed request budget within a phase) the driver
 //!
-//! 1. snapshots the strategy's replica sets as a [`Placement`] with
+//! 1. snapshots the strategy's copy sets as a placement with
 //!    nearest-copy assignment,
 //! 2. replays the epoch's own requests through the packet simulator under
 //!    that placement (zero-allocation workspace kernel by default, the
 //!    naive reference kernel for differential pinning), and
-//! 3. records an [`EpochSummary`]: congestion of the online traffic the
-//!    epoch added, migration cost (replications × `D` for the dynamic
-//!    strategy, the copy-set delta routed at `D` per edge crossed for
-//!    the static and hybrid ones),
-//!    and the replay's makespan/latency.
+//! 3. records an [`EpochSummary`]: the epoch's [`TrafficCounters`]
+//!    (requests and migration, with `migration_traffic =
+//!    replications × D` for every strategy), congestion of the online
+//!    traffic the epoch added, and the replay's makespan/latency.
 //!
 //! Per-phase aggregation and the hindsight (static nibble) comparison
-//! give the [`ScenarioReport`]. Independent seeds shard across cores via
+//! give the [`ScenarioReport`]. The batch functions here are thin
+//! wrappers over [`crate::Session`] — `run_scenario` is `Session::new`
+//! stepped to exhaustion, pinned bit-for-bit to the pre-session engine
+//! by the differential suite. Independent seeds shard across cores via
 //! [`run_scenario_sharded`]; *within* one run the serve loop additionally
 //! shards by object (objects are independent, so per-shard strategies and
 //! load maps merge exactly — see `DESIGN.md` §5), and all per-epoch
 //! bookkeeping runs through preallocated delta accumulators instead of
 //! cloning the strategy's cumulative load map every epoch.
 
-use crate::spec::{ReplayKernel, ScenarioSpec, ServeKernel, StrategyKind};
-use hbn_core::{nibble_placement, PlacementKernel};
-use hbn_dynamic::{DynamicStats, DynamicTree, OnlineRequest, ShardedDynamic};
-use hbn_load::{nearest_copy_map, LoadMap, LoadRatio, Placement};
-use hbn_sim::{simulate_reference, simulate_with, Request, SimError, SimResult, SimWorkspace};
-use hbn_topology::{Network, NodeId};
-use hbn_workload::{AccessMatrix, PhaseRequest};
+use crate::session::Session;
+use crate::spec::{ExecutionConfig, ScenarioSpec};
+use crate::strategy::Strategy;
+use hbn_dynamic::DynamicStats;
+use hbn_load::LoadRatio;
+use hbn_sim::SimError;
+use hbn_topology::Network;
 use rayon::prelude::*;
 
-/// Metrics of one replay epoch.
-#[derive(Debug, Clone, PartialEq)]
-pub struct EpochSummary {
-    /// Index of the phase this epoch belongs to.
-    pub phase: usize,
-    /// Requests served in the epoch.
+/// The six request/migration counters every reporting granularity
+/// shares — epoch, phase and whole run carry one `TrafficCounters`
+/// instead of six duplicated fields, and aggregation is `+=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficCounters {
+    /// Requests served.
     pub requests: u64,
     /// Reads among them.
     pub reads: u64,
@@ -56,9 +55,30 @@ pub struct EpochSummary {
     /// re-optimization / re-seed (static, hybrid).
     pub collapses: u64,
     /// Migration traffic charged to the strategy's loads
-    /// (`replications × D`, exactly — same unit for every
-    /// [`StrategyKind`]).
+    /// (`replications × D`, exactly — same unit for every strategy).
     pub migration_traffic: u64,
+}
+
+impl std::ops::AddAssign for TrafficCounters {
+    fn add_assign(&mut self, rhs: TrafficCounters) {
+        self.requests += rhs.requests;
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.replications += rhs.replications;
+        self.collapses += rhs.collapses;
+        self.migration_traffic += rhs.migration_traffic;
+    }
+}
+
+/// Metrics of one replay epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSummary {
+    /// Index of the phase this epoch belongs to
+    /// (`schedule.phases.len()` for epochs pushed via
+    /// [`crate::Session::push_epoch`]).
+    pub phase: usize,
+    /// Requests served and migration performed in the epoch.
+    pub traffic: TrafficCounters,
     /// Congestion of the online traffic added during this epoch alone.
     pub online_congestion: LoadRatio,
     /// Congestion of the epoch snapshot placement serving the epoch's
@@ -81,19 +101,8 @@ pub struct PhaseSummary {
     pub label: String,
     /// Replay epochs the phase was split into.
     pub epochs: usize,
-    /// Requests served.
-    pub requests: u64,
-    /// Reads among them.
-    pub reads: u64,
-    /// Writes among them.
-    pub writes: u64,
-    /// `D`-sized data movements (see [`EpochSummary::replications`]).
-    pub replications: u64,
-    /// Collapse events / dropped copies (see
-    /// [`EpochSummary::collapses`]).
-    pub collapses: u64,
-    /// Migration traffic (`replications × D`).
-    pub migration_traffic: u64,
+    /// Requests served and migration performed across the phase.
+    pub traffic: TrafficCounters,
     /// Congestion of the online traffic added during the phase.
     pub online_congestion: LoadRatio,
     /// Summed epoch makespans (total simulated slots for the phase).
@@ -109,10 +118,10 @@ pub struct PhaseSummary {
 pub struct ScenarioReport {
     /// Scenario name.
     pub name: String,
-    /// Topology label.
+    /// Topology label (the [`crate::TopologyFamily`] `Display` form).
     pub topology: String,
-    /// Label of the data-management strategy that served the run (see
-    /// [`StrategyKind::label`]).
+    /// Label of the data-management strategy that served the run
+    /// ([`Strategy::label`]).
     pub strategy: String,
     /// Stream seed of this run.
     pub seed: u64,
@@ -120,8 +129,8 @@ pub struct ScenarioReport {
     pub phases: Vec<PhaseSummary>,
     /// All epoch summaries, in replay order.
     pub epochs: Vec<EpochSummary>,
-    /// Total requests served.
-    pub total_requests: u64,
+    /// Whole-run request and migration totals.
+    pub traffic: TrafficCounters,
     /// Total simulated slots across all epoch replays.
     pub total_makespan: u64,
     /// Congestion of the full online run (service + broadcast +
@@ -132,336 +141,36 @@ pub struct ScenarioReport {
     pub hindsight_congestion: LoadRatio,
     /// `online / hindsight` congestion ratio (`None` when hindsight is 0).
     pub competitive_ratio: Option<f64>,
-    /// Online strategy event counters over the whole run.
+    /// Strategy event counters over the whole run (merged across
+    /// [`crate::Session::swap_strategy`] retirements).
     pub stats: DynamicStats,
 }
 
-fn stats_delta(cur: DynamicStats, prev: DynamicStats) -> DynamicStats {
-    DynamicStats {
-        reads: cur.reads - prev.reads,
-        writes: cur.writes - prev.writes,
-        replications: cur.replications - prev.replications,
-        collapses: cur.collapses - prev.collapses,
+/// Aggregate a phase's epochs into its summary.
+pub(crate) fn summarise_phase(
+    label: String,
+    epochs: &[EpochSummary],
+    online_congestion: LoadRatio,
+) -> PhaseSummary {
+    let mut traffic = TrafficCounters::default();
+    for e in epochs {
+        traffic += e.traffic;
     }
-}
-
-/// The dynamic-strategy serve kernel of one run: the object-sharded
-/// workspace kernel ([`hbn_dynamic::ShardedDynamic`]) or the unsharded
-/// naive reference kernel.
-enum DynKernel {
-    Sharded(ShardedDynamic),
-    Reference(DynamicTree),
-}
-
-impl DynKernel {
-    fn new(net: &Network, spec: &ScenarioSpec, max_objects: usize) -> DynKernel {
-        match spec.serve {
-            ServeKernel::Workspace => DynKernel::Sharded(ShardedDynamic::new(
-                net,
-                max_objects,
-                spec.threshold,
-                spec.serve_shards,
-            )),
-            // The reference kernel is the unsharded timing/semantics
-            // baseline.
-            ServeKernel::Reference => {
-                DynKernel::Reference(DynamicTree::new(net, max_objects, spec.threshold))
-            }
-        }
+    let latency_weighted: f64 =
+        epochs.iter().map(|e| e.mean_latency * e.traffic.requests as f64).sum::<f64>();
+    PhaseSummary {
+        label,
+        epochs: epochs.len(),
+        online_congestion,
+        makespan: epochs.iter().map(|e| e.makespan).sum(),
+        mean_latency: if traffic.requests > 0 {
+            latency_weighted / traffic.requests as f64
+        } else {
+            0.0
+        },
+        p99_latency: epochs.iter().map(|e| e.p99_latency).max().unwrap_or(0),
+        traffic,
     }
-
-    /// Serve one epoch's requests, in trace order.
-    fn serve_trace(&mut self, net: &Network, trace: &[OnlineRequest]) {
-        match self {
-            DynKernel::Sharded(sharded) => sharded.serve_trace(net, trace),
-            DynKernel::Reference(tree) => {
-                for &req in trace {
-                    tree.serve_reference(net, req);
-                }
-            }
-        }
-    }
-
-    /// Current copy nodes of `x`.
-    fn replicas(&self, x: hbn_workload::ObjectId) -> &[NodeId] {
-        match self {
-            DynKernel::Sharded(sharded) => sharded.replicas(x),
-            DynKernel::Reference(tree) => tree.replicas(x),
-        }
-    }
-
-    /// Replace the replica set of `x` (hybrid seeding).
-    fn seed_replicas(&mut self, net: &Network, x: hbn_workload::ObjectId, nodes: &[NodeId]) {
-        match self {
-            DynKernel::Sharded(sharded) => sharded.seed_replicas(net, x, nodes),
-            DynKernel::Reference(tree) => tree.seed_replicas(net, x, nodes),
-        }
-    }
-
-    /// Sum the cumulative loads into `out` (on top of what it holds).
-    fn add_loads_to(&self, out: &mut LoadMap) {
-        match self {
-            DynKernel::Sharded(sharded) => sharded.add_loads_to(out),
-            DynKernel::Reference(tree) => out.add_assign(tree.loads()),
-        }
-    }
-
-    /// Event counters.
-    fn stats(&self) -> DynamicStats {
-        match self {
-            DynKernel::Sharded(sharded) => sharded.stats(),
-            DynKernel::Reference(tree) => tree.stats(),
-        }
-    }
-}
-
-/// Charge the migration of one object's copy set from `old` to `new`:
-/// every copy in `new ∖ old` fetches a `D`-sized replica along the tree
-/// path from its nearest source copy, paying `D` on each edge crossed —
-/// the same unit as a dynamic replication, which moves one copy one hop
-/// for `D`. Sources are the old set when it is non-empty; otherwise the
-/// first new copy is the free materialization (mirroring the dynamic
-/// strategy's free first touch) and sources the rest. Returns the number
-/// of `D`-sized edge transfers charged, so the caller's
-/// `replications × D` accounting identity matches the load actually
-/// added here.
-fn charge_copy_migration(
-    net: &Network,
-    old: &[NodeId],
-    new: &[NodeId],
-    d: u64,
-    loads: &mut LoadMap,
-) -> u64 {
-    if new.is_empty() || new.iter().all(|v| old.contains(v)) {
-        return 0;
-    }
-    // Boundary-rate cold path (once per object per re-optimization, not
-    // per request): the BFS map below allocates O(|V|), which is fine at
-    // this rate; the hot epoch loop stays on preallocated accumulators.
-    let free_seed = [new[0]];
-    let sources: &[NodeId] = if old.is_empty() { &free_seed } else { old };
-    let nearest = nearest_copy_map(net, sources);
-    let mut transfers = 0;
-    for &v in new {
-        if old.contains(&v) || (old.is_empty() && v == new[0]) {
-            continue;
-        }
-        for e in net.path_edges_iter(v, nearest[v.index()]) {
-            loads.add_edge(e, d);
-            transfers += 1;
-        }
-    }
-    transfers
-}
-
-/// The periodic-static strategy state: the batch placement kernel, the
-/// current copy sets, and the strategy's own cumulative load map
-/// (service traffic under the static model plus migration traffic).
-struct StaticState {
-    kernel: PlacementKernel,
-    /// Current copy sets (assignments are rebuilt per epoch from the
-    /// epoch's frequency matrix).
-    copies: Placement,
-    loads: LoadMap,
-    /// `reads`/`writes` are served requests; `replications` counts
-    /// `D`-sized migration edge transfers (the dynamic kernel's unit)
-    /// and `collapses` dropped copies.
-    stats: DynamicStats,
-    /// Whether the bootstrap placement has been computed.
-    placed: bool,
-}
-
-/// The hybrid strategy: a dynamic kernel plus the batch kernel that
-/// periodically re-seeds it, with migration charges kept in a separate
-/// load map (the dynamic kernel owns its own).
-struct HybridState {
-    dynamic: DynKernel,
-    kernel: PlacementKernel,
-    migration_loads: LoadMap,
-    /// Seeding counters: `replications` counts `D`-sized seeding edge
-    /// transfers, `collapses` copies dropped by a re-seed.
-    seed_stats: DynamicStats,
-}
-
-/// The serve side of one scenario run, dispatching on
-/// [`StrategyKind`].
-enum ServeEngine {
-    Dynamic(DynKernel),
-    Static(StaticState),
-    Hybrid(HybridState),
-}
-
-impl ServeEngine {
-    fn new(net: &Network, spec: &ScenarioSpec, max_objects: usize) -> ServeEngine {
-        match spec.strategy {
-            StrategyKind::Dynamic => ServeEngine::Dynamic(DynKernel::new(net, spec, max_objects)),
-            StrategyKind::PeriodicStatic { .. } => ServeEngine::Static(StaticState {
-                kernel: PlacementKernel::new(net, spec.serve_shards),
-                copies: Placement::new(max_objects),
-                loads: LoadMap::zero(net),
-                stats: DynamicStats::default(),
-                placed: false,
-            }),
-            StrategyKind::Hybrid { .. } => ServeEngine::Hybrid(HybridState {
-                dynamic: DynKernel::new(net, spec, max_objects),
-                kernel: PlacementKernel::new(net, spec.serve_shards),
-                migration_loads: LoadMap::zero(net),
-                seed_stats: DynamicStats::default(),
-            }),
-        }
-    }
-
-    /// Strategy boundary work at the *start* of global epoch `epoch_idx`,
-    /// before its requests are drawn: periodic-static re-optimizes from
-    /// the observed (pre-epoch) aggregate matrix, hybrid re-seeds the
-    /// dynamic tree from the observed nibble placement. Both charge the
-    /// copy-set delta at `D` per edge crossed on each fetch path.
-    fn begin_epoch(
-        &mut self,
-        net: &Network,
-        strategy: StrategyKind,
-        epoch_idx: usize,
-        observed: &AccessMatrix,
-        d: u64,
-    ) {
-        if !strategy.is_boundary(epoch_idx) {
-            return;
-        }
-        match self {
-            ServeEngine::Dynamic(_) => {}
-            ServeEngine::Static(st) => {
-                let outcome =
-                    st.kernel.place(net, observed).expect("static re-optimization failed");
-                for x in observed.objects() {
-                    if observed.total_weight(x) == 0 {
-                        continue;
-                    }
-                    let new = outcome.placement.copies(x);
-                    let old = st.copies.copies(x);
-                    st.stats.replications += charge_copy_migration(net, old, new, d, &mut st.loads);
-                    st.stats.collapses += old.iter().filter(|v| !new.contains(v)).count() as u64;
-                }
-                st.copies = outcome.placement;
-                st.placed = true;
-            }
-            ServeEngine::Hybrid(hy) => {
-                let outcome = hy.kernel.place(net, observed).expect("hybrid re-seed failed");
-                for x in observed.objects() {
-                    // Seed with the *nibble* copy set: connected by
-                    // Theorem 3.1, which is the dynamic strategy's
-                    // structural invariant (the extended placement's
-                    // leaf-only sets are not connected).
-                    let seed = outcome.nibble_placement.copies(x);
-                    if seed.is_empty() {
-                        continue;
-                    }
-                    hy.seed_stats.replications += charge_copy_migration(
-                        net,
-                        hy.dynamic.replicas(x),
-                        seed,
-                        d,
-                        &mut hy.migration_loads,
-                    );
-                    hy.seed_stats.collapses +=
-                        hy.dynamic.replicas(x).iter().filter(|v| !seed.contains(v)).count() as u64;
-                    hy.dynamic.seed_replicas(net, x, seed);
-                }
-            }
-        }
-    }
-
-    /// Serve one epoch's requests. The dynamic and hybrid strategies
-    /// drive their serve kernel over the trace; the static strategy
-    /// computes its bootstrap placement on the first epoch (free, the
-    /// strategy's starting configuration) and materializes unseen
-    /// objects at their first requester (free, like the dynamic first
-    /// touch). Static service loads are charged later via
-    /// [`ServeEngine::charge_service`], once the epoch's snapshot
-    /// placement exists.
-    fn serve_epoch(
-        &mut self,
-        net: &Network,
-        trace: &[OnlineRequest],
-        epoch_matrix: &AccessMatrix,
-        reads: u64,
-        writes: u64,
-    ) {
-        match self {
-            ServeEngine::Dynamic(dynamic) => dynamic.serve_trace(net, trace),
-            ServeEngine::Hybrid(hy) => hy.dynamic.serve_trace(net, trace),
-            ServeEngine::Static(st) => {
-                if !st.placed {
-                    let outcome =
-                        st.kernel.place(net, epoch_matrix).expect("static bootstrap failed");
-                    st.copies = outcome.placement;
-                    st.placed = true;
-                }
-                for req in trace {
-                    if st.copies.copies(req.object).is_empty() {
-                        st.copies.add_copy(req.object, req.processor);
-                    }
-                }
-                st.stats.reads += reads;
-                st.stats.writes += writes;
-            }
-        }
-    }
-
-    /// Charge the epoch's service loads (the static placement serving
-    /// the epoch's frequency matrix) to the static strategy; the dynamic
-    /// kernels charge service traffic per request instead.
-    fn charge_service(&mut self, placement_loads: &LoadMap) {
-        if let ServeEngine::Static(st) = self {
-            st.loads.add_assign(placement_loads);
-        }
-    }
-
-    /// Current copy nodes of `x`.
-    fn replicas(&self, x: hbn_workload::ObjectId) -> &[NodeId] {
-        match self {
-            ServeEngine::Dynamic(dynamic) => dynamic.replicas(x),
-            ServeEngine::Hybrid(hy) => hy.dynamic.replicas(x),
-            ServeEngine::Static(st) => st.copies.copies(x),
-        }
-    }
-
-    /// Sum the strategy's cumulative loads into `out` (on top of what it
-    /// holds).
-    fn add_loads_to(&self, out: &mut LoadMap) {
-        match self {
-            ServeEngine::Dynamic(dynamic) => dynamic.add_loads_to(out),
-            ServeEngine::Hybrid(hy) => {
-                hy.dynamic.add_loads_to(out);
-                out.add_assign(&hy.migration_loads);
-            }
-            ServeEngine::Static(st) => out.add_assign(&st.loads),
-        }
-    }
-
-    /// Event counters. For the static strategy `replications` counts
-    /// `D`-sized migration edge transfers and `collapses` dropped
-    /// copies; the hybrid merges its seeding counters into the dynamic
-    /// kernel's.
-    fn stats(&self) -> DynamicStats {
-        match self {
-            ServeEngine::Dynamic(dynamic) => dynamic.stats(),
-            ServeEngine::Hybrid(hy) => hy.dynamic.stats().merge(hy.seed_stats),
-            ServeEngine::Static(st) => st.stats,
-        }
-    }
-}
-
-/// Snapshot the online strategy's replica sets for the objects touched by
-/// `matrix` as a placement with nearest-copy assignment.
-fn snapshot_placement(net: &Network, online: &ServeEngine, matrix: &AccessMatrix) -> Placement {
-    let mut placement = Placement::new(matrix.n_objects());
-    for x in matrix.objects() {
-        if !matrix.object_entries(x).is_empty() {
-            placement.set_copies(x, online.replicas(x).to_vec());
-        }
-    }
-    placement.nearest_assignment(net, matrix);
-    placement
 }
 
 /// Run one scenario to completion.
@@ -477,192 +186,67 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
 
 /// [`run_scenario`], surfacing replay errors instead of panicking.
 pub fn try_run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, SimError> {
-    let net = spec.topology.build();
-    let max_objects = spec.schedule.max_objects();
-    let mut online = ServeEngine::new(&net, spec, max_objects);
-    let mut ws = SimWorkspace::new();
-    let mut stream = spec.schedule.stream(&net, spec.seed);
-
-    let mut epochs: Vec<EpochSummary> = Vec::new();
-    let mut phases: Vec<PhaseSummary> = Vec::new();
-    let mut aggregate = AccessMatrix::new(max_objects);
-
-    // Epoch-delta accumulators: one preallocated map for the merged
-    // cumulative loads at the last epoch boundary, one for the current
-    // epoch's delta and one for the running phase delta — no per-epoch
-    // cloning of the strategy's load maps.
-    let mut cum = LoadMap::zero(&net);
-    let mut epoch_delta = LoadMap::zero(&net);
-    let mut phase_delta = LoadMap::zero(&net);
-    let mut stats_mark = DynamicStats::default();
-
-    // Two parallel views of the epoch's requests: the simulator replay
-    // needs a `&[Request]` slice and the sharded serve fan-out a
-    // `&[OnlineRequest]` slice. The structs are field-identical but live
-    // in crates that must not depend on each other, so the cheapest
-    // correct form is two reused Copy buffers filled side by side.
-    let mut epoch_trace: Vec<Request> = Vec::new();
-    let mut epoch_online: Vec<OnlineRequest> = Vec::new();
-
-    // Global epoch counter across phases — the strategy boundary clock of
-    // [`StrategyKind::is_boundary`].
-    let mut epoch_idx = 0usize;
-
-    for (phase_idx, phase) in spec.schedule.phases.iter().enumerate() {
-        let mut phase_epochs: Vec<EpochSummary> = Vec::new();
-        let mut remaining = phase.requests;
-        while remaining > 0 {
-            let epoch_len = if spec.epoch_requests == 0 {
-                remaining
-            } else {
-                spec.epoch_requests.min(remaining)
-            };
-            remaining -= epoch_len;
-
-            // Strategy boundary work first: re-optimization / re-seeding
-            // sees only the traffic observed *before* this epoch.
-            online.begin_epoch(&net, spec.strategy, epoch_idx, &aggregate, spec.threshold);
-
-            epoch_trace.clear();
-            epoch_online.clear();
-            let mut epoch_matrix = AccessMatrix::new(max_objects);
-            let mut reads = 0u64;
-            let mut writes = 0u64;
-            for PhaseRequest { processor, object, is_write } in stream.by_ref().take(epoch_len) {
-                epoch_trace.push(Request { processor, object, is_write });
-                epoch_online.push(OnlineRequest { processor, object, is_write });
-                if is_write {
-                    writes += 1;
-                    epoch_matrix.add(processor, object, 0, 1);
-                    aggregate.add(processor, object, 0, 1);
-                } else {
-                    reads += 1;
-                    epoch_matrix.add(processor, object, 1, 0);
-                    aggregate.add(processor, object, 1, 0);
-                }
-            }
-            online.serve_epoch(&net, &epoch_online, &epoch_matrix, reads, writes);
-
-            // Epoch boundary: snapshot, replay, summarise.
-            let placement = snapshot_placement(&net, &online, &epoch_matrix);
-            let placement_loads = LoadMap::from_placement(&net, &epoch_matrix, &placement);
-            // The static strategy's service traffic *is* the snapshot
-            // placement serving the epoch matrix; charge it before the
-            // epoch delta is taken. (No-op for dynamic/hybrid, whose
-            // kernels charged per request.)
-            online.charge_service(&placement_loads);
-            let sim: SimResult = match spec.kernel {
-                ReplayKernel::Workspace => {
-                    simulate_with(&mut ws, &net, &epoch_matrix, &placement, &epoch_trace, spec.sim)?
-                }
-                ReplayKernel::Reference => {
-                    simulate_reference(&net, &epoch_matrix, &placement, &epoch_trace, spec.sim)?
-                }
-            };
-
-            // epoch_delta := (merged cumulative) − cum; then roll the
-            // marks forward by pure additions.
-            epoch_delta.reset();
-            online.add_loads_to(&mut epoch_delta);
-            epoch_delta.sub_assign(&cum);
-            cum.add_assign(&epoch_delta);
-            phase_delta.add_assign(&epoch_delta);
-            let stats_now = online.stats();
-            let delta = stats_delta(stats_now, stats_mark);
-            stats_mark = stats_now;
-
-            phase_epochs.push(EpochSummary {
-                phase: phase_idx,
-                requests: (reads + writes),
-                reads,
-                writes,
-                replications: delta.replications,
-                collapses: delta.collapses,
-                migration_traffic: delta.replications * spec.threshold,
-                online_congestion: epoch_delta.congestion(&net).congestion,
-                placement_congestion: placement_loads.congestion(&net).congestion,
-                makespan: sim.makespan,
-                mean_latency: sim.mean_latency,
-                p99_latency: sim.p99_latency,
-                live_objects: stream.live_objects().len(),
-            });
-            epoch_idx += 1;
-        }
-
-        phases.push(summarise_phase(
-            phase.label.clone(),
-            &phase_epochs,
-            phase_delta.congestion(&net).congestion,
-        ));
-        phase_delta.reset();
-        epochs.extend(phase_epochs);
-    }
-
-    let online_congestion = cum.congestion(&net).congestion;
-    let hindsight_placement = nibble_placement(&net, &aggregate);
-    let hindsight_congestion =
-        LoadMap::from_placement(&net, &aggregate, &hindsight_placement).congestion(&net).congestion;
-
-    Ok(ScenarioReport {
-        name: spec.name.clone(),
-        topology: spec.topology.label(),
-        strategy: spec.strategy.label(),
-        seed: spec.seed,
-        total_requests: epochs.iter().map(|e| e.requests).sum(),
-        total_makespan: epochs.iter().map(|e| e.makespan).sum(),
-        phases,
-        epochs,
-        online_congestion,
-        hindsight_congestion,
-        competitive_ratio: online_congestion.ratio_to(hindsight_congestion),
-        stats: online.stats(),
-    })
+    let mut session = Session::new(spec);
+    while session.step_epoch()?.is_some() {}
+    Ok(session.into_report())
 }
 
-fn summarise_phase(
-    label: String,
-    epochs: &[EpochSummary],
-    online_congestion: LoadRatio,
-) -> PhaseSummary {
-    let requests: u64 = epochs.iter().map(|e| e.requests).sum();
-    let latency_weighted: f64 =
-        epochs.iter().map(|e| e.mean_latency * e.requests as f64).sum::<f64>();
-    PhaseSummary {
-        label,
-        epochs: epochs.len(),
-        requests,
-        reads: epochs.iter().map(|e| e.reads).sum(),
-        writes: epochs.iter().map(|e| e.writes).sum(),
-        replications: epochs.iter().map(|e| e.replications).sum(),
-        collapses: epochs.iter().map(|e| e.collapses).sum(),
-        migration_traffic: epochs.iter().map(|e| e.migration_traffic).sum(),
-        online_congestion,
-        makespan: epochs.iter().map(|e| e.makespan).sum(),
-        mean_latency: if requests > 0 { latency_weighted / requests as f64 } else { 0.0 },
-        p99_latency: epochs.iter().map(|e| e.p99_latency).max().unwrap_or(0),
+/// Run one scenario to completion under a caller-built [`Strategy`] —
+/// the open-ended form of [`run_scenario`]. The factory receives the
+/// instantiated network, the execution config and the object-count
+/// bound; `spec.strategy` is ignored.
+///
+/// # Panics
+///
+/// As [`run_scenario`].
+pub fn run_scenario_with(
+    spec: &ScenarioSpec,
+    factory: impl FnOnce(&Network, &ExecutionConfig, usize) -> Box<dyn Strategy>,
+) -> ScenarioReport {
+    try_run_scenario_with(spec, factory)
+        .unwrap_or_else(|e| panic!("scenario {:?} failed: {e}", spec.name))
+}
+
+/// [`run_scenario_with`], surfacing replay errors instead of panicking.
+pub fn try_run_scenario_with(
+    spec: &ScenarioSpec,
+    factory: impl FnOnce(&Network, &ExecutionConfig, usize) -> Box<dyn Strategy>,
+) -> Result<ScenarioReport, SimError> {
+    let mut session = Session::with_strategy(spec, factory);
+    while session.step_epoch()?.is_some() {}
+    Ok(session.into_report())
+}
+
+/// Pin an unset serve-shard count (`0` = auto) to `1` for a seed shard:
+/// seed shards already occupy the worker pool, so nested object-sharding
+/// would only oversubscribe. Reports are identical either way (they are
+/// invariant in the shard count).
+fn seed_shard_spec(spec: &ScenarioSpec, seed: u64) -> ScenarioSpec {
+    let mut shard = spec.clone();
+    shard.seed = seed;
+    if shard.exec.serve_shards == 0 {
+        shard.exec.serve_shards = 1;
     }
+    shard
 }
 
 /// Run the same scenario across many seeds, sharded over cores with
 /// rayon. Each shard is fully independent (own network, strategy and
 /// simulator workspace); reports come back in seed order.
-///
-/// Seed shards already occupy the worker pool, so an unset
-/// `serve_shards` (`0` = auto) is pinned to `1` here instead of the
-/// per-run default of one serve shard per core — nested object-sharding
-/// on top of seed-sharding would only oversubscribe. Reports are
-/// identical either way (they are invariant in the shard count).
 pub fn run_scenario_sharded(spec: &ScenarioSpec, seeds: &[u64]) -> Vec<ScenarioReport> {
+    seeds.par_iter().map(|&seed| run_scenario(&seed_shard_spec(spec, seed))).collect()
+}
+
+/// [`run_scenario_sharded`] under a caller-built [`Strategy`]: the
+/// factory runs once per seed shard (each shard owns its strategy).
+pub fn run_scenario_sharded_with(
+    spec: &ScenarioSpec,
+    seeds: &[u64],
+    factory: impl Fn(&Network, &ExecutionConfig, usize) -> Box<dyn Strategy> + Sync,
+) -> Vec<ScenarioReport> {
     seeds
         .par_iter()
-        .map(|&seed| {
-            let mut shard = spec.clone();
-            shard.seed = seed;
-            if shard.serve_shards == 0 {
-                shard.serve_shards = 1;
-            }
-            run_scenario(&shard)
-        })
+        .map(|&seed| run_scenario_with(&seed_shard_spec(spec, seed), &factory))
         .collect()
 }
 
@@ -693,27 +277,30 @@ mod tests {
 
     #[test]
     fn phase_summaries_partition_the_run() {
-        let mut spec = ScenarioSpec::new(
+        let spec = ScenarioSpec::builder(
             "partition",
             TopologyFamily::Balanced { branching: 3, height: 2 },
             full_tour(6, 90),
-            1,
-            5,
-        );
-        spec.epoch_requests = 40; // 90 → epochs of 40/40/10 per phase
+        )
+        .threshold(1)
+        .seed(5)
+        .epoch_requests(40) // 90 → epochs of 40/40/10 per phase
+        .build();
         let report = run_scenario(&spec);
         assert_eq!(report.phases.len(), spec.schedule.phases.len());
         for (phase, summary) in spec.schedule.phases.iter().zip(&report.phases) {
             assert_eq!(summary.label, phase.label);
-            assert_eq!(summary.requests as usize, phase.requests);
+            assert_eq!(summary.traffic.requests as usize, phase.requests);
             assert_eq!(summary.epochs, 3);
-            assert_eq!(summary.reads + summary.writes, summary.requests);
+            assert_eq!(summary.traffic.reads + summary.traffic.writes, summary.traffic.requests);
         }
-        assert_eq!(report.total_requests as usize, spec.schedule.total_requests());
-        let epoch_total: u64 = report.epochs.iter().map(|e| e.requests).sum();
-        assert_eq!(epoch_total, report.total_requests);
-        // Migration cost is replications × D (here D = 1).
-        let migration: u64 = report.phases.iter().map(|p| p.migration_traffic).sum();
+        assert_eq!(report.traffic.requests as usize, spec.schedule.total_requests());
+        let epoch_total: u64 = report.epochs.iter().map(|e| e.traffic.requests).sum();
+        assert_eq!(epoch_total, report.traffic.requests);
+        // Migration cost is replications × D (here D = 1), and the
+        // report-level counters are the phase-level sums.
+        let migration: u64 = report.phases.iter().map(|p| p.traffic.migration_traffic).sum();
         assert_eq!(migration, report.stats.replications);
+        assert_eq!(report.traffic.replications, report.stats.replications);
     }
 }

@@ -2,11 +2,22 @@
 //!
 //! The end-to-end scenario engine: a declarative [`ScenarioSpec`] —
 //! topology family, phase-scheduled access pattern, data-management
-//! strategy ([`StrategyKind`]: dynamic, periodic-static, hybrid) — is
-//! turned into an online request stream, served by the chosen strategy,
-//! and every resulting placement epoch is replayed through the
-//! zero-allocation packet simulator, yielding per-phase congestion,
-//! migration-cost and latency summaries.
+//! strategy — is turned into an online request stream, served by the
+//! chosen strategy, and every resulting placement epoch is replayed
+//! through the zero-allocation packet simulator, yielding per-phase
+//! congestion, migration-cost and latency summaries.
+//!
+//! The strategy boundary is **open**: the [`Strategy`] trait carries any
+//! policy (the built-ins behind [`StrategyKind`] — [`DynamicStrategy`],
+//! [`PeriodicStatic`], [`HybridReseed`] — are public structs, and
+//! [`FrozenStatic`] / [`ThresholdSwitch`] exist only through the trait),
+//! and the [`Session`] driver runs scenarios *incrementally*: epoch by
+//! epoch ([`Session::step_epoch`]), with externally pushed traffic
+//! ([`Session::push_epoch`]), mid-run policy swaps
+//! ([`Session::swap_strategy`]) and exact checkpoint/restore
+//! ([`Session::checkpoint`]). The batch entry points
+//! ([`run_scenario`], [`run_scenario_sharded`], [`run_scenario_with`])
+//! are thin wrappers over a session.
 //!
 //! This is the paper's actual pipeline: *online* access patterns
 //! (parallel-program globals, shared-memory pages, WWW pages) served on a
@@ -19,15 +30,16 @@
 //!
 //! // Six phases (one per access-pattern family), 100 requests each, on a
 //! // three-level balanced tree, replication threshold D = 2, seed 7.
-//! let spec = ScenarioSpec::new(
+//! let spec = ScenarioSpec::builder(
 //!     "tour",
 //!     TopologyFamily::Balanced { branching: 3, height: 2 },
 //!     full_tour(8, 100),
-//!     2,
-//!     7,
-//! );
+//! )
+//! .threshold(2)
+//! .seed(7)
+//! .build();
 //! let report = run_scenario(&spec);
-//! assert_eq!(report.total_requests, 600);
+//! assert_eq!(report.traffic.requests, 600);
 //! assert_eq!(report.phases.len(), 6);
 //! // Every phase was replayed on the simulator: the makespan of a
 //! // non-empty epoch is positive unless all its traffic was leaf-local.
@@ -41,10 +53,21 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod session;
 pub mod spec;
+pub mod strategy;
 
 pub use engine::{
-    run_scenario, run_scenario_sharded, try_run_scenario, EpochSummary, PhaseSummary,
-    ScenarioReport,
+    run_scenario, run_scenario_sharded, run_scenario_sharded_with, run_scenario_with,
+    try_run_scenario, try_run_scenario_with, EpochSummary, PhaseSummary, ScenarioReport,
+    TrafficCounters,
 };
-pub use spec::{ReplayKernel, ScenarioSpec, ServeKernel, StrategyKind, TopologyFamily};
+pub use session::{Session, SessionCheckpoint};
+pub use spec::{
+    ExecutionConfig, ReplayKernel, ScenarioSpec, ScenarioSpecBuilder, ServeKernel, StrategyKind,
+    TopologyFamily,
+};
+pub use strategy::{
+    charged_migration, DynamicStrategy, FrozenStatic, HybridReseed, PeriodicStatic, Strategy,
+    ThresholdSwitch,
+};

@@ -1,0 +1,600 @@
+//! The incremental scenario driver: a [`Session`] owns the clock, the
+//! request stream, the observed aggregate and the replay machinery, and
+//! drives any [`Strategy`] one epoch at a time.
+//!
+//! [`crate::run_scenario`] is a thin wrapper — `Session::new` plus
+//! [`Session::step_epoch`] to exhaustion — pinned bit-for-bit to the
+//! pre-session engine by the differential suite. The incremental form
+//! adds what batch running cannot do:
+//!
+//! * **streaming**: [`Session::step_epoch`] returns each
+//!   [`EpochSummary`] as it happens, so a long run is observable (and
+//!   abortable) while in flight;
+//! * **pushed traffic**: [`Session::push_epoch`] serves an
+//!   externally-supplied request batch — the long-running-service mode,
+//!   where the schedule is not known up front;
+//! * **strategy swaps**: [`Session::swap_strategy`] replaces the policy
+//!   at an epoch boundary, the successor adopting the predecessor's copy
+//!   sets ([`Strategy::adopt`]) while the session keeps cumulative
+//!   accounting unbroken;
+//! * **checkpoint/restore**: [`Session::checkpoint`] snapshots the full
+//!   driver + policy state (copy sets, aggregate matrix, RNG cursor,
+//!   accumulated summaries); [`Session::restore`] resumes it, and the
+//!   resumed run reproduces an unbroken one exactly
+//!   (`exp_session_resume` proves it at benchmark scale).
+
+use crate::engine::{summarise_phase, EpochSummary, PhaseSummary, ScenarioReport, TrafficCounters};
+use crate::spec::{ExecutionConfig, ReplayKernel, ScenarioSpec};
+use crate::strategy::Strategy;
+use hbn_core::nibble_placement;
+use hbn_dynamic::{DynamicStats, OnlineRequest};
+use hbn_load::{LoadMap, Placement};
+use hbn_sim::{simulate_reference, simulate_with, Request, SimError, SimResult, SimWorkspace};
+use hbn_topology::Network;
+use hbn_workload::{AccessMatrix, PhaseRequest, PhaseStreamState};
+
+fn stats_delta(cur: DynamicStats, prev: DynamicStats) -> DynamicStats {
+    DynamicStats {
+        reads: cur.reads - prev.reads,
+        writes: cur.writes - prev.writes,
+        replications: cur.replications - prev.replications,
+        collapses: cur.collapses - prev.collapses,
+    }
+}
+
+/// Snapshot the strategy's replica sets for the objects touched by
+/// `matrix` as a placement with nearest-copy assignment.
+fn snapshot_placement(net: &Network, strategy: &dyn Strategy, matrix: &AccessMatrix) -> Placement {
+    let mut placement = Placement::new(matrix.n_objects());
+    for x in matrix.objects() {
+        if !matrix.object_entries(x).is_empty() {
+            placement.set_copies(x, strategy.copy_set(x).to_vec());
+        }
+    }
+    placement.nearest_assignment(net, matrix);
+    placement
+}
+
+/// A resumable snapshot of a [`Session`]: the policy state (copy sets,
+/// loads, counters via [`Strategy::snapshot`]), the stream's RNG cursor,
+/// the observed aggregate matrix and every summary accumulated so far.
+/// Opaque by design — produce with [`Session::checkpoint`], consume with
+/// [`Session::restore`].
+pub struct SessionCheckpoint {
+    spec: ScenarioSpec,
+    strategy: Box<dyn Strategy>,
+    stream: PhaseStreamState,
+    aggregate: AccessMatrix,
+    cum: LoadMap,
+    phase_delta: LoadMap,
+    retired_loads: LoadMap,
+    retired_stats: DynamicStats,
+    stats_mark: DynamicStats,
+    epoch_idx: usize,
+    phase_idx: usize,
+    remaining_in_phase: usize,
+    phase_start: usize,
+    epochs: Vec<EpochSummary>,
+    phases: Vec<PhaseSummary>,
+}
+
+impl SessionCheckpoint {
+    /// Global epoch index the restored session will continue from.
+    pub fn epoch_index(&self) -> usize {
+        self.epoch_idx
+    }
+}
+
+/// One scenario run as a stateful, incremental driver — see the module
+/// docs for the lifecycle and `DESIGN.md` §6.4 for state ownership.
+///
+/// ```
+/// use hbn_scenario::{run_scenario, ScenarioSpec, Session, TopologyFamily};
+/// use hbn_workload::phases::full_tour;
+///
+/// let spec = ScenarioSpec::builder(
+///     "incremental",
+///     TopologyFamily::Balanced { branching: 2, height: 2 },
+///     full_tour(5, 60),
+/// )
+/// .threshold(2)
+/// .seed(3)
+/// .epoch_requests(40)
+/// .build();
+///
+/// // Drive epoch by epoch; summaries stream out as they happen.
+/// let mut session = Session::new(&spec);
+/// let mut epochs = 0;
+/// while let Some(epoch) = session.step_epoch().unwrap() {
+///     assert!(epoch.traffic.requests > 0);
+///     epochs += 1;
+/// }
+/// assert_eq!(epochs, 12); // 6 phases x 60 requests in epochs of 40 + 20
+///
+/// // The batch entry point is this exact loop.
+/// assert_eq!(session.into_report(), run_scenario(&spec));
+/// ```
+pub struct Session {
+    spec: ScenarioSpec,
+    net: Network,
+    max_objects: usize,
+    strategy: Box<dyn Strategy>,
+    ws: SimWorkspace,
+    stream: PhaseStreamState,
+    /// Cumulative observed access matrix (what re-optimizing strategies
+    /// see at epoch boundaries).
+    aggregate: AccessMatrix,
+    // Epoch-delta accumulators: one preallocated map for the merged
+    // cumulative loads at the last epoch boundary, one for the current
+    // epoch's delta and one for the running phase delta — no per-epoch
+    // cloning of the strategy's load maps.
+    cum: LoadMap,
+    epoch_delta: LoadMap,
+    phase_delta: LoadMap,
+    /// Loads and counters of strategies retired by
+    /// [`Session::swap_strategy`]; reporting always merges them with the
+    /// live strategy's so swaps never lose traffic.
+    retired_loads: LoadMap,
+    retired_stats: DynamicStats,
+    stats_mark: DynamicStats,
+    // Two parallel views of the epoch's requests: the simulator replay
+    // needs a `&[Request]` slice and the sharded serve fan-out a
+    // `&[OnlineRequest]` slice. The structs are field-identical but live
+    // in crates that must not depend on each other, so the cheapest
+    // correct form is two reused Copy buffers filled side by side.
+    epoch_trace: Vec<Request>,
+    epoch_online: Vec<OnlineRequest>,
+    /// Global epoch counter across phases — the strategy boundary clock.
+    epoch_idx: usize,
+    phase_idx: usize,
+    remaining_in_phase: usize,
+    /// Index into `epochs` where the current phase began.
+    phase_start: usize,
+    epochs: Vec<EpochSummary>,
+    phases: Vec<PhaseSummary>,
+}
+
+impl Session {
+    /// A session for `spec`, serving through the built-in strategy named
+    /// by `spec.strategy`.
+    pub fn new(spec: &ScenarioSpec) -> Session {
+        Session::with_strategy(spec, |net, exec, max_objects| {
+            spec.strategy.build(net, exec, max_objects)
+        })
+    }
+
+    /// A session serving through a caller-built [`Strategy`] — the open
+    /// end of the engine. The factory receives the instantiated network,
+    /// the execution config and the object-count bound, which is
+    /// everything a policy constructor needs; `spec.strategy` is ignored.
+    pub fn with_strategy(
+        spec: &ScenarioSpec,
+        factory: impl FnOnce(&Network, &ExecutionConfig, usize) -> Box<dyn Strategy>,
+    ) -> Session {
+        let net = spec.topology.build();
+        let max_objects = spec.schedule.max_objects();
+        let strategy = factory(&net, &spec.exec, max_objects);
+        let stream = spec.schedule.stream_state(&net, spec.seed);
+        let remaining_in_phase = spec.schedule.phases.first().map_or(0, |p| p.requests);
+        Session {
+            spec: spec.clone(),
+            max_objects,
+            strategy,
+            ws: SimWorkspace::new(),
+            stream,
+            aggregate: AccessMatrix::new(max_objects),
+            cum: LoadMap::zero(&net),
+            epoch_delta: LoadMap::zero(&net),
+            phase_delta: LoadMap::zero(&net),
+            retired_loads: LoadMap::zero(&net),
+            retired_stats: DynamicStats::default(),
+            stats_mark: DynamicStats::default(),
+            epoch_trace: Vec::new(),
+            epoch_online: Vec::new(),
+            epoch_idx: 0,
+            phase_idx: 0,
+            remaining_in_phase,
+            phase_start: 0,
+            epochs: Vec::new(),
+            phases: Vec::new(),
+            net,
+        }
+    }
+
+    /// The instantiated network of this run.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The execution configuration of this run.
+    pub fn execution(&self) -> &ExecutionConfig {
+        &self.spec.exec
+    }
+
+    /// Upper bound on distinct object ids in this run (what strategy
+    /// constructors size their state with).
+    pub fn max_objects(&self) -> usize {
+        self.max_objects
+    }
+
+    /// Global index of the next epoch to run.
+    pub fn epoch_index(&self) -> usize {
+        self.epoch_idx
+    }
+
+    /// The strategy currently serving the session.
+    pub fn strategy(&self) -> &dyn Strategy {
+        self.strategy.as_ref()
+    }
+
+    /// Epoch summaries accumulated so far, in execution order.
+    pub fn epochs(&self) -> &[EpochSummary] {
+        &self.epochs
+    }
+
+    /// Summaries of the *completed* schedule phases so far.
+    pub fn phases(&self) -> &[PhaseSummary] {
+        &self.phases
+    }
+
+    /// Whether the schedule is exhausted ([`Session::step_epoch`] would
+    /// return `None`; [`Session::push_epoch`] still works).
+    pub fn is_finished(&self) -> bool {
+        self.phase_idx >= self.spec.schedule.phases.len()
+    }
+
+    /// Run the next scheduled epoch: strategy boundary work, drawing the
+    /// epoch's requests from the stream, serving them, replaying them on
+    /// the simulator under the strategy's snapshot placement, and
+    /// summarising. Returns `None` once the schedule is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SlotBudgetExceeded`] if the replay outruns
+    /// `exec.sim.max_slots`; the session is left unusable for further
+    /// stepping in that case.
+    pub fn step_epoch(&mut self) -> Result<Option<EpochSummary>, SimError> {
+        // Zero-request phases (legal in a schedule) complete immediately,
+        // with an empty summary, exactly like the batch engine's
+        // per-phase loop.
+        while self.phase_idx < self.spec.schedule.phases.len() && self.remaining_in_phase == 0 {
+            self.finish_phase();
+        }
+        if self.phase_idx >= self.spec.schedule.phases.len() {
+            return Ok(None);
+        }
+
+        let epoch_len = if self.spec.epoch_requests == 0 {
+            self.remaining_in_phase
+        } else {
+            self.spec.epoch_requests.min(self.remaining_in_phase)
+        };
+        self.remaining_in_phase -= epoch_len;
+
+        // Strategy boundary work first: re-optimization / re-seeding
+        // sees only the traffic observed *before* this epoch.
+        self.strategy.begin_epoch(&self.net, self.epoch_idx, &self.aggregate);
+
+        self.epoch_trace.clear();
+        self.epoch_online.clear();
+        let mut epoch_matrix = AccessMatrix::new(self.max_objects);
+        for _ in 0..epoch_len {
+            let Some(PhaseRequest { processor, object, is_write }) =
+                self.stream.next_request(&self.spec.schedule, &self.net)
+            else {
+                break;
+            };
+            self.epoch_trace.push(Request { processor, object, is_write });
+            self.epoch_online.push(OnlineRequest { processor, object, is_write });
+            if is_write {
+                epoch_matrix.add(processor, object, 0, 1);
+                self.aggregate.add(processor, object, 0, 1);
+            } else {
+                epoch_matrix.add(processor, object, 1, 0);
+                self.aggregate.add(processor, object, 1, 0);
+            }
+        }
+
+        let summary = self.run_epoch_body(self.phase_idx, &epoch_matrix, true)?;
+        if self.remaining_in_phase == 0 {
+            self.finish_phase();
+        }
+        Ok(Some(summary))
+    }
+
+    /// Serve an externally-supplied request batch as one epoch — the
+    /// long-running-service entry point, for traffic that is not known
+    /// up front. The batch goes through the full epoch pipeline
+    /// (boundary work, serving, replay, summary) and advances the global
+    /// epoch clock, but does not consume the schedule's stream; pushed
+    /// epochs are reported with `phase == schedule.phases.len()` and
+    /// count into the report totals without a per-phase summary.
+    ///
+    /// ```
+    /// use hbn_dynamic::OnlineRequest;
+    /// use hbn_scenario::{ScenarioSpec, Session, TopologyFamily};
+    /// use hbn_workload::{phases::full_tour, ObjectId};
+    ///
+    /// let spec = ScenarioSpec::new(
+    ///     "pushed", TopologyFamily::Star { processors: 4, bus_bandwidth: 2 },
+    ///     full_tour(4, 30), 2, 5);
+    /// let mut session = Session::new(&spec);
+    /// let p = session.network().processors().to_vec();
+    /// let batch: Vec<OnlineRequest> = (0..20)
+    ///     .map(|i| OnlineRequest {
+    ///         processor: p[i % p.len()],
+    ///         object: ObjectId((i % 3) as u32),
+    ///         is_write: i % 5 == 0,
+    ///     })
+    ///     .collect();
+    /// let epoch = session.push_epoch(&batch).unwrap();
+    /// assert_eq!(epoch.traffic.requests, 20);
+    /// assert_eq!(epoch.phase, spec.schedule.phases.len());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::step_epoch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics — before touching any session state — if a pushed request
+    /// references an object id at or beyond [`Session::max_objects`] or
+    /// a node that is not one of the network's processors (external
+    /// traffic is untrusted; scheduled traffic is valid by
+    /// construction).
+    pub fn push_epoch(&mut self, batch: &[OnlineRequest]) -> Result<EpochSummary, SimError> {
+        // Validate the whole batch up front so a bad request cannot
+        // leave the session partially mutated.
+        for (i, req) in batch.iter().enumerate() {
+            assert!(
+                req.object.index() < self.max_objects,
+                "pushed request {i} references object {} >= max_objects {}",
+                req.object.index(),
+                self.max_objects
+            );
+            assert!(
+                self.net.is_processor(req.processor),
+                "pushed request {i} is issued from a non-processor node"
+            );
+        }
+        self.strategy.begin_epoch(&self.net, self.epoch_idx, &self.aggregate);
+        self.epoch_trace.clear();
+        self.epoch_online.clear();
+        let mut epoch_matrix = AccessMatrix::new(self.max_objects);
+        for &req in batch {
+            self.epoch_trace.push(Request {
+                processor: req.processor,
+                object: req.object,
+                is_write: req.is_write,
+            });
+            self.epoch_online.push(req);
+            let (r, w) = if req.is_write { (0, 1) } else { (1, 0) };
+            epoch_matrix.add(req.processor, req.object, r, w);
+            self.aggregate.add(req.processor, req.object, r, w);
+        }
+        self.run_epoch_body(self.spec.schedule.phases.len(), &epoch_matrix, false)
+    }
+
+    /// The shared tail of an epoch: serve the buffered trace, snapshot,
+    /// replay, account deltas, summarise. `in_phase` controls whether the
+    /// epoch's traffic also rolls into the running phase delta.
+    fn run_epoch_body(
+        &mut self,
+        phase: usize,
+        epoch_matrix: &AccessMatrix,
+        in_phase: bool,
+    ) -> Result<EpochSummary, SimError> {
+        let reads = self.epoch_online.iter().filter(|r| !r.is_write).count() as u64;
+        let writes = self.epoch_online.len() as u64 - reads;
+        self.strategy.serve_batch(&self.net, &self.epoch_online, epoch_matrix);
+
+        // Epoch boundary: snapshot, replay, summarise.
+        let placement = snapshot_placement(&self.net, self.strategy.as_ref(), epoch_matrix);
+        let placement_loads = LoadMap::from_placement(&self.net, epoch_matrix, &placement);
+        // A static-model strategy's service traffic *is* the snapshot
+        // placement serving the epoch matrix; charge it before the epoch
+        // delta is taken. (No-op for per-request-charging strategies.)
+        self.strategy.charge_service(&placement_loads);
+        let sim: SimResult = match self.spec.exec.replay {
+            ReplayKernel::Workspace => simulate_with(
+                &mut self.ws,
+                &self.net,
+                epoch_matrix,
+                &placement,
+                &self.epoch_trace,
+                self.spec.exec.sim,
+            )?,
+            ReplayKernel::Reference => simulate_reference(
+                &self.net,
+                epoch_matrix,
+                &placement,
+                &self.epoch_trace,
+                self.spec.exec.sim,
+            )?,
+        };
+
+        // epoch_delta := (retired + live cumulative) − cum; then roll the
+        // marks forward by pure additions.
+        self.epoch_delta.reset();
+        self.epoch_delta.add_assign(&self.retired_loads);
+        self.strategy.add_loads_to(&mut self.epoch_delta);
+        self.epoch_delta.sub_assign(&self.cum);
+        self.cum.add_assign(&self.epoch_delta);
+        if in_phase {
+            self.phase_delta.add_assign(&self.epoch_delta);
+        }
+        let stats_now = self.retired_stats.merge(self.strategy.stats());
+        let delta = stats_delta(stats_now, self.stats_mark);
+        self.stats_mark = stats_now;
+
+        let summary = EpochSummary {
+            phase,
+            traffic: TrafficCounters {
+                requests: reads + writes,
+                reads,
+                writes,
+                replications: delta.replications,
+                collapses: delta.collapses,
+                migration_traffic: delta.replications * self.spec.exec.threshold,
+            },
+            online_congestion: self.epoch_delta.congestion(&self.net).congestion,
+            placement_congestion: placement_loads.congestion(&self.net).congestion,
+            makespan: sim.makespan,
+            mean_latency: sim.mean_latency,
+            p99_latency: sim.p99_latency,
+            live_objects: self.stream.live_objects().len(),
+        };
+        self.epochs.push(summary.clone());
+        self.epoch_idx += 1;
+        Ok(summary)
+    }
+
+    /// Close out the current schedule phase: summarise its epochs and
+    /// advance to the next phase.
+    fn finish_phase(&mut self) {
+        let phase = &self.spec.schedule.phases[self.phase_idx];
+        // Epochs pushed mid-phase carry the out-of-schedule phase index;
+        // the phase summary covers only the schedule's own epochs.
+        let phase_epochs: Vec<EpochSummary> = self.epochs[self.phase_start..]
+            .iter()
+            .filter(|e| e.phase == self.phase_idx)
+            .cloned()
+            .collect();
+        self.phases.push(summarise_phase(
+            phase.label.clone(),
+            &phase_epochs,
+            self.phase_delta.congestion(&self.net).congestion,
+        ));
+        self.phase_delta.reset();
+        self.phase_start = self.epochs.len();
+        self.phase_idx += 1;
+        self.remaining_in_phase =
+            self.spec.schedule.phases.get(self.phase_idx).map_or(0, |p| p.requests);
+    }
+
+    /// Replace the serving policy at the current epoch boundary (between
+    /// `step_epoch`/`push_epoch` calls — the only times `&mut self` is
+    /// free). The successor adopts the predecessor's copy sets
+    /// ([`Strategy::adopt`]), free of charge; its own
+    /// [`Strategy::begin_epoch`] decides whether — and at what migration
+    /// cost — to move away from them. The predecessor's cumulative loads
+    /// and counters are retired into the session so reporting stays
+    /// unbroken; the predecessor itself is returned.
+    pub fn swap_strategy(&mut self, next: Box<dyn Strategy>) -> Box<dyn Strategy> {
+        let mut next = next;
+        next.adopt(&self.net, self.strategy.as_ref(), self.max_objects);
+        self.strategy.add_loads_to(&mut self.retired_loads);
+        self.retired_stats = self.retired_stats.merge(self.strategy.stats());
+        std::mem::replace(&mut self.strategy, next)
+    }
+
+    /// Snapshot the full session state — strategy (copy sets, loads,
+    /// counters), stream RNG cursor, aggregate matrix, delta marks and
+    /// accumulated summaries. The checkpoint is independent of the
+    /// session: both can be driven on afterwards.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            spec: self.spec.clone(),
+            strategy: self.strategy.snapshot(),
+            stream: self.stream.clone(),
+            aggregate: self.aggregate.clone(),
+            cum: self.cum.clone(),
+            phase_delta: self.phase_delta.clone(),
+            retired_loads: self.retired_loads.clone(),
+            retired_stats: self.retired_stats,
+            stats_mark: self.stats_mark,
+            epoch_idx: self.epoch_idx,
+            phase_idx: self.phase_idx,
+            remaining_in_phase: self.remaining_in_phase,
+            phase_start: self.phase_start,
+            epochs: self.epochs.clone(),
+            phases: self.phases.clone(),
+        }
+    }
+
+    /// Rebuild a session from a checkpoint. The restored session
+    /// continues exactly where the checkpointed one stood: driving it
+    /// forward reproduces an unbroken run bit for bit (network and
+    /// simulator scratch are rebuilt fresh — they are caches, not
+    /// state).
+    pub fn restore(checkpoint: SessionCheckpoint) -> Session {
+        let net = checkpoint.spec.topology.build();
+        let max_objects = checkpoint.spec.schedule.max_objects();
+        Session {
+            max_objects,
+            strategy: checkpoint.strategy,
+            ws: SimWorkspace::new(),
+            stream: checkpoint.stream,
+            aggregate: checkpoint.aggregate,
+            cum: checkpoint.cum,
+            epoch_delta: LoadMap::zero(&net),
+            phase_delta: checkpoint.phase_delta,
+            retired_loads: checkpoint.retired_loads,
+            retired_stats: checkpoint.retired_stats,
+            stats_mark: checkpoint.stats_mark,
+            epoch_trace: Vec::new(),
+            epoch_online: Vec::new(),
+            epoch_idx: checkpoint.epoch_idx,
+            phase_idx: checkpoint.phase_idx,
+            remaining_in_phase: checkpoint.remaining_in_phase,
+            phase_start: checkpoint.phase_start,
+            epochs: checkpoint.epochs,
+            phases: checkpoint.phases,
+            spec: checkpoint.spec,
+            net,
+        }
+    }
+
+    /// The report of everything run so far (a complete run's report once
+    /// [`Session::step_epoch`] has returned `None`): per-phase and
+    /// per-epoch summaries, cumulative online congestion, and the
+    /// hindsight (static nibble on the aggregate matrix) comparison.
+    pub fn report(&self) -> ScenarioReport {
+        self.assemble_report(self.spec.name.clone(), self.phases.clone(), self.epochs.clone())
+    }
+
+    /// [`Session::report`], consuming the session — the summary vectors
+    /// and name move instead of being cloned, so finishing a long
+    /// streaming run costs no copy of its epoch history.
+    pub fn into_report(mut self) -> ScenarioReport {
+        let name = std::mem::take(&mut self.spec.name);
+        let phases = std::mem::take(&mut self.phases);
+        let epochs = std::mem::take(&mut self.epochs);
+        self.assemble_report(name, phases, epochs)
+    }
+
+    /// The shared report assembly behind [`Session::report`] (cloned
+    /// summaries) and [`Session::into_report`] (moved summaries).
+    fn assemble_report(
+        &self,
+        name: String,
+        phases: Vec<PhaseSummary>,
+        epochs: Vec<EpochSummary>,
+    ) -> ScenarioReport {
+        let online_congestion = self.cum.congestion(&self.net).congestion;
+        let hindsight_placement = nibble_placement(&self.net, &self.aggregate);
+        let hindsight_congestion =
+            LoadMap::from_placement(&self.net, &self.aggregate, &hindsight_placement)
+                .congestion(&self.net)
+                .congestion;
+        let mut traffic = TrafficCounters::default();
+        for e in &epochs {
+            traffic += e.traffic;
+        }
+        ScenarioReport {
+            name,
+            topology: self.spec.topology.to_string(),
+            strategy: self.strategy.label(),
+            seed: self.spec.seed,
+            traffic,
+            total_makespan: epochs.iter().map(|e| e.makespan).sum(),
+            phases,
+            epochs,
+            online_congestion,
+            hindsight_congestion,
+            competitive_ratio: online_congestion.ratio_to(hindsight_congestion),
+            stats: self.retired_stats.merge(self.strategy.stats()),
+        }
+    }
+}

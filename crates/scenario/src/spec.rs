@@ -1,5 +1,7 @@
 //! Declarative scenario specifications.
 
+use std::fmt;
+
 use hbn_sim::SimConfig;
 use hbn_topology::generators::{balanced, caterpillar, star, BandwidthProfile};
 use hbn_topology::{Bandwidth, Network};
@@ -56,19 +58,29 @@ impl TopologyFamily {
         }
     }
 
-    /// A compact human-readable label, e.g. `balanced(3,2)`.
+    /// A compact human-readable label, e.g. `balanced(3,2)` — the
+    /// [`fmt::Display`] form. Reports and benchmark cells are labelled
+    /// through this single path, so they cannot drift from the spec.
     pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for TopologyFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             TopologyFamily::Balanced { branching, height } => {
-                format!("balanced({branching},{height})")
+                write!(f, "balanced({branching},{height})")
             }
             TopologyFamily::FatBalanced { branching, height } => {
-                format!("fat-balanced({branching},{height})")
+                write!(f, "fat-balanced({branching},{height})")
             }
             TopologyFamily::Star { processors, bus_bandwidth } => {
-                format!("star({processors},b={bus_bandwidth})")
+                write!(f, "star({processors},b={bus_bandwidth})")
             }
-            TopologyFamily::Caterpillar { spine, legs } => format!("caterpillar({spine},{legs})"),
+            TopologyFamily::Caterpillar { spine, legs } => {
+                write!(f, "caterpillar({spine},{legs})")
+            }
         }
     }
 }
@@ -82,6 +94,15 @@ pub enum ReplayKernel {
     /// The naive [`hbn_sim::simulate_reference`] kernel — used by the
     /// differential suite to pin the engine's replay summaries.
     Reference,
+}
+
+impl fmt::Display for ReplayKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReplayKernel::Workspace => "workspace",
+            ReplayKernel::Reference => "reference",
+        })
+    }
 }
 
 /// Which online-strategy kernel serves the request stream.
@@ -98,30 +119,109 @@ pub enum ServeKernel {
     Reference,
 }
 
-/// Which data-management strategy serves the scenario's request stream —
-/// the comparison axis of `exp_strategy_matrix` (EXP-STRAT): the paper's
-/// *static* extended-nibble pipeline against the *dynamic*
-/// read-replicate / write-collapse strategy, and a hybrid of the two.
+impl fmt::Display for ServeKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServeKernel::Workspace => "workspace",
+            ServeKernel::Reference => "reference",
+        })
+    }
+}
+
+/// How a scenario *executes* — everything about kernels, sharding, the
+/// replication charge unit and the simulator, as opposed to *what* runs
+/// (topology, schedule, strategy). One `ExecutionConfig` is threaded by
+/// reference through the session driver and into strategy constructors,
+/// replacing the former by-value `ServeKernel`/`ReplayKernel` plumbing
+/// through private helpers.
 ///
-/// All three charge traffic to the same per-edge load model, so their
-/// online congestion, migration cost and competitive ratio (against the
-/// hindsight nibble placement) are directly comparable. Epoch indices
-/// below are global across the schedule's phases.
+/// ```
+/// use hbn_scenario::ExecutionConfig;
+///
+/// let exec = ExecutionConfig { threshold: 3, ..ExecutionConfig::default() };
+/// assert_eq!(exec.kernel_label(), "workspace");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionConfig {
+    /// Replication threshold `D` of the online strategy (object size in
+    /// requests). Static-model strategies charge migrated copies at the
+    /// same `D` per edge crossed.
+    pub threshold: u64,
+    /// Which online-strategy kernel serves the stream (ignored by
+    /// strategies that serve through a static placement rather than a
+    /// dynamic tree).
+    pub serve: ServeKernel,
+    /// Which simulator kernel replays the epochs.
+    pub replay: ReplayKernel,
+    /// Object shards the serve loop (and the batch placement kernel)
+    /// fans out over; objects are independent, so per-shard outcomes
+    /// merge exactly. `0` picks the rayon worker count;
+    /// [`ServeKernel::Reference`] always serves unsharded. Reports are
+    /// bit-for-bit identical for every shard count.
+    pub serve_shards: usize,
+    /// Simulator configuration for the replays.
+    pub sim: SimConfig,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            threshold: 1,
+            serve: ServeKernel::default(),
+            replay: ReplayKernel::default(),
+            serve_shards: 0,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+impl ExecutionConfig {
+    /// A compact label of the kernel pair driving the run (recorded in
+    /// benchmark cells so they are self-describing): `workspace` or
+    /// `reference` when serve and replay kernels match, the explicit
+    /// pair otherwise.
+    pub fn kernel_label(&self) -> String {
+        match (self.serve, self.replay) {
+            (ServeKernel::Workspace, ReplayKernel::Workspace) => "workspace".into(),
+            (ServeKernel::Reference, ReplayKernel::Reference) => "reference".into(),
+            (serve, replay) => format!("serve={serve}/replay={replay}"),
+        }
+    }
+}
+
+/// Which *built-in* data-management strategy serves the scenario's
+/// request stream — the serde-facing, matrix-friendly constructor layer
+/// over the open [`crate::Strategy`] trait: the paper's *static*
+/// extended-nibble pipeline against the *dynamic* read-replicate /
+/// write-collapse strategy, and a hybrid of the two.
+///
+/// Each kind builds ([`StrategyKind::build`]) the matching public
+/// strategy struct ([`crate::DynamicStrategy`], [`crate::PeriodicStatic`],
+/// [`crate::HybridReseed`]); policies beyond these three — e.g.
+/// [`crate::FrozenStatic`] or [`crate::ThresholdSwitch`] — implement
+/// [`crate::Strategy`] directly and run through
+/// [`crate::Session::with_strategy`] or [`crate::run_scenario_with`].
+///
+/// All strategies charge traffic to the same per-edge load model, so
+/// their online congestion, migration cost and competitive ratio
+/// (against the hindsight nibble placement) are directly comparable.
+/// Epoch indices below are global across the schedule's phases.
 ///
 /// ```
 /// use hbn_scenario::{run_scenario, ScenarioSpec, StrategyKind, TopologyFamily};
 /// use hbn_workload::phases::full_tour;
 ///
 /// // The same scenario (a small balanced topology, six phases of 60
-/// // requests) served under all three strategy kinds.
-/// let mut spec = ScenarioSpec::new(
+/// // requests) served under all three built-in strategy kinds.
+/// let mut spec = ScenarioSpec::builder(
 ///     "strategies",
 ///     TopologyFamily::Balanced { branching: 2, height: 2 },
 ///     full_tour(6, 60),
-///     2,
-///     11,
-/// );
-/// spec.epoch_requests = 30; // two replay epochs per phase
+/// )
+/// .threshold(2)
+/// .seed(11)
+/// .epoch_requests(30) // two replay epochs per phase
+/// .build();
 ///
 /// for strategy in [
 ///     StrategyKind::Dynamic,
@@ -132,8 +232,8 @@ pub enum ServeKernel {
 ///     let report = run_scenario(&spec);
 ///     // Every strategy serves the full stream and is replayed epoch by
 ///     // epoch on the simulator.
-///     assert_eq!(report.total_requests, 360);
-///     assert_eq!(report.strategy, strategy.label());
+///     assert_eq!(report.traffic.requests, 360);
+///     assert_eq!(report.strategy, strategy.to_string());
 ///     assert!(report.competitive_ratio.is_some());
 /// }
 /// ```
@@ -177,45 +277,33 @@ pub enum StrategyKind {
 
 impl StrategyKind {
     /// A compact label, e.g. `dynamic`, `periodic-static(4)`,
-    /// `periodic-static(inf)` or `hybrid(once)` (recorded in benchmark
-    /// cells and reports).
+    /// `periodic-static(inf)` or `hybrid(once)` — the [`fmt::Display`]
+    /// form, recorded in benchmark cells and reports.
     pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            StrategyKind::Dynamic => "dynamic".into(),
+            StrategyKind::Dynamic => f.write_str("dynamic"),
             StrategyKind::PeriodicStatic { replace_every_epochs: 0 } => {
-                "periodic-static(inf)".into()
+                f.write_str("periodic-static(inf)")
             }
             StrategyKind::PeriodicStatic { replace_every_epochs } => {
-                format!("periodic-static({replace_every_epochs})")
+                write!(f, "periodic-static({replace_every_epochs})")
             }
-            StrategyKind::Hybrid { reseed_every_epochs: 0 } => "hybrid(once)".into(),
+            StrategyKind::Hybrid { reseed_every_epochs: 0 } => f.write_str("hybrid(once)"),
             StrategyKind::Hybrid { reseed_every_epochs } => {
-                format!("hybrid({reseed_every_epochs})")
-            }
-        }
-    }
-
-    /// Whether a strategy boundary (re-optimization / re-seed) falls at
-    /// the start of global epoch `epoch_idx`.
-    pub(crate) fn is_boundary(&self, epoch_idx: usize) -> bool {
-        match *self {
-            StrategyKind::Dynamic => false,
-            StrategyKind::PeriodicStatic { replace_every_epochs: k } => {
-                epoch_idx > 0 && k > 0 && epoch_idx.is_multiple_of(k)
-            }
-            StrategyKind::Hybrid { reseed_every_epochs: k } => {
-                if k == 0 {
-                    epoch_idx == 1
-                } else {
-                    epoch_idx > 0 && epoch_idx.is_multiple_of(k)
-                }
+                write!(f, "hybrid({reseed_every_epochs})")
             }
         }
     }
 }
 
-/// A complete scenario: topology, phase-scheduled workload, online
-/// strategy parameters and replay configuration.
+/// A complete scenario: topology, phase-scheduled workload, strategy
+/// selection and execution configuration.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
     /// Scenario name (reported in summaries and benchmark documents).
@@ -224,34 +312,22 @@ pub struct ScenarioSpec {
     pub topology: TopologyFamily,
     /// The phase schedule driving the request stream.
     pub schedule: PhaseSchedule,
-    /// Which data-management strategy serves the stream.
+    /// Which built-in data-management strategy serves the stream (the
+    /// open-ended alternative is [`crate::Session::with_strategy`]).
     pub strategy: StrategyKind,
-    /// Replication threshold `D` of the online strategy (object size in
-    /// requests). The static and hybrid strategies charge migrated
-    /// copies at the same `D`.
-    pub threshold: u64,
     /// Stream seed; [`crate::run_scenario_sharded`] overrides it per shard.
     pub seed: u64,
     /// Requests per replay epoch; `0` replays each phase as one epoch.
     pub epoch_requests: usize,
-    /// Which simulator kernel replays the epochs.
-    pub kernel: ReplayKernel,
-    /// Which online-strategy kernel serves the stream (ignored by
-    /// [`StrategyKind::PeriodicStatic`], which serves through the static
-    /// placement rather than a dynamic tree).
-    pub serve: ServeKernel,
-    /// Object shards the serve loop fans out over (objects are
-    /// independent; per-shard loads merge exactly). `0` picks the rayon
-    /// worker count; [`ServeKernel::Reference`] always runs unsharded.
-    /// Reports are bit-for-bit identical for every shard count.
-    pub serve_shards: usize,
-    /// Simulator configuration for the replays.
-    pub sim: SimConfig,
+    /// How the scenario executes: kernels, shard counts, the `D`
+    /// threshold and the simulator configuration.
+    pub exec: ExecutionConfig,
 }
 
 impl ScenarioSpec {
     /// A scenario with the default epoch granularity (one epoch per
-    /// phase), the workspace kernel and default simulator configuration.
+    /// phase), the workspace kernels and default simulator configuration.
+    /// [`ScenarioSpec::builder`] is the fluent form covering every knob.
     pub fn new(
         name: impl Into<String>,
         topology: TopologyFamily,
@@ -259,46 +335,137 @@ impl ScenarioSpec {
         threshold: u64,
         seed: u64,
     ) -> Self {
-        ScenarioSpec {
-            name: name.into(),
-            topology,
-            schedule,
-            strategy: StrategyKind::default(),
-            threshold,
-            seed,
-            epoch_requests: 0,
-            kernel: ReplayKernel::default(),
-            serve: ServeKernel::default(),
-            serve_shards: 0,
-            sim: SimConfig::default(),
+        ScenarioSpec::builder(name, topology, schedule).threshold(threshold).seed(seed).build()
+    }
+
+    /// Start building a scenario from the three mandatory inputs; every
+    /// other knob has a default and its own builder method.
+    ///
+    /// ```
+    /// use hbn_scenario::{ReplayKernel, ScenarioSpec, ServeKernel, StrategyKind, TopologyFamily};
+    /// use hbn_workload::phases::full_tour;
+    ///
+    /// let spec = ScenarioSpec::builder(
+    ///     "tour",
+    ///     TopologyFamily::Balanced { branching: 3, height: 2 },
+    ///     full_tour(8, 100),
+    /// )
+    /// .threshold(2)
+    /// .seed(7)
+    /// .strategy(StrategyKind::Hybrid { reseed_every_epochs: 4 })
+    /// .epoch_requests(50)
+    /// .serve_kernel(ServeKernel::Workspace)
+    /// .replay_kernel(ReplayKernel::Workspace)
+    /// .serve_shards(2)
+    /// .build();
+    /// assert_eq!(spec.exec.threshold, 2);
+    /// assert_eq!(spec.label(), "tour@balanced(3,2)@hybrid(4)");
+    /// ```
+    pub fn builder(
+        name: impl Into<String>,
+        topology: TopologyFamily,
+        schedule: PhaseSchedule,
+    ) -> ScenarioSpecBuilder {
+        ScenarioSpecBuilder {
+            spec: ScenarioSpec {
+                name: name.into(),
+                topology,
+                schedule,
+                strategy: StrategyKind::default(),
+                seed: 0,
+                epoch_requests: 0,
+                exec: ExecutionConfig::default(),
+            },
         }
     }
 
-    /// A compact label of the kernel pair driving this spec (recorded in
-    /// benchmark cells so they are self-describing), e.g. `workspace` when
-    /// both the serve and replay kernels are the production ones.
+    /// The canonical `name@topology@strategy` label of this spec, built
+    /// from the same [`fmt::Display`] impls that label reports — one
+    /// derivation path, so labels cannot drift from spec fields.
+    pub fn label(&self) -> String {
+        format!("{}@{}@{}", self.name, self.topology, self.strategy)
+    }
+
+    /// A compact label of the kernel pair driving this spec — see
+    /// [`ExecutionConfig::kernel_label`].
     pub fn kernel_label(&self) -> String {
-        match (self.serve, self.kernel) {
-            (ServeKernel::Workspace, ReplayKernel::Workspace) => "workspace".into(),
-            (ServeKernel::Reference, ReplayKernel::Reference) => "reference".into(),
-            (serve, replay) => format!(
-                "serve={}/replay={}",
-                match serve {
-                    ServeKernel::Workspace => "workspace",
-                    ServeKernel::Reference => "reference",
-                },
-                match replay {
-                    ReplayKernel::Workspace => "workspace",
-                    ReplayKernel::Reference => "reference",
-                }
-            ),
-        }
+        self.exec.kernel_label()
+    }
+}
+
+/// Fluent builder returned by [`ScenarioSpec::builder`].
+#[derive(Debug, Clone)]
+pub struct ScenarioSpecBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioSpecBuilder {
+    /// Which built-in strategy serves the stream.
+    pub fn strategy(mut self, strategy: StrategyKind) -> Self {
+        self.spec.strategy = strategy;
+        self
+    }
+
+    /// Replication / migration charge threshold `D` (default 1).
+    pub fn threshold(mut self, threshold: u64) -> Self {
+        self.spec.exec.threshold = threshold;
+        self
+    }
+
+    /// Stream seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Requests per replay epoch; `0` (default) replays each phase as
+    /// one epoch.
+    pub fn epoch_requests(mut self, epoch_requests: usize) -> Self {
+        self.spec.epoch_requests = epoch_requests;
+        self
+    }
+
+    /// Which online-strategy kernel serves the stream.
+    pub fn serve_kernel(mut self, serve: ServeKernel) -> Self {
+        self.spec.exec.serve = serve;
+        self
+    }
+
+    /// Which simulator kernel replays the epochs.
+    pub fn replay_kernel(mut self, replay: ReplayKernel) -> Self {
+        self.spec.exec.replay = replay;
+        self
+    }
+
+    /// Object shards for the serve loop and batch placement kernel
+    /// (`0` = rayon worker count).
+    pub fn serve_shards(mut self, serve_shards: usize) -> Self {
+        self.spec.exec.serve_shards = serve_shards;
+        self
+    }
+
+    /// Simulator configuration for the replays.
+    pub fn sim(mut self, sim: hbn_sim::SimConfig) -> Self {
+        self.spec.exec.sim = sim;
+        self
+    }
+
+    /// Replace the whole execution configuration at once.
+    pub fn execution(mut self, exec: ExecutionConfig) -> Self {
+        self.spec.exec = exec;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ScenarioSpec {
+        self.spec
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hbn_workload::phases::full_tour;
 
     #[test]
     fn families_build_and_label() {
@@ -310,8 +477,44 @@ mod tests {
         ] {
             let net = family.build();
             net.check_invariants().unwrap();
-            assert!(net.n_processors() >= 2, "{}", family.label());
-            assert!(!family.label().is_empty());
+            assert!(net.n_processors() >= 2, "{family}");
+            // `label()` and `Display` are a single path by construction.
+            assert_eq!(family.label(), family.to_string());
         }
+    }
+
+    #[test]
+    fn builder_defaults_match_positional_new() {
+        let a = ScenarioSpec::new(
+            "x",
+            TopologyFamily::Star { processors: 4, bus_bandwidth: 2 },
+            full_tour(4, 40),
+            3,
+            9,
+        );
+        let b = ScenarioSpec::builder(
+            "x",
+            TopologyFamily::Star { processors: 4, bus_bandwidth: 2 },
+            full_tour(4, 40),
+        )
+        .threshold(3)
+        .seed(9)
+        .build();
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.exec.threshold, b.exec.threshold);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.strategy, b.strategy);
+        assert_eq!(a.kernel_label(), "workspace");
+        assert_eq!(a.label(), "x@star(4,b=2)@dynamic");
+    }
+
+    #[test]
+    fn kernel_labels_cover_mixed_pairs() {
+        let mut exec = ExecutionConfig::default();
+        assert_eq!(exec.kernel_label(), "workspace");
+        exec.serve = ServeKernel::Reference;
+        assert_eq!(exec.kernel_label(), "serve=reference/replay=workspace");
+        exec.replay = ReplayKernel::Reference;
+        assert_eq!(exec.kernel_label(), "reference");
     }
 }

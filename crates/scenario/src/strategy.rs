@@ -1,0 +1,935 @@
+//! The open strategy boundary of the scenario engine: the [`Strategy`]
+//! trait, the three built-in policies behind [`crate::StrategyKind`], and
+//! two policies only expressible through the trait.
+//!
+//! A strategy owns three things and nothing else: its **copy sets** (one
+//! per object), its **cumulative load map** (every unit of traffic it
+//! ever charged), and its **event counters** ([`DynamicStats`]). The
+//! [`crate::Session`] driver owns the clock, the request stream, the
+//! observed aggregate matrix and the replay machinery, and talks to the
+//! strategy only through this trait — see `DESIGN.md` §6.4 for the full
+//! state-ownership picture.
+//!
+//! The migration charge unit is shared by every policy:
+//! [`charged_migration`] routes new copies from their nearest old copy at
+//! `D` per edge crossed, the exact cost of a dynamic replication (which
+//! moves one copy one hop for `D`), so `migration_traffic =
+//! replications × D` holds identically across policies and the reported
+//! congestion numbers stay directly comparable.
+
+use crate::spec::{ExecutionConfig, ServeKernel, StrategyKind};
+use hbn_core::PlacementKernel;
+use hbn_dynamic::{DynamicStats, DynamicTree, OnlineRequest, ShardedDynamic};
+use hbn_load::{nearest_copy_map, LoadMap, Placement};
+use hbn_topology::{Network, NodeId};
+use hbn_workload::{AccessMatrix, ObjectId};
+
+/// A data-management policy the scenario [`crate::Session`] can drive.
+///
+/// The driver calls, per epoch: [`Strategy::begin_epoch`] (boundary
+/// decisions — re-optimization, re-seeding — from the traffic observed
+/// *before* the epoch), then [`Strategy::serve_batch`] with the epoch's
+/// requests, then [`Strategy::charge_service`] once the epoch's snapshot
+/// placement exists (static-model policies charge their service traffic
+/// there; online policies already charged per request). Between epochs it
+/// may read [`Strategy::copy_set`], [`Strategy::add_loads_to`] and
+/// [`Strategy::stats`], snapshot the whole policy with
+/// [`Strategy::snapshot`], or hand the copy sets to a successor via
+/// [`Strategy::adopt`] ([`crate::Session::swap_strategy`]).
+///
+/// The trait is object-safe; the driver holds a `Box<dyn Strategy>`.
+///
+/// # Write your own
+///
+/// A complete policy is small. Here is "one fixed home copy per object,
+/// all requests served along the tree path to it" — a lower baseline
+/// than anything the paper considers, in ~15 lines of logic:
+///
+/// ```
+/// use hbn_dynamic::{DynamicStats, OnlineRequest};
+/// use hbn_load::LoadMap;
+/// use hbn_scenario::{run_scenario_with, ScenarioSpec, Strategy, TopologyFamily};
+/// use hbn_topology::{Network, NodeId};
+/// use hbn_workload::phases::full_tour;
+///
+/// #[derive(Clone)]
+/// struct SingleHome { home: [NodeId; 1], loads: LoadMap, stats: DynamicStats }
+///
+/// impl Strategy for SingleHome {
+///     fn label(&self) -> String { "single-home".into() }
+///     fn begin_epoch(&mut self, _: &Network, _: usize, _: &hbn_workload::AccessMatrix) {}
+///     fn serve_batch(&mut self, net: &Network, trace: &[OnlineRequest],
+///                    _: &hbn_workload::AccessMatrix) {
+///         for req in trace {
+///             if req.is_write { self.stats.writes += 1 } else { self.stats.reads += 1 }
+///             for e in net.path_edges_iter(req.processor, self.home[0]) {
+///                 self.loads.add_edge(e, 1);
+///             }
+///         }
+///     }
+///     fn copy_set(&self, _: hbn_workload::ObjectId) -> &[NodeId] { &self.home }
+///     fn add_loads_to(&self, out: &mut LoadMap) { out.add_assign(&self.loads) }
+///     fn stats(&self) -> DynamicStats { self.stats }
+///     fn snapshot(&self) -> Box<dyn Strategy> { Box::new(self.clone()) }
+/// }
+///
+/// let spec = ScenarioSpec::new(
+///     "home", TopologyFamily::Balanced { branching: 2, height: 2 }, full_tour(4, 40), 1, 3);
+/// let report = run_scenario_with(&spec, |net, _exec, _n| {
+///     Box::new(SingleHome {
+///         home: [net.processors()[0]],
+///         loads: LoadMap::zero(net),
+///         stats: DynamicStats::default(),
+///     })
+/// });
+/// assert_eq!(report.strategy, "single-home");
+/// assert_eq!(report.traffic.requests, 240);
+/// ```
+pub trait Strategy: Send {
+    /// The label recorded in reports and benchmark cells.
+    fn label(&self) -> String;
+
+    /// Boundary work at the *start* of global epoch `epoch_idx`, before
+    /// the epoch's requests are drawn. `observed` is the cumulative
+    /// access matrix of everything served so far — re-optimizing
+    /// policies recompute placements from it; purely online policies
+    /// ignore it.
+    fn begin_epoch(&mut self, net: &Network, epoch_idx: usize, observed: &AccessMatrix);
+
+    /// Serve one epoch's requests, in trace order. `epoch_matrix` is the
+    /// frequency view of exactly `trace` (what a static policy serves
+    /// under the static load model).
+    fn serve_batch(&mut self, net: &Network, trace: &[OnlineRequest], epoch_matrix: &AccessMatrix);
+
+    /// Charge the epoch's service loads (the strategy's snapshot
+    /// placement serving the epoch matrix). Static-model policies
+    /// accumulate this; online policies, which charged per request in
+    /// [`Strategy::serve_batch`], keep the default no-op.
+    fn charge_service(&mut self, placement_loads: &LoadMap) {
+        let _ = placement_loads;
+    }
+
+    /// Current copy nodes of `x` (empty if the object has never been
+    /// placed or touched). The driver snapshots these per epoch into the
+    /// replay placement.
+    fn copy_set(&self, x: ObjectId) -> &[NodeId];
+
+    /// Sum the strategy's cumulative charged loads into `out` (on top of
+    /// what `out` already holds).
+    fn add_loads_to(&self, out: &mut LoadMap);
+
+    /// Event counters: requests served, `D`-sized data movements
+    /// (`replications`), copies dropped (`collapses`).
+    fn stats(&self) -> DynamicStats;
+
+    /// Take over from `prior` at a strategy swap
+    /// ([`crate::Session::swap_strategy`]): inherit its copy sets as the
+    /// starting configuration, free of charge (the successor's own
+    /// [`Strategy::begin_epoch`] decides whether — and at what migration
+    /// cost — to move away from them). The default inherits nothing.
+    fn adopt(&mut self, net: &Network, prior: &dyn Strategy, max_objects: usize) {
+        let _ = (net, prior, max_objects);
+    }
+
+    /// A deep copy of the full policy state, for
+    /// [`crate::Session::checkpoint`]: driving the snapshot forward must
+    /// reproduce the original bit for bit.
+    fn snapshot(&self) -> Box<dyn Strategy>;
+}
+
+/// Charge the migration of one object's copy set from `old` to `new`:
+/// every copy in `new ∖ old` fetches a `D`-sized replica along the tree
+/// path from its nearest source copy, paying `D` on each edge crossed —
+/// the same unit as a dynamic replication, which moves one copy one hop
+/// for `D`. Sources are the old set when it is non-empty; otherwise the
+/// first new copy is the free materialization (mirroring the dynamic
+/// strategy's free first touch) and sources the rest. Returns the number
+/// of `D`-sized edge transfers charged, so the caller's
+/// `replications × D` accounting identity matches the load actually
+/// added here.
+///
+/// This is *the* migration charge unit of the engine — every
+/// re-optimizing [`Strategy`] routes its copy-set deltas through it so
+/// migration traffic stays comparable across policies.
+///
+/// ```
+/// use hbn_load::LoadMap;
+/// use hbn_scenario::charged_migration;
+/// use hbn_topology::generators::{balanced, BandwidthProfile};
+///
+/// let net = balanced(2, 2, BandwidthProfile::Uniform);
+/// let p = net.processors();
+/// let mut loads = LoadMap::zero(&net);
+/// // Moving a copy from p[0] to sibling p[1] crosses their shared bus:
+/// // two edges, at D = 3 each.
+/// let transfers = charged_migration(&net, &[p[0]], &[p[1]], 3, &mut loads);
+/// assert_eq!(transfers, 2);
+/// assert_eq!(loads.total(), 6);
+/// ```
+pub fn charged_migration(
+    net: &Network,
+    old: &[NodeId],
+    new: &[NodeId],
+    d: u64,
+    loads: &mut LoadMap,
+) -> u64 {
+    if new.is_empty() || new.iter().all(|v| old.contains(v)) {
+        return 0;
+    }
+    // Boundary-rate cold path (once per object per re-optimization, not
+    // per request): the BFS map below allocates O(|V|), which is fine at
+    // this rate; the hot epoch loop stays on preallocated accumulators.
+    let free_seed = [new[0]];
+    let sources: &[NodeId] = if old.is_empty() { &free_seed } else { old };
+    let nearest = nearest_copy_map(net, sources);
+    let mut transfers = 0;
+    for &v in new {
+        if old.contains(&v) || (old.is_empty() && v == new[0]) {
+            continue;
+        }
+        for e in net.path_edges_iter(v, nearest[v.index()]) {
+            loads.add_edge(e, d);
+            transfers += 1;
+        }
+    }
+    transfers
+}
+
+/// The connected closure of a copy set: the union of the tree paths from
+/// every node to the first one. Seeding a dynamic tree requires a
+/// connected replica subtree (its structural invariant), but an adopted
+/// static placement is leaf-only — the closure is the smallest connected
+/// superset anchored at `nodes[0]`.
+fn connected_closure(net: &Network, nodes: &[NodeId]) -> Vec<NodeId> {
+    let anchor = nodes[0];
+    let mut out: Vec<NodeId> = Vec::new();
+    for &v in nodes {
+        for u in net.path_nodes_iter(v, anchor) {
+            if !out.contains(&u) {
+                out.push(u);
+            }
+        }
+    }
+    // `path_nodes_iter(anchor, anchor)` emitted the anchor first, so
+    // `out[0] == anchor` and the set is connected through it.
+    out
+}
+
+/// The dynamic-strategy serve kernel of one run: the object-sharded
+/// workspace kernel ([`hbn_dynamic::ShardedDynamic`]) or the unsharded
+/// naive reference kernel.
+#[derive(Debug, Clone)]
+pub(crate) enum DynKernel {
+    Sharded(ShardedDynamic),
+    Reference(DynamicTree),
+}
+
+impl DynKernel {
+    pub(crate) fn new(net: &Network, exec: &ExecutionConfig, max_objects: usize) -> DynKernel {
+        match exec.serve {
+            ServeKernel::Workspace => DynKernel::Sharded(ShardedDynamic::new(
+                net,
+                max_objects,
+                exec.threshold,
+                exec.serve_shards,
+            )),
+            // The reference kernel is the unsharded timing/semantics
+            // baseline.
+            ServeKernel::Reference => {
+                DynKernel::Reference(DynamicTree::new(net, max_objects, exec.threshold))
+            }
+        }
+    }
+
+    /// Serve one epoch's requests, in trace order.
+    fn serve_trace(&mut self, net: &Network, trace: &[OnlineRequest]) {
+        match self {
+            DynKernel::Sharded(sharded) => sharded.serve_trace(net, trace),
+            DynKernel::Reference(tree) => {
+                for &req in trace {
+                    tree.serve_reference(net, req);
+                }
+            }
+        }
+    }
+
+    /// Current copy nodes of `x`.
+    fn replicas(&self, x: ObjectId) -> &[NodeId] {
+        match self {
+            DynKernel::Sharded(sharded) => sharded.replicas(x),
+            DynKernel::Reference(tree) => tree.replicas(x),
+        }
+    }
+
+    /// Replace the replica set of `x` (hybrid seeding).
+    fn seed_replicas(&mut self, net: &Network, x: ObjectId, nodes: &[NodeId]) {
+        match self {
+            DynKernel::Sharded(sharded) => sharded.seed_replicas(net, x, nodes),
+            DynKernel::Reference(tree) => tree.seed_replicas(net, x, nodes),
+        }
+    }
+
+    /// Sum the cumulative loads into `out` (on top of what it holds).
+    fn add_loads_to(&self, out: &mut LoadMap) {
+        match self {
+            DynKernel::Sharded(sharded) => sharded.add_loads_to(out),
+            DynKernel::Reference(tree) => out.add_assign(tree.loads()),
+        }
+    }
+
+    /// Event counters.
+    fn stats(&self) -> DynamicStats {
+        match self {
+            DynKernel::Sharded(sharded) => sharded.stats(),
+            DynKernel::Reference(tree) => tree.stats(),
+        }
+    }
+
+    /// Adopt a predecessor's copy sets: each non-empty set is seeded as
+    /// its connected closure (the dynamic tree's structural invariant).
+    fn adopt(&mut self, net: &Network, prior: &dyn Strategy, max_objects: usize) {
+        for i in 0..max_objects {
+            let x = ObjectId(i as u32);
+            let copies = prior.copy_set(x);
+            if !copies.is_empty() {
+                let closure = connected_closure(net, copies);
+                self.seed_replicas(net, x, &closure);
+            }
+        }
+    }
+}
+
+/// The static-model serving core shared by every placement-holding
+/// policy: the current copy sets, the cumulative loads and the event
+/// counters. `replications` counts `D`-sized migration edge transfers
+/// (the dynamic kernel's unit) and `collapses` dropped copies.
+#[derive(Debug, Clone)]
+struct StaticCore {
+    /// Current copy sets (assignments are rebuilt per epoch from the
+    /// epoch's frequency matrix).
+    copies: Placement,
+    loads: LoadMap,
+    stats: DynamicStats,
+    /// Whether a placement exists (bootstrap or adopted).
+    placed: bool,
+}
+
+impl StaticCore {
+    fn new(net: &Network, max_objects: usize) -> StaticCore {
+        StaticCore {
+            copies: Placement::new(max_objects),
+            loads: LoadMap::zero(net),
+            stats: DynamicStats::default(),
+            placed: false,
+        }
+    }
+
+    /// Serve one epoch under the static model: compute the bootstrap
+    /// placement on the first epoch (free — the strategy's starting
+    /// configuration), materialize unseen objects at their first
+    /// requester (free, like the dynamic first touch) and count the
+    /// requests. Service loads are charged later via `charge_service`,
+    /// once the epoch's snapshot placement exists.
+    fn serve_batch(
+        &mut self,
+        net: &Network,
+        kernel: &mut PlacementKernel,
+        trace: &[OnlineRequest],
+        epoch_matrix: &AccessMatrix,
+    ) {
+        if !self.placed {
+            let outcome = kernel.place(net, epoch_matrix).expect("static bootstrap failed");
+            self.copies = outcome.placement;
+            self.placed = true;
+        }
+        for req in trace {
+            if self.copies.copies(req.object).is_empty() {
+                self.copies.add_copy(req.object, req.processor);
+            }
+            if req.is_write {
+                self.stats.writes += 1;
+            } else {
+                self.stats.reads += 1;
+            }
+        }
+    }
+
+    /// Replace the copy sets with a freshly optimized placement, charging
+    /// the copy-set delta of every observed object from its nearest old
+    /// copy at `D` per edge crossed ([`charged_migration`]) and counting
+    /// dropped copies as collapses.
+    fn refit(&mut self, net: &Network, observed: &AccessMatrix, new_placement: Placement, d: u64) {
+        for x in observed.objects() {
+            if observed.total_weight(x) == 0 {
+                continue;
+            }
+            let new = new_placement.copies(x);
+            let old = self.copies.copies(x);
+            self.stats.replications += charged_migration(net, old, new, d, &mut self.loads);
+            self.stats.collapses += old.iter().filter(|v| !new.contains(v)).count() as u64;
+        }
+        self.copies = new_placement;
+        self.placed = true;
+    }
+
+    /// Inherit a predecessor's copy sets verbatim, free of charge.
+    fn adopt(&mut self, prior: &dyn Strategy, max_objects: usize) {
+        for i in 0..max_objects {
+            let x = ObjectId(i as u32);
+            let copies = prior.copy_set(x);
+            if !copies.is_empty() {
+                self.copies.set_copies(x, copies.to_vec());
+            }
+        }
+        self.placed = true;
+    }
+}
+
+/// The online read-replicate / write-collapse strategy
+/// ([`StrategyKind::Dynamic`] as a public struct): every request is
+/// served by the dynamic tree kernel, migration cost is the `D`-sized
+/// replications the kernel performs.
+#[derive(Debug, Clone)]
+pub struct DynamicStrategy {
+    kernel: DynKernel,
+}
+
+impl DynamicStrategy {
+    /// A fresh dynamic strategy on `net` for `max_objects` objects,
+    /// using the serve kernel and shard count of `exec`.
+    ///
+    /// ```
+    /// use hbn_scenario::{DynamicStrategy, ExecutionConfig, Strategy};
+    /// use hbn_topology::generators::star;
+    ///
+    /// let net = star(4, 2);
+    /// let strategy = DynamicStrategy::new(&net, &ExecutionConfig::default(), 8);
+    /// assert_eq!(strategy.label(), "dynamic");
+    /// ```
+    pub fn new(net: &Network, exec: &ExecutionConfig, max_objects: usize) -> DynamicStrategy {
+        DynamicStrategy { kernel: DynKernel::new(net, exec, max_objects) }
+    }
+}
+
+impl Strategy for DynamicStrategy {
+    fn label(&self) -> String {
+        StrategyKind::Dynamic.to_string()
+    }
+
+    fn begin_epoch(&mut self, _net: &Network, _epoch_idx: usize, _observed: &AccessMatrix) {}
+
+    fn serve_batch(&mut self, net: &Network, trace: &[OnlineRequest], _matrix: &AccessMatrix) {
+        self.kernel.serve_trace(net, trace);
+    }
+
+    fn copy_set(&self, x: ObjectId) -> &[NodeId] {
+        self.kernel.replicas(x)
+    }
+
+    fn add_loads_to(&self, out: &mut LoadMap) {
+        self.kernel.add_loads_to(out);
+    }
+
+    fn stats(&self) -> DynamicStats {
+        self.kernel.stats()
+    }
+
+    fn adopt(&mut self, net: &Network, prior: &dyn Strategy, max_objects: usize) {
+        self.kernel.adopt(net, prior, max_objects);
+    }
+
+    fn snapshot(&self) -> Box<dyn Strategy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Periodic static re-optimization
+/// ([`StrategyKind::PeriodicStatic`] as a public struct): the batched
+/// extended-nibble kernel recomputes the placement from the observed
+/// aggregate matrix at firing epochs, and the placement serves each
+/// epoch's traffic under the static load model.
+#[derive(Debug, Clone)]
+pub struct PeriodicStatic {
+    core: StaticCore,
+    kernel: PlacementKernel,
+    threshold: u64,
+    /// Re-optimize every this many epochs (`0` = never).
+    replace_every_epochs: usize,
+    /// With `Some(k)`, the first firing is pinned to global epoch `k`
+    /// (then every `replace_every_epochs` after, if non-zero) — the form
+    /// a mid-run [`crate::Session::swap_strategy`] uses so the incoming
+    /// policy fires immediately on the traffic observed by its
+    /// predecessor.
+    first_fire: Option<usize>,
+}
+
+impl PeriodicStatic {
+    /// The standard periodic rule: re-optimize at the start of every
+    /// epoch `e > 0` with `e % replace_every_epochs == 0` (`0` = never —
+    /// a single up-front bootstrap placement).
+    ///
+    /// ```
+    /// use hbn_scenario::{ExecutionConfig, PeriodicStatic, Strategy};
+    /// use hbn_topology::generators::star;
+    ///
+    /// let net = star(4, 2);
+    /// let exec = ExecutionConfig { threshold: 2, ..ExecutionConfig::default() };
+    /// assert_eq!(PeriodicStatic::new(&net, &exec, 8, 4).label(), "periodic-static(4)");
+    /// assert_eq!(PeriodicStatic::new(&net, &exec, 8, 0).label(), "periodic-static(inf)");
+    /// ```
+    pub fn new(
+        net: &Network,
+        exec: &ExecutionConfig,
+        max_objects: usize,
+        replace_every_epochs: usize,
+    ) -> PeriodicStatic {
+        PeriodicStatic {
+            core: StaticCore::new(net, max_objects),
+            kernel: PlacementKernel::new(net, exec.serve_shards),
+            threshold: exec.threshold,
+            replace_every_epochs,
+            first_fire: None,
+        }
+    }
+
+    /// A periodic-static strategy whose *first* firing is pinned to
+    /// global epoch `first_fire > 0`, then every `replace_every_epochs`
+    /// after it (`0` = fire exactly once). Built for
+    /// [`crate::Session::swap_strategy`]: swapped in after `k` epochs
+    /// with `first_fire = k`, it re-optimizes immediately from the
+    /// traffic its predecessor observed, charging the copy-set delta
+    /// from the predecessor's (adopted) copies.
+    pub fn with_first_fire(
+        net: &Network,
+        exec: &ExecutionConfig,
+        max_objects: usize,
+        first_fire: usize,
+        replace_every_epochs: usize,
+    ) -> PeriodicStatic {
+        assert!(first_fire > 0, "the first firing must come after an observation epoch");
+        PeriodicStatic {
+            first_fire: Some(first_fire),
+            ..Self::new(net, exec, max_objects, replace_every_epochs)
+        }
+    }
+
+    /// Whether a re-optimization fires at the start of `epoch_idx`.
+    fn fires(&self, epoch_idx: usize) -> bool {
+        match self.first_fire {
+            None => {
+                let k = self.replace_every_epochs;
+                epoch_idx > 0 && k > 0 && epoch_idx.is_multiple_of(k)
+            }
+            Some(first) => {
+                let k = self.replace_every_epochs;
+                epoch_idx == first
+                    || (k > 0 && epoch_idx > first && (epoch_idx - first).is_multiple_of(k))
+            }
+        }
+    }
+}
+
+impl Strategy for PeriodicStatic {
+    fn label(&self) -> String {
+        match self.first_fire {
+            None => {
+                StrategyKind::PeriodicStatic { replace_every_epochs: self.replace_every_epochs }
+                    .to_string()
+            }
+            Some(first) if self.replace_every_epochs == 0 => {
+                format!("periodic-static(first={first},once)")
+            }
+            Some(first) => {
+                format!("periodic-static(first={first},every={})", self.replace_every_epochs)
+            }
+        }
+    }
+
+    fn begin_epoch(&mut self, net: &Network, epoch_idx: usize, observed: &AccessMatrix) {
+        if !self.fires(epoch_idx) {
+            return;
+        }
+        let outcome = self.kernel.place(net, observed).expect("static re-optimization failed");
+        self.core.refit(net, observed, outcome.placement, self.threshold);
+    }
+
+    fn serve_batch(&mut self, net: &Network, trace: &[OnlineRequest], epoch_matrix: &AccessMatrix) {
+        self.core.serve_batch(net, &mut self.kernel, trace, epoch_matrix);
+    }
+
+    fn charge_service(&mut self, placement_loads: &LoadMap) {
+        self.core.loads.add_assign(placement_loads);
+    }
+
+    fn copy_set(&self, x: ObjectId) -> &[NodeId] {
+        self.core.copies.copies(x)
+    }
+
+    fn add_loads_to(&self, out: &mut LoadMap) {
+        out.add_assign(&self.core.loads);
+    }
+
+    fn stats(&self) -> DynamicStats {
+        self.core.stats
+    }
+
+    fn adopt(&mut self, _net: &Network, prior: &dyn Strategy, max_objects: usize) {
+        self.core.adopt(prior, max_objects);
+    }
+
+    fn snapshot(&self) -> Box<dyn Strategy> {
+        Box::new(self.clone())
+    }
+}
+
+/// The dynamic strategy periodically re-seeded by the static pipeline
+/// ([`StrategyKind::Hybrid`] as a public struct): at re-seed boundaries
+/// the batch kernel runs on the observed matrix and each object's
+/// *nibble* copy set (connected by Theorem 3.1) replaces the dynamic
+/// tree's replica set, charged like a static migration; between
+/// boundaries requests are served online.
+#[derive(Debug, Clone)]
+pub struct HybridReseed {
+    dynamic: DynKernel,
+    kernel: PlacementKernel,
+    /// Migration charges of the re-seeds (the dynamic kernel owns its
+    /// own loads).
+    migration_loads: LoadMap,
+    /// Seeding counters: `replications` counts `D`-sized seeding edge
+    /// transfers, `collapses` copies dropped by a re-seed.
+    seed_stats: DynamicStats,
+    threshold: u64,
+    /// Re-seed every this many epochs (`0` = exactly once, at epoch 1).
+    reseed_every_epochs: usize,
+}
+
+impl HybridReseed {
+    /// A hybrid strategy re-seeding at the start of every epoch `e > 0`
+    /// with `e % reseed_every_epochs == 0` (`0` = seed exactly once, at
+    /// the start of epoch 1, after one epoch of observation).
+    ///
+    /// ```
+    /// use hbn_scenario::{ExecutionConfig, HybridReseed, Strategy};
+    /// use hbn_topology::generators::star;
+    ///
+    /// let net = star(4, 2);
+    /// let exec = ExecutionConfig::default();
+    /// assert_eq!(HybridReseed::new(&net, &exec, 8, 3).label(), "hybrid(3)");
+    /// ```
+    pub fn new(
+        net: &Network,
+        exec: &ExecutionConfig,
+        max_objects: usize,
+        reseed_every_epochs: usize,
+    ) -> HybridReseed {
+        HybridReseed {
+            dynamic: DynKernel::new(net, exec, max_objects),
+            kernel: PlacementKernel::new(net, exec.serve_shards),
+            migration_loads: LoadMap::zero(net),
+            seed_stats: DynamicStats::default(),
+            threshold: exec.threshold,
+            reseed_every_epochs,
+        }
+    }
+
+    fn fires(&self, epoch_idx: usize) -> bool {
+        let k = self.reseed_every_epochs;
+        if k == 0 {
+            epoch_idx == 1
+        } else {
+            epoch_idx > 0 && epoch_idx.is_multiple_of(k)
+        }
+    }
+}
+
+impl Strategy for HybridReseed {
+    fn label(&self) -> String {
+        StrategyKind::Hybrid { reseed_every_epochs: self.reseed_every_epochs }.to_string()
+    }
+
+    fn begin_epoch(&mut self, net: &Network, epoch_idx: usize, observed: &AccessMatrix) {
+        if !self.fires(epoch_idx) {
+            return;
+        }
+        let outcome = self.kernel.place(net, observed).expect("hybrid re-seed failed");
+        for x in observed.objects() {
+            // Seed with the *nibble* copy set: connected by Theorem 3.1,
+            // which is the dynamic strategy's structural invariant (the
+            // extended placement's leaf-only sets are not connected).
+            let seed = outcome.nibble_placement.copies(x);
+            if seed.is_empty() {
+                continue;
+            }
+            self.seed_stats.replications += charged_migration(
+                net,
+                self.dynamic.replicas(x),
+                seed,
+                self.threshold,
+                &mut self.migration_loads,
+            );
+            self.seed_stats.collapses +=
+                self.dynamic.replicas(x).iter().filter(|v| !seed.contains(v)).count() as u64;
+            self.dynamic.seed_replicas(net, x, seed);
+        }
+    }
+
+    fn serve_batch(&mut self, net: &Network, trace: &[OnlineRequest], _matrix: &AccessMatrix) {
+        self.dynamic.serve_trace(net, trace);
+    }
+
+    fn copy_set(&self, x: ObjectId) -> &[NodeId] {
+        self.dynamic.replicas(x)
+    }
+
+    fn add_loads_to(&self, out: &mut LoadMap) {
+        self.dynamic.add_loads_to(out);
+        out.add_assign(&self.migration_loads);
+    }
+
+    fn stats(&self) -> DynamicStats {
+        self.dynamic.stats().merge(self.seed_stats)
+    }
+
+    fn adopt(&mut self, net: &Network, prior: &dyn Strategy, max_objects: usize) {
+        self.dynamic.adopt(net, prior, max_objects);
+    }
+
+    fn snapshot(&self) -> Box<dyn Strategy> {
+        Box::new(self.clone())
+    }
+}
+
+/// The paper's pure static model as its own policy, only expressible
+/// through the [`Strategy`] trait: place once — the extended-nibble
+/// placement of the first epoch's traffic — and never re-optimize. No
+/// boundary machinery at all: migration traffic is identically zero, so
+/// any congestion it saves over [`PeriodicStatic`] is pure placement
+/// quality and any congestion it loses is staleness.
+///
+/// Behaviourally equal to `periodic-static(inf)` (pinned by the test
+/// suite), but implemented directly against the trait in ~40 lines — the
+/// proof that the boundary carries a whole policy.
+#[derive(Debug, Clone)]
+pub struct FrozenStatic {
+    core: StaticCore,
+    kernel: PlacementKernel,
+}
+
+impl FrozenStatic {
+    /// A frozen-static strategy on `net` for `max_objects` objects.
+    ///
+    /// ```
+    /// use hbn_scenario::{ExecutionConfig, FrozenStatic, Strategy};
+    /// use hbn_topology::generators::star;
+    ///
+    /// let net = star(4, 2);
+    /// let strategy = FrozenStatic::new(&net, &ExecutionConfig::default(), 8);
+    /// assert_eq!(strategy.label(), "frozen-static");
+    /// ```
+    pub fn new(net: &Network, exec: &ExecutionConfig, max_objects: usize) -> FrozenStatic {
+        FrozenStatic {
+            core: StaticCore::new(net, max_objects),
+            kernel: PlacementKernel::new(net, exec.serve_shards),
+        }
+    }
+}
+
+impl Strategy for FrozenStatic {
+    fn label(&self) -> String {
+        "frozen-static".into()
+    }
+
+    fn begin_epoch(&mut self, _net: &Network, _epoch_idx: usize, _observed: &AccessMatrix) {}
+
+    fn serve_batch(&mut self, net: &Network, trace: &[OnlineRequest], epoch_matrix: &AccessMatrix) {
+        self.core.serve_batch(net, &mut self.kernel, trace, epoch_matrix);
+    }
+
+    fn charge_service(&mut self, placement_loads: &LoadMap) {
+        self.core.loads.add_assign(placement_loads);
+    }
+
+    fn copy_set(&self, x: ObjectId) -> &[NodeId] {
+        self.core.copies.copies(x)
+    }
+
+    fn add_loads_to(&self, out: &mut LoadMap) {
+        out.add_assign(&self.core.loads);
+    }
+
+    fn stats(&self) -> DynamicStats {
+        self.core.stats
+    }
+
+    fn adopt(&mut self, _net: &Network, prior: &dyn Strategy, max_objects: usize) {
+        self.core.adopt(prior, max_objects);
+    }
+
+    fn snapshot(&self) -> Box<dyn Strategy> {
+        Box::new(self.clone())
+    }
+}
+
+/// A regime-switching policy only expressible through the [`Strategy`]
+/// trait: serve online (dynamic read-replicate / write-collapse) while
+/// the workload is read-dominated, and swap to a static placement the
+/// moment the *observed* write fraction crosses a bound — writes are
+/// what make replication expensive, so a write-heavy regime is exactly
+/// where the collapse-free static model wins.
+///
+/// The switch happens at most once, at the start of the first epoch
+/// `e ≥ min_epochs` (`e > 0`) whose observed write fraction
+/// (`writes / (reads + writes)` over everything served so far) is at
+/// least `write_bound`: the batch kernel re-places from the observed
+/// aggregate and the copy-set delta is charged from the dynamic replica
+/// sets at `D` per edge crossed ([`charged_migration`]); afterwards the
+/// policy is a frozen static placement.
+#[derive(Debug, Clone)]
+pub struct ThresholdSwitch {
+    dynamic: DynKernel,
+    core: StaticCore,
+    kernel: PlacementKernel,
+    threshold: u64,
+    write_bound: f64,
+    min_epochs: usize,
+    switched: bool,
+}
+
+impl ThresholdSwitch {
+    /// A threshold-switch strategy: dynamic until the observed write
+    /// fraction reaches `write_bound` at an epoch boundary
+    /// `e ≥ min_epochs`, static from then on. `write_bound = 0.0` with
+    /// `min_epochs = k` forces the switch at exactly epoch `k` (useful
+    /// as a deterministic regime change; the swap-identity tests pin it
+    /// against [`crate::Session::swap_strategy`]).
+    ///
+    /// ```
+    /// use hbn_scenario::{ExecutionConfig, Strategy, ThresholdSwitch};
+    /// use hbn_topology::generators::star;
+    ///
+    /// let net = star(4, 2);
+    /// let strategy = ThresholdSwitch::new(&net, &ExecutionConfig::default(), 8, 0.3, 2);
+    /// assert_eq!(strategy.label(), "threshold-switch(w>=0.30,after=2)");
+    /// ```
+    pub fn new(
+        net: &Network,
+        exec: &ExecutionConfig,
+        max_objects: usize,
+        write_bound: f64,
+        min_epochs: usize,
+    ) -> ThresholdSwitch {
+        ThresholdSwitch {
+            dynamic: DynKernel::new(net, exec, max_objects),
+            core: StaticCore::new(net, max_objects),
+            kernel: PlacementKernel::new(net, exec.serve_shards),
+            threshold: exec.threshold,
+            write_bound,
+            min_epochs,
+            switched: false,
+        }
+    }
+}
+
+impl Strategy for ThresholdSwitch {
+    fn label(&self) -> String {
+        format!("threshold-switch(w>={:.2},after={})", self.write_bound, self.min_epochs)
+    }
+
+    fn begin_epoch(&mut self, net: &Network, epoch_idx: usize, observed: &AccessMatrix) {
+        if self.switched || epoch_idx == 0 || epoch_idx < self.min_epochs {
+            return;
+        }
+        let s = self.dynamic.stats();
+        let total = s.reads + s.writes;
+        if total == 0 || (s.writes as f64 / total as f64) < self.write_bound {
+            return;
+        }
+        // Switch: inherit the dynamic replica sets, then refit to the
+        // optimized placement of the observed aggregate, charging the
+        // delta from those sets — the same sequence a mid-run
+        // `swap_strategy` into a `PeriodicStatic` performs.
+        let n = self.core.copies.n_objects();
+        for i in 0..n {
+            let x = ObjectId(i as u32);
+            let copies = self.dynamic.replicas(x);
+            if !copies.is_empty() {
+                self.core.copies.set_copies(x, copies.to_vec());
+            }
+        }
+        self.core.placed = true;
+        let outcome = self.kernel.place(net, observed).expect("threshold switch refit failed");
+        self.core.refit(net, observed, outcome.placement, self.threshold);
+        self.switched = true;
+    }
+
+    fn serve_batch(&mut self, net: &Network, trace: &[OnlineRequest], epoch_matrix: &AccessMatrix) {
+        if self.switched {
+            self.core.serve_batch(net, &mut self.kernel, trace, epoch_matrix);
+        } else {
+            self.dynamic.serve_trace(net, trace);
+        }
+    }
+
+    fn charge_service(&mut self, placement_loads: &LoadMap) {
+        if self.switched {
+            self.core.loads.add_assign(placement_loads);
+        }
+    }
+
+    fn copy_set(&self, x: ObjectId) -> &[NodeId] {
+        if self.switched {
+            self.core.copies.copies(x)
+        } else {
+            self.dynamic.replicas(x)
+        }
+    }
+
+    fn add_loads_to(&self, out: &mut LoadMap) {
+        self.dynamic.add_loads_to(out);
+        out.add_assign(&self.core.loads);
+    }
+
+    fn stats(&self) -> DynamicStats {
+        self.dynamic.stats().merge(self.core.stats)
+    }
+
+    fn adopt(&mut self, net: &Network, prior: &dyn Strategy, max_objects: usize) {
+        self.dynamic.adopt(net, prior, max_objects);
+    }
+
+    fn snapshot(&self) -> Box<dyn Strategy> {
+        Box::new(self.clone())
+    }
+}
+
+impl StrategyKind {
+    /// Build the public strategy struct this kind names — the thin
+    /// constructor layer that keeps the matrix-friendly enum working on
+    /// top of the open [`Strategy`] trait.
+    ///
+    /// ```
+    /// use hbn_scenario::{ExecutionConfig, Strategy, StrategyKind};
+    /// use hbn_topology::generators::star;
+    ///
+    /// let net = star(4, 2);
+    /// let exec = ExecutionConfig::default();
+    /// let kind = StrategyKind::PeriodicStatic { replace_every_epochs: 4 };
+    /// assert_eq!(kind.build(&net, &exec, 8).label(), kind.to_string());
+    /// ```
+    pub fn build(
+        &self,
+        net: &Network,
+        exec: &ExecutionConfig,
+        max_objects: usize,
+    ) -> Box<dyn Strategy> {
+        match *self {
+            StrategyKind::Dynamic => Box::new(DynamicStrategy::new(net, exec, max_objects)),
+            StrategyKind::PeriodicStatic { replace_every_epochs } => {
+                Box::new(PeriodicStatic::new(net, exec, max_objects, replace_every_epochs))
+            }
+            StrategyKind::Hybrid { reseed_every_epochs } => {
+                Box::new(HybridReseed::new(net, exec, max_objects, reseed_every_epochs))
+            }
+        }
+    }
+}

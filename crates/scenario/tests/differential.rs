@@ -7,22 +7,22 @@ use hbn_scenario::{run_scenario, ReplayKernel, ScenarioSpec, ServeKernel, Topolo
 use hbn_workload::phases::{full_tour, PhaseKind, PhaseSchedule, PhaseSpec};
 
 fn small_spec() -> ScenarioSpec {
-    let mut spec = ScenarioSpec::new(
+    ScenarioSpec::builder(
         "differential",
         TopologyFamily::Balanced { branching: 3, height: 2 },
         full_tour(6, 120),
-        2,
-        41,
-    );
-    spec.epoch_requests = 50; // exercise mid-phase epoch boundaries
-    spec
+    )
+    .threshold(2)
+    .seed(41)
+    .epoch_requests(50) // exercise mid-phase epoch boundaries
+    .build()
 }
 
 #[test]
 fn workspace_and_reference_kernels_agree_on_every_epoch() {
     let ws_spec = small_spec();
     let mut ref_spec = small_spec();
-    ref_spec.kernel = ReplayKernel::Reference;
+    ref_spec.exec.replay = ReplayKernel::Reference;
 
     let ws_report = run_scenario(&ws_spec);
     let ref_report = run_scenario(&ref_spec);
@@ -42,18 +42,18 @@ fn workspace_and_reference_serve_kernels_agree_end_to_end() {
     // replica snapshots (and therefore every replay metric), stats.
     let ws_spec = small_spec();
     let mut ref_spec = small_spec();
-    ref_spec.serve = ServeKernel::Reference;
+    ref_spec.exec.serve = ServeKernel::Reference;
     assert_eq!(run_scenario(&ws_spec), run_scenario(&ref_spec));
 }
 
 #[test]
 fn reports_are_invariant_under_serve_shard_count() {
     let mut one = small_spec();
-    one.serve_shards = 1;
+    one.exec.serve_shards = 1;
     let baseline = run_scenario(&one);
     for shards in [2usize, 3, 5, 16] {
         let mut spec = small_spec();
-        spec.serve_shards = shards;
+        spec.exec.serve_shards = shards;
         assert_eq!(run_scenario(&spec), baseline, "{shards} serve shards");
     }
 }
@@ -99,16 +99,17 @@ fn churn_scenarios_replay_cleanly() {
             PhaseSpec::new("settle", PhaseKind::StaticZipf { skew: 0.8, write_fraction: 0.1 }, 200),
         ],
     );
-    let mut spec = ScenarioSpec::new(
+    let spec = ScenarioSpec::builder(
         "churn-replay",
         TopologyFamily::Star { processors: 8, bus_bandwidth: 2 },
         schedule,
-        3,
-        7,
-    );
-    spec.epoch_requests = 60;
+    )
+    .threshold(3)
+    .seed(7)
+    .epoch_requests(60)
+    .build();
     let report = run_scenario(&spec);
-    assert_eq!(report.total_requests, 500);
+    assert_eq!(report.traffic.requests, 500);
     assert_eq!(report.phases.len(), 2);
     // 300/60 + 200/60 → 5 + 4 epochs.
     assert_eq!(report.epochs.len(), 9);

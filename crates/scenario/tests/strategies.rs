@@ -1,5 +1,5 @@
-//! Strategy-kind semantics: the periodic-static and hybrid strategies
-//! against the dynamic baseline.
+//! Strategy semantics: the periodic-static, hybrid and trait-only
+//! strategies against the dynamic baseline.
 //!
 //! Pins (1) that `PeriodicStatic` with `replace_every_epochs = ∞` is a
 //! single up-front static placement — equal to a never-firing periodic
@@ -7,14 +7,17 @@
 //! run on the first epoch's traffic; (2) that strategy reports are
 //! invariant across serve kernels and shard counts; (3) that a hybrid
 //! whose re-seed boundary never fires is exactly the dynamic strategy;
-//! and (4) the migration-cost accounting identity
-//! `migration_traffic = replications × D` on every epoch.
+//! (4) the migration-cost accounting identity
+//! `migration_traffic = replications × D` on every epoch — including the
+//! trait-only strategies; and (5) that `FrozenStatic` (a trait-only
+//! policy) reproduces `periodic-static(inf)` bit for bit, proving the
+//! trait boundary carries the whole built-in behaviour.
 
 use hbn_core::PlacementKernel;
 use hbn_load::{LoadMap, Placement};
 use hbn_scenario::{
-    run_scenario, ReplayKernel, ScenarioReport, ScenarioSpec, ServeKernel, StrategyKind,
-    TopologyFamily,
+    run_scenario, run_scenario_with, FrozenStatic, ReplayKernel, ScenarioReport, ScenarioSpec,
+    ServeKernel, StrategyKind, ThresholdSwitch, TopologyFamily,
 };
 use hbn_testutil::family_schedules;
 use hbn_workload::phases::full_tour;
@@ -22,15 +25,15 @@ use hbn_workload::AccessMatrix;
 use proptest::prelude::*;
 
 fn base_spec(seed: u64, epoch_requests: usize) -> ScenarioSpec {
-    let mut spec = ScenarioSpec::new(
+    ScenarioSpec::builder(
         "strategies",
         TopologyFamily::Balanced { branching: 3, height: 2 },
         full_tour(8, 120),
-        2,
-        seed,
-    );
-    spec.epoch_requests = epoch_requests;
-    spec
+    )
+    .threshold(2)
+    .seed(seed)
+    .epoch_requests(epoch_requests)
+    .build()
 }
 
 /// Compare two reports up to the strategy label (which legitimately
@@ -51,10 +54,27 @@ fn periodic_static_inf_never_migrates() {
     assert_eq!(report.strategy, "periodic-static(inf)");
     assert_eq!(report.stats.replications, 0, "∞ never re-optimizes, so it never migrates");
     assert_eq!(report.stats.collapses, 0);
-    assert_eq!(report.total_requests, 720);
+    assert_eq!(report.traffic.requests, 720);
     assert_eq!(report.stats.reads + report.stats.writes, 720);
-    let migration: u64 = report.epochs.iter().map(|e| e.migration_traffic).sum();
-    assert_eq!(migration, 0);
+    assert_eq!(report.traffic.migration_traffic, 0);
+}
+
+/// `FrozenStatic` exists only through the `Strategy` trait, but its
+/// behaviour is the paper's pure static model — exactly what
+/// `periodic-static(inf)` does through the enum layer. Bit-for-bit
+/// equality (modulo the label) proves the trait boundary carries the
+/// complete built-in semantics.
+#[test]
+fn frozen_static_equals_periodic_static_inf() {
+    for seed in [2u64, 11, 29] {
+        let mut inf = base_spec(seed, 40);
+        inf.strategy = StrategyKind::PeriodicStatic { replace_every_epochs: 0 };
+        let frozen = run_scenario_with(&base_spec(seed, 40), |net, exec, n| {
+            Box::new(FrozenStatic::new(net, exec, n))
+        });
+        assert_eq!(frozen.strategy, "frozen-static");
+        assert_reports_equal_modulo_label(&run_scenario(&inf), &frozen);
+    }
 }
 
 /// The ∞ strategy *is* the bootstrap placement: reconstruct it by
@@ -150,6 +170,20 @@ fn hybrid_with_unreachable_boundary_is_dynamic() {
     }
 }
 
+/// A threshold switch whose write bound is unreachable never leaves the
+/// dynamic regime — it must be the dynamic strategy exactly.
+#[test]
+fn threshold_switch_with_unreachable_bound_is_dynamic() {
+    for seed in [4u64, 17] {
+        let mut dynamic = base_spec(seed, 40);
+        dynamic.strategy = StrategyKind::Dynamic;
+        let switch = run_scenario_with(&base_spec(seed, 40), |net, exec, n| {
+            Box::new(ThresholdSwitch::new(net, exec, n, 1.1, 1))
+        });
+        assert_reports_equal_modulo_label(&run_scenario(&dynamic), &switch);
+    }
+}
+
 #[test]
 fn strategy_reports_are_invariant_across_serve_kernels_and_shards() {
     for strategy in [
@@ -159,48 +193,86 @@ fn strategy_reports_are_invariant_across_serve_kernels_and_shards() {
     ] {
         let mut reference = base_spec(7, 30);
         reference.strategy = strategy;
-        reference.serve = ServeKernel::Reference;
-        reference.kernel = ReplayKernel::Reference;
+        reference.exec.serve = ServeKernel::Reference;
+        reference.exec.replay = ReplayKernel::Reference;
         let expected = run_scenario(&reference);
 
         for serve_shards in [1usize, 3, 5] {
             let mut spec = base_spec(7, 30);
             spec.strategy = strategy;
-            spec.serve = ServeKernel::Workspace;
-            spec.serve_shards = serve_shards;
+            spec.exec.serve = ServeKernel::Workspace;
+            spec.exec.serve_shards = serve_shards;
             let got = run_scenario(&spec);
             assert_eq!(
-                got,
-                expected,
-                "strategy {} must be kernel- and shard-invariant (shards={serve_shards})",
-                strategy.label()
+                got, expected,
+                "strategy {strategy} must be kernel- and shard-invariant (shards={serve_shards})"
             );
         }
     }
 }
 
+/// The trait-only `ThresholdSwitch` must be serve-kernel- and
+/// shard-invariant too (its dynamic prefix runs through the configured
+/// kernel).
+#[test]
+fn threshold_switch_is_invariant_across_serve_kernels_and_shards() {
+    let factory = |net: &hbn_topology::Network,
+                   exec: &hbn_scenario::ExecutionConfig,
+                   n: usize|
+     -> Box<dyn hbn_scenario::Strategy> {
+        Box::new(ThresholdSwitch::new(net, exec, n, 0.1, 3))
+    };
+    let mut reference = base_spec(7, 30);
+    reference.exec.serve = ServeKernel::Reference;
+    reference.exec.replay = ReplayKernel::Reference;
+    let expected = run_scenario_with(&reference, factory);
+    for serve_shards in [1usize, 4] {
+        let mut spec = base_spec(7, 30);
+        spec.exec.serve_shards = serve_shards;
+        assert_eq!(run_scenario_with(&spec, factory), expected, "shards={serve_shards}");
+    }
+}
+
 #[test]
 fn migration_traffic_is_replications_times_threshold_everywhere() {
+    let run = |strategy: Option<StrategyKind>, spec: &ScenarioSpec| -> (String, ScenarioReport) {
+        match strategy {
+            Some(kind) => {
+                let mut spec = spec.clone();
+                spec.strategy = kind;
+                (kind.to_string(), run_scenario(&spec))
+            }
+            // The trait-only strategies ride the same identity.
+            None => (
+                "threshold-switch".into(),
+                run_scenario_with(spec, |net, exec, n| {
+                    Box::new(ThresholdSwitch::new(net, exec, n, 0.1, 2))
+                }),
+            ),
+        }
+    };
     for strategy in [
-        StrategyKind::Dynamic,
-        StrategyKind::PeriodicStatic { replace_every_epochs: 2 },
-        StrategyKind::PeriodicStatic { replace_every_epochs: 0 },
-        StrategyKind::Hybrid { reseed_every_epochs: 2 },
+        Some(StrategyKind::Dynamic),
+        Some(StrategyKind::PeriodicStatic { replace_every_epochs: 2 }),
+        Some(StrategyKind::PeriodicStatic { replace_every_epochs: 0 }),
+        Some(StrategyKind::Hybrid { reseed_every_epochs: 2 }),
+        None,
     ] {
         let mut spec = base_spec(13, 36);
-        spec.threshold = 3;
-        spec.strategy = strategy;
-        let report = run_scenario(&spec);
+        spec.exec.threshold = 3;
+        let (label, report) = run(strategy, &spec);
         for (i, epoch) in report.epochs.iter().enumerate() {
             assert_eq!(
-                epoch.migration_traffic,
-                epoch.replications * spec.threshold,
-                "strategy {}, epoch {i}",
-                strategy.label()
+                epoch.traffic.migration_traffic,
+                epoch.traffic.replications * spec.exec.threshold,
+                "strategy {label}, epoch {i}"
             );
         }
-        let total: u64 = report.epochs.iter().map(|e| e.migration_traffic).sum();
-        assert_eq!(total, report.stats.replications * spec.threshold, "{}", strategy.label());
+        assert_eq!(
+            report.traffic.migration_traffic,
+            report.stats.replications * spec.exec.threshold,
+            "{label}"
+        );
     }
 }
 
@@ -209,21 +281,47 @@ fn periodic_static_migrates_when_the_working_set_moves() {
     // Hotspot migration moves the hot set between processor clusters;
     // a re-optimizing static strategy must pay migration traffic.
     let (_, schedule) = family_schedules(12, 60, 600).swap_remove(1);
-    let mut spec = ScenarioSpec::new(
+    let spec = ScenarioSpec::builder(
         "hotspot-static",
         TopologyFamily::Balanced { branching: 3, height: 2 },
         schedule,
-        2,
-        3,
-    );
-    spec.epoch_requests = 60;
-    spec.strategy = StrategyKind::PeriodicStatic { replace_every_epochs: 2 };
+    )
+    .threshold(2)
+    .seed(3)
+    .epoch_requests(60)
+    .strategy(StrategyKind::PeriodicStatic { replace_every_epochs: 2 })
+    .build();
     let report = run_scenario(&spec);
     assert!(
         report.stats.replications > 0,
         "re-optimization under a moving hotspot must migrate copies"
     );
     assert!(report.competitive_ratio.is_some());
+}
+
+/// A write-heavy stream trips the threshold switch: it must actually
+/// switch (migration traffic appears at the switch epoch) and serve the
+/// rest under the static model.
+#[test]
+fn threshold_switch_fires_on_write_heavy_traffic() {
+    let (_, schedule) = family_schedules(12, 60, 600).swap_remove(5); // single-bus-saturation, 50% writes
+    let spec = ScenarioSpec::builder(
+        "switchy",
+        TopologyFamily::Balanced { branching: 3, height: 2 },
+        schedule,
+    )
+    .threshold(2)
+    .seed(8)
+    .epoch_requests(60)
+    .build();
+    let report = run_scenario_with(&spec, |net, exec, n| {
+        Box::new(ThresholdSwitch::new(net, exec, n, 0.2, 3))
+    });
+    assert!(report.stats.replications > 0, "the switch must charge its migration");
+    // After the switch the policy is frozen static: the last epochs add
+    // no replications.
+    let last = report.epochs.last().unwrap();
+    assert_eq!(last.traffic.replications, 0, "post-switch epochs are static");
 }
 
 proptest! {

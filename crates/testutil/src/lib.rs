@@ -31,6 +31,16 @@ pub fn seeded_rng_stream(base: u64, stream: u64) -> StdRng {
     StdRng::seed_from_u64(z ^ (z >> 31))
 }
 
+/// The canonical per-cell seed set of a sharded experiment: one
+/// independent stream seed per shard, all derived from the cell's base
+/// seed via [`seeded_rng_stream`]. One construction point shared by the
+/// matrix experiment binaries (`exp_scenario_matrix`,
+/// `exp_strategy_matrix`, `exp_session_resume`), so "the same seeds"
+/// means the same derivation everywhere.
+pub fn cell_seeds(cell_base: u64, shards: usize) -> Vec<u64> {
+    (0..shards as u64).map(|s| seeded_rng_stream(cell_base, s).gen()).collect()
+}
+
 /// The canonical six access-pattern families of the scenario matrix, each
 /// as a warm-up + measured-phase schedule: a light stationary warm-up (so
 /// strategies start from a populated replica state) followed by the family
@@ -190,6 +200,16 @@ mod tests {
         let s0: u64 = seeded_rng_stream(9, 0).gen();
         let s1: u64 = seeded_rng_stream(9, 1).gen();
         assert_ne!(s0, s1, "streams must diverge");
+    }
+
+    #[test]
+    fn cell_seeds_are_deterministic_and_distinct() {
+        let a = cell_seeds(42, 4);
+        assert_eq!(a, cell_seeds(42, 4));
+        assert_eq!(a.len(), 4);
+        let unique: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert_eq!(unique.len(), 4, "shard seeds must be distinct");
+        assert_eq!(a[0], seeded_rng_stream(42, 0).gen::<u64>());
     }
 
     #[test]

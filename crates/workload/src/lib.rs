@@ -15,5 +15,7 @@ pub mod stats;
 
 pub use freq::{AccessEntry, AccessMatrix, WorkloadError};
 pub use objects::ObjectId;
-pub use phases::{PhaseKind, PhaseRequest, PhaseSchedule, PhaseSpec, PhaseStream};
+pub use phases::{
+    PhaseKind, PhaseRequest, PhaseSchedule, PhaseSpec, PhaseStream, PhaseStreamState,
+};
 pub use stats::{workload_stats, ObjectStats, WorkloadStats};

@@ -193,6 +193,14 @@ impl PhaseSchedule {
         PhaseStream::new(self, net, seed)
     }
 
+    /// The owned cursor form of [`PhaseSchedule::stream`]: a cloneable
+    /// [`PhaseStreamState`] that borrows nothing, for callers that own the
+    /// schedule and network themselves (e.g. a resumable scenario
+    /// session). Draw requests with [`PhaseStreamState::next_request`].
+    pub fn stream_state(&self, net: &Network, seed: u64) -> PhaseStreamState {
+        PhaseStreamState::new(self, net, seed)
+    }
+
     /// Aggregate the whole stream into the read/write frequency matrix
     /// `h_r, h_w` — the hindsight view a static placement would be
     /// computed from. Materializes counts, not the trace.
@@ -210,7 +218,7 @@ impl PhaseSchedule {
 }
 
 /// Per-phase sampling state, rebuilt when the stream enters a phase.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum PhaseState {
     Zipf {
         zipf: Zipf,
@@ -256,10 +264,60 @@ enum PhaseState {
 
 /// Streaming request source of a [`PhaseSchedule`]: an iterator over
 /// [`PhaseRequest`]s that holds only O(live objects) state.
+///
+/// A thin borrowing wrapper around [`PhaseStreamState`] — the owned,
+/// cloneable cursor — so the ergonomic `schedule.stream(net, seed)`
+/// iterator and the resumable cursor share one implementation.
 #[derive(Debug)]
 pub struct PhaseStream<'a> {
     schedule: &'a PhaseSchedule,
     net: &'a Network,
+    state: PhaseStreamState,
+}
+
+impl<'a> PhaseStream<'a> {
+    fn new(schedule: &'a PhaseSchedule, net: &'a Network, seed: u64) -> Self {
+        PhaseStream { schedule, net, state: PhaseStreamState::new(schedule, net, seed) }
+    }
+
+    /// Index of the current phase (advances as the stream crosses a
+    /// phase boundary while emitting).
+    pub fn phase_index(&self) -> usize {
+        self.state.phase_index()
+    }
+
+    /// Object ids currently live (churn mutates this set).
+    pub fn live_objects(&self) -> &[ObjectId] {
+        self.state.live_objects()
+    }
+
+    /// Object ids retired by churn so far, in retirement order.
+    pub fn retired_objects(&self) -> &[ObjectId] {
+        self.state.retired_objects()
+    }
+
+    /// The underlying owned cursor (e.g. to snapshot mid-iteration).
+    pub fn state(&self) -> &PhaseStreamState {
+        &self.state
+    }
+
+    /// Unwrap into the owned cursor, keeping the exact position.
+    pub fn into_state(self) -> PhaseStreamState {
+        self.state
+    }
+}
+
+/// The owned cursor of a phase stream: the RNG position, the live/retired
+/// object sets and the per-phase sampling state, with no borrow of the
+/// schedule or network. Cloning it snapshots the stream position exactly
+/// — two clones driven forward with the same `(schedule, net)` emit
+/// identical suffixes, which is what makes scenario sessions resumable.
+///
+/// Every method that advances the cursor takes the schedule and network
+/// explicitly; callers must pass the same pair the cursor was created
+/// with (the cursor indexes into both).
+#[derive(Debug, Clone)]
+pub struct PhaseStreamState {
     rng: StdRng,
     /// Live object ids; churn replaces entries in place.
     live: Vec<ObjectId>,
@@ -271,12 +329,12 @@ pub struct PhaseStream<'a> {
     state: Option<PhaseState>,
 }
 
-impl<'a> PhaseStream<'a> {
-    fn new(schedule: &'a PhaseSchedule, net: &'a Network, seed: u64) -> Self {
+impl PhaseStreamState {
+    /// A cursor at the start of `schedule`, deterministic in `seed` —
+    /// the owned form of [`PhaseSchedule::stream`].
+    pub fn new(schedule: &PhaseSchedule, net: &Network, seed: u64) -> Self {
         assert!(net.n_processors() >= 2, "phase streams need at least two processors");
-        let mut s = PhaseStream {
-            schedule,
-            net,
+        let mut s = PhaseStreamState {
             rng: StdRng::seed_from_u64(seed),
             live: (0..schedule.initial_objects as u32).map(ObjectId).collect(),
             retired: Vec::new(),
@@ -285,11 +343,43 @@ impl<'a> PhaseStream<'a> {
             emitted_in_phase: 0,
             state: None,
         };
-        s.enter_phase();
+        s.enter_phase(schedule, net);
         s
     }
 
-    /// Index of the current phase (advances as the stream crosses a
+    /// Emit the next request, or `None` once the schedule is exhausted.
+    /// `schedule` and `net` must be the pair the cursor was created with.
+    pub fn next_request(
+        &mut self,
+        schedule: &PhaseSchedule,
+        net: &Network,
+    ) -> Option<PhaseRequest> {
+        loop {
+            let phase = schedule.phases.get(self.phase_idx)?;
+            if self.emitted_in_phase >= phase.requests {
+                self.phase_idx += 1;
+                self.emitted_in_phase = 0;
+                self.enter_phase(schedule, net);
+                continue;
+            }
+            let req = self.emit(net);
+            self.emitted_in_phase += 1;
+            return Some(req);
+        }
+    }
+
+    /// Requests left before the schedule is exhausted.
+    pub fn remaining(&self, schedule: &PhaseSchedule) -> usize {
+        schedule
+            .phases
+            .iter()
+            .skip(self.phase_idx)
+            .map(|p| p.requests)
+            .sum::<usize>()
+            .saturating_sub(self.emitted_in_phase)
+    }
+
+    /// Index of the current phase (advances as the cursor crosses a
     /// phase boundary while emitting).
     pub fn phase_index(&self) -> usize {
         self.phase_idx
@@ -307,13 +397,13 @@ impl<'a> PhaseStream<'a> {
 
     /// Build the sampling state for the phase at `phase_idx` (no-op past
     /// the last phase).
-    fn enter_phase(&mut self) {
-        let Some(phase) = self.schedule.phases.get(self.phase_idx) else {
+    fn enter_phase(&mut self, schedule: &PhaseSchedule, net: &Network) {
+        let Some(phase) = schedule.phases.get(self.phase_idx) else {
             self.state = None;
             return;
         };
         let n_live = self.live.len();
-        let procs = self.net.processors();
+        let procs = net.processors();
         self.state = Some(match phase.kind {
             PhaseKind::StaticZipf { skew, write_fraction } => {
                 PhaseState::Zipf { zipf: Zipf::new(n_live, skew), write_fraction }
@@ -353,7 +443,7 @@ impl<'a> PhaseStream<'a> {
                 write_fraction,
             },
             PhaseKind::SingleBusSaturation { write_fraction, contended_objects } => {
-                let (side_a, side_b) = self.split_bus_sides();
+                let (side_a, side_b) = split_bus_sides(net);
                 let k = contended_objects.clamp(1, n_live);
                 PhaseState::SingleBus {
                     write_fraction,
@@ -366,49 +456,10 @@ impl<'a> PhaseStream<'a> {
         });
     }
 
-    /// Split the processors across the most balanced bus: the two child
-    /// subtrees with the most processors on each side. Falls back to an
-    /// even split of the processor list on degenerate trees.
-    fn split_bus_sides(&mut self) -> (Vec<NodeId>, Vec<NodeId>) {
-        let procs = self.net.processors();
-        let mut best: Option<(usize, Vec<NodeId>, Vec<NodeId>)> = None;
-        for bus in self.net.nodes().filter(|&v| self.net.is_bus(v)) {
-            // Group the processors by their first hop away from `bus`.
-            let mut groups: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
-            for &p in procs {
-                if p == bus {
-                    continue;
-                }
-                let hop = self.net.step_towards(bus, p);
-                match groups.iter_mut().find(|(h, _)| *h == hop) {
-                    Some((_, g)) => g.push(p),
-                    None => groups.push((hop, vec![p])),
-                }
-            }
-            if groups.len() < 2 {
-                continue;
-            }
-            groups.sort_by_key(|(_, g)| std::cmp::Reverse(g.len()));
-            let score = groups[0].1.len().min(groups[1].1.len());
-            if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
-                let b = groups.swap_remove(1).1;
-                let a = groups.swap_remove(0).1;
-                best = Some((score, a, b));
-            }
-        }
-        match best {
-            Some((_, a, b)) => (a, b),
-            None => {
-                let mid = procs.len() / 2;
-                (procs[..mid].to_vec(), procs[mid..].to_vec())
-            }
-        }
-    }
-
     /// Emit the next request of the current phase. `self.state` is the
-    /// matching variant for `self.schedule.phases[self.phase_idx]`.
-    fn emit(&mut self) -> PhaseRequest {
-        let procs = self.net.processors();
+    /// matching variant for the schedule phase at `self.phase_idx`.
+    fn emit(&mut self, net: &Network) -> PhaseRequest {
+        let procs = net.processors();
         let i = self.emitted_in_phase;
         let state = self.state.as_mut().expect("emit called with an active phase");
         match state {
@@ -510,33 +561,54 @@ impl<'a> PhaseStream<'a> {
     }
 }
 
+/// Split the processors across the most balanced bus: the two child
+/// subtrees with the most processors on each side. Falls back to an
+/// even split of the processor list on degenerate trees.
+fn split_bus_sides(net: &Network) -> (Vec<NodeId>, Vec<NodeId>) {
+    let procs = net.processors();
+    let mut best: Option<(usize, Vec<NodeId>, Vec<NodeId>)> = None;
+    for bus in net.nodes().filter(|&v| net.is_bus(v)) {
+        // Group the processors by their first hop away from `bus`.
+        let mut groups: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        for &p in procs {
+            if p == bus {
+                continue;
+            }
+            let hop = net.step_towards(bus, p);
+            match groups.iter_mut().find(|(h, _)| *h == hop) {
+                Some((_, g)) => g.push(p),
+                None => groups.push((hop, vec![p])),
+            }
+        }
+        if groups.len() < 2 {
+            continue;
+        }
+        groups.sort_by_key(|(_, g)| std::cmp::Reverse(g.len()));
+        let score = groups[0].1.len().min(groups[1].1.len());
+        if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
+            let b = groups.swap_remove(1).1;
+            let a = groups.swap_remove(0).1;
+            best = Some((score, a, b));
+        }
+    }
+    match best {
+        Some((_, a, b)) => (a, b),
+        None => {
+            let mid = procs.len() / 2;
+            (procs[..mid].to_vec(), procs[mid..].to_vec())
+        }
+    }
+}
+
 impl Iterator for PhaseStream<'_> {
     type Item = PhaseRequest;
 
     fn next(&mut self) -> Option<PhaseRequest> {
-        loop {
-            let phase = self.schedule.phases.get(self.phase_idx)?;
-            if self.emitted_in_phase >= phase.requests {
-                self.phase_idx += 1;
-                self.emitted_in_phase = 0;
-                self.enter_phase();
-                continue;
-            }
-            let req = self.emit();
-            self.emitted_in_phase += 1;
-            return Some(req);
-        }
+        self.state.next_request(self.schedule, self.net)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining: usize = self
-            .schedule
-            .phases
-            .iter()
-            .skip(self.phase_idx)
-            .map(|p| p.requests)
-            .sum::<usize>()
-            .saturating_sub(self.emitted_in_phase);
+        let remaining = self.state.remaining(self.schedule);
         (remaining, Some(remaining))
     }
 }
@@ -617,6 +689,39 @@ mod tests {
         assert_eq!(a, b);
         let c: Vec<PhaseRequest> = schedule.stream(&t, 43).collect();
         assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn cloned_stream_state_resumes_identically() {
+        let t = net();
+        let schedule = full_tour(8, 120);
+        let mut cursor = schedule.stream_state(&t, 31);
+        for _ in 0..250 {
+            cursor.next_request(&schedule, &t).unwrap();
+        }
+        // A clone taken mid-stream emits the exact same suffix as the
+        // original — the checkpoint/restore contract of scenario sessions.
+        let mut fork = cursor.clone();
+        let rest: Vec<PhaseRequest> =
+            std::iter::from_fn(|| cursor.next_request(&schedule, &t)).collect();
+        let forked: Vec<PhaseRequest> =
+            std::iter::from_fn(|| fork.next_request(&schedule, &t)).collect();
+        assert_eq!(rest.len(), schedule.total_requests() - 250);
+        assert_eq!(rest, forked);
+        assert_eq!(cursor.live_objects(), fork.live_objects());
+        assert_eq!(cursor.retired_objects(), fork.retired_objects());
+    }
+
+    #[test]
+    fn stream_and_owned_cursor_agree() {
+        let t = net();
+        let schedule = full_tour(5, 80);
+        let via_iter: Vec<PhaseRequest> = schedule.stream(&t, 9).collect();
+        let mut cursor = schedule.stream_state(&t, 9);
+        let via_cursor: Vec<PhaseRequest> =
+            std::iter::from_fn(|| cursor.next_request(&schedule, &t)).collect();
+        assert_eq!(via_iter, via_cursor);
+        assert_eq!(cursor.remaining(&schedule), 0);
     }
 
     #[test]
