@@ -398,6 +398,161 @@ pub fn emit_session_resume_json(
     f.write_all(render_session_resume_json(records).as_bytes())
 }
 
+/// One cell of the fault matrix (EXP-FAULT): a scenario run under a
+/// deterministic fault plan, compared against its fault-free twin —
+/// degraded-mode competitive ratio, repair traffic and recovery time.
+#[derive(Debug, Clone)]
+pub struct FaultBenchRecord {
+    /// Scenario label, e.g. `hotspot-migration@balanced(3,2)`.
+    pub scenario: String,
+    /// Strategy label the run was served under.
+    pub strategy: String,
+    /// Fault-plan label, e.g. `outage(e3..5)` or `seeded(99)`.
+    pub fault_plan: String,
+    /// Stream seed.
+    pub seed: u64,
+    /// Requests served (none may be lost to the faults).
+    pub requests: u64,
+    /// Replay epochs of the run.
+    pub epochs: usize,
+    /// Epochs that had at least one bus down or degraded.
+    pub faulty_epochs: usize,
+    /// Repair events (stranded copy-set evacuations) charged by
+    /// self-healing.
+    pub repairs: u64,
+    /// Repair traffic: `repairs × D`, the same unit as migration.
+    pub repair_traffic: u64,
+    /// Total migration traffic (replications × D; includes repairs).
+    pub migration_traffic: u64,
+    /// Empirical competitive ratio of the degraded run.
+    pub competitive_ratio: Option<f64>,
+    /// Competitive ratio of the fault-free twin (same spec, no plan).
+    pub clean_competitive_ratio: Option<f64>,
+    /// Total simulated makespan (slots) of the degraded run.
+    pub makespan_slots: u64,
+    /// Makespan of the fault-free twin.
+    pub clean_makespan_slots: u64,
+    /// Epochs from the last faulty epoch until online congestion was
+    /// back at the pre-fault baseline (`None`: not recovered in-run).
+    pub recovery_epochs: Option<u64>,
+    /// Wall-clock seconds for the degraded run.
+    pub wall_seconds: f64,
+}
+
+/// Render the fault-matrix benchmark document.
+pub fn render_faults_json(records: &[FaultBenchRecord]) -> String {
+    let emitted_at = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let recovered = records.iter().filter(|r| r.recovery_epochs.is_some()).count();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fault_matrix\",\n");
+    out.push_str(&format!("  \"emitted_at_unix\": {emitted_at},\n"));
+    out.push_str(&format!("  \"cells_recovered_in_run\": {recovered},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"strategy\": \"{}\", \"fault_plan\": \"{}\", \
+             \"seed\": {}, \"requests\": {}, \"epochs\": {}, \"faulty_epochs\": {}, \
+             \"repairs\": {}, \"repair_traffic\": {}, \"migration_traffic\": {}, \
+             \"competitive_ratio\": {}, \"clean_competitive_ratio\": {}, \
+             \"makespan_slots\": {}, \"clean_makespan_slots\": {}, \
+             \"recovery_epochs\": {}, \"wall_seconds\": {}}}{}\n",
+            json_escape(&r.scenario),
+            json_escape(&r.strategy),
+            json_escape(&r.fault_plan),
+            r.seed,
+            r.requests,
+            r.epochs,
+            r.faulty_epochs,
+            r.repairs,
+            r.repair_traffic,
+            r.migration_traffic,
+            r.competitive_ratio.map(json_f64).unwrap_or_else(|| "null".to_string()),
+            r.clean_competitive_ratio.map(json_f64).unwrap_or_else(|| "null".to_string()),
+            r.makespan_slots,
+            r.clean_makespan_slots,
+            r.recovery_epochs.map(|k| k.to_string()).unwrap_or_else(|| "null".to_string()),
+            json_f64(r.wall_seconds),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render and write the fault-matrix document to `path`.
+pub fn emit_faults_json(path: &str, records: &[FaultBenchRecord]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_faults_json(records).as_bytes())
+}
+
+/// One kill-and-restore cell of the crash-recovery harness: a child
+/// process saves durable checkpoints every epoch and is killed mid-run;
+/// the parent restores the last on-disk checkpoint and finishes.
+#[derive(Debug, Clone)]
+pub struct CrashRecoveryRecord {
+    /// Scenario label.
+    pub scenario: String,
+    /// Strategy label.
+    pub strategy: String,
+    /// Stream seed.
+    pub seed: u64,
+    /// Global epoch index the child process died at.
+    pub kill_epoch: usize,
+    /// Total replay epochs of the run.
+    pub epochs_total: usize,
+    /// Whether the restored run's report equalled the unbroken run's
+    /// bit for bit (a mismatch aborts the harness).
+    pub restored_equal: bool,
+    /// Size of the durable checkpoint frame restored from, in bytes.
+    pub checkpoint_bytes: u64,
+    /// Wall-clock seconds of the unbroken in-process run.
+    pub unbroken_wall_seconds: f64,
+    /// Wall-clock seconds of restore-from-disk + remaining epochs.
+    pub recovery_wall_seconds: f64,
+}
+
+/// Render the crash-recovery document.
+pub fn render_crash_recovery_json(records: &[CrashRecoveryRecord]) -> String {
+    let emitted_at = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let all_equal = records.iter().all(|r| r.restored_equal);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"crash_recovery\",\n");
+    out.push_str(&format!("  \"emitted_at_unix\": {emitted_at},\n"));
+    out.push_str(&format!("  \"all_restores_exact\": {all_equal},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"strategy\": \"{}\", \"seed\": {}, \
+             \"kill_epoch\": {}, \"epochs_total\": {}, \"restored_equal\": {}, \
+             \"checkpoint_bytes\": {}, \"unbroken_wall_seconds\": {}, \
+             \"recovery_wall_seconds\": {}}}{}\n",
+            json_escape(&r.scenario),
+            json_escape(&r.strategy),
+            r.seed,
+            r.kill_epoch,
+            r.epochs_total,
+            r.restored_equal,
+            r.checkpoint_bytes,
+            json_f64(r.unbroken_wall_seconds),
+            json_f64(r.recovery_wall_seconds),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render and write the crash-recovery document to `path`.
+pub fn emit_crash_recovery_json(
+    path: &str,
+    records: &[CrashRecoveryRecord],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_crash_recovery_json(records).as_bytes())
+}
+
 /// One timed serve-loop run of the online strategy.
 #[derive(Debug, Clone)]
 pub struct DynamicBenchRecord {
@@ -654,6 +809,65 @@ mod tests {
         let doc = render_strategies_json(&[r]);
         assert!(doc.contains("\"mean_competitive_ratio\": null"));
         assert!(doc.contains("\"strategy\": \"periodic-static(inf)\""));
+    }
+
+    fn fault_record(strategy: &str, recovery: Option<u64>) -> FaultBenchRecord {
+        FaultBenchRecord {
+            scenario: "hotspot-migration@balanced(3,2)".into(),
+            strategy: strategy.into(),
+            fault_plan: "outage(e3..5)".into(),
+            seed: 7,
+            requests: 2400,
+            epochs: 8,
+            faulty_epochs: 2,
+            repairs: 5,
+            repair_traffic: 15,
+            migration_traffic: 120,
+            competitive_ratio: Some(2.1),
+            clean_competitive_ratio: Some(1.9),
+            makespan_slots: 900,
+            clean_makespan_slots: 700,
+            recovery_epochs: recovery,
+            wall_seconds: 0.05,
+        }
+    }
+
+    #[test]
+    fn fault_document_shape_is_stable() {
+        let doc = render_faults_json(&[
+            fault_record("dynamic", Some(1)),
+            fault_record("hybrid(4)", None),
+        ]);
+        assert!(doc.contains("\"bench\": \"fault_matrix\""));
+        assert!(doc.contains("\"cells_recovered_in_run\": 1"));
+        assert!(doc.contains("\"repair_traffic\": 15"));
+        assert!(doc.contains("\"recovery_epochs\": 1"));
+        assert!(doc.contains("\"recovery_epochs\": null"));
+        assert!(doc.contains("\"clean_competitive_ratio\": 1.900000"));
+        assert_eq!(doc.matches("\"fault_plan\"").count(), 2);
+        assert_eq!(doc.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn crash_recovery_document_shape_is_stable() {
+        let r = CrashRecoveryRecord {
+            scenario: "hotspot-migration@balanced(3,2)".into(),
+            strategy: "dynamic".into(),
+            seed: 7,
+            kill_epoch: 4,
+            epochs_total: 8,
+            restored_equal: true,
+            checkpoint_bytes: 4096,
+            unbroken_wall_seconds: 0.2,
+            recovery_wall_seconds: 0.08,
+        };
+        let doc = render_crash_recovery_json(&[r.clone(), r]);
+        assert!(doc.contains("\"bench\": \"crash_recovery\""));
+        assert!(doc.contains("\"all_restores_exact\": true"));
+        assert!(doc.contains("\"kill_epoch\": 4"));
+        assert!(doc.contains("\"checkpoint_bytes\": 4096"));
+        assert_eq!(doc.matches("\"restored_equal\": true").count(), 2);
+        assert_eq!(doc.matches("},\n").count(), 1);
     }
 
     #[test]

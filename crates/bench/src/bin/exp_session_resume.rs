@@ -144,7 +144,8 @@ fn main() {
                 // the columns compare like with like.
                 let checkpoint = checkpoint.expect("checkpoint epoch inside the run");
                 let start = Instant::now();
-                let mut resumed = Session::restore(checkpoint);
+                let mut resumed =
+                    Session::restore(checkpoint).expect("in-memory checkpoint restores");
                 while resumed.step_epoch().expect("resumed replay failed").is_some() {}
                 let resume_wall = start.elapsed().as_secs_f64();
                 let resumed_report = resumed.into_report();

@@ -51,5 +51,5 @@ pub mod workspace;
 
 pub use competitive::{run_competitive, CompetitiveReport};
 pub use sharded::ShardedDynamic;
-pub use strategy::{online_trace, DynamicStats, DynamicTree, OnlineRequest};
+pub use strategy::{online_trace, DynamicStats, DynamicTree, ObjectExport, OnlineRequest};
 pub use workspace::DynamicWorkspace;

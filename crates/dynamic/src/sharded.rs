@@ -88,6 +88,48 @@ impl ShardedDynamic {
         self.shards[shard].tree.seed_replicas(net, x, nodes);
     }
 
+    /// Number of objects the shards were constructed for.
+    pub fn n_objects(&self) -> usize {
+        self.shards.first().map_or(0, |s| s.tree.n_objects())
+    }
+
+    /// Export the live state of `x` from its owning shard — see
+    /// [`DynamicTree::export_object`].
+    pub fn export_object(&self, x: ObjectId) -> Option<crate::strategy::ObjectExport> {
+        self.shards[x.index() % self.shards.len()].tree.export_object(x)
+    }
+
+    /// Rebuild the state of `x` in its owning shard — see
+    /// [`DynamicTree::restore_object`].
+    pub fn restore_object(
+        &mut self,
+        net: &Network,
+        x: ObjectId,
+        replicas: &[NodeId],
+        counters: &[(hbn_topology::EdgeId, u64)],
+    ) {
+        let shard = x.index() % self.shards.len();
+        self.shards[shard].tree.restore_object(net, x, replicas, counters);
+    }
+
+    /// Install restored accounting. Merged loads and stats go entirely
+    /// into shard 0 — the merge over shards (load-map addition,
+    /// [`DynamicStats::merge`]) is exact, so where the restored totals
+    /// live does not affect any merged outcome.
+    pub fn restore_accounting(&mut self, loads: LoadMap, stats: DynamicStats) {
+        self.shards[0].tree.restore_accounting(loads, stats);
+    }
+
+    /// The merged cumulative loads and counters, as owned values — the
+    /// export counterpart of [`ShardedDynamic::restore_accounting`].
+    pub fn export_accounting(&self) -> (LoadMap, DynamicStats) {
+        let mut loads = self.shards[0].tree.loads().clone();
+        for shard in &self.shards[1..] {
+            loads.add_assign(shard.tree.loads());
+        }
+        (loads, self.stats())
+    }
+
     /// Sum the per-shard cumulative loads into `out` (on top of whatever
     /// `out` already holds).
     pub fn add_loads_to(&self, out: &mut LoadMap) {
@@ -137,6 +179,50 @@ mod tests {
             for x in 0..7u32 {
                 assert_eq!(sharded.replicas(ObjectId(x)), whole.replicas(ObjectId(x)));
             }
+        }
+    }
+
+    #[test]
+    fn export_restore_roundtrip_resumes_bit_for_bit() {
+        let net = balanced(3, 2, BandwidthProfile::Uniform);
+        let procs = net.processors();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let mk_trace = |rng: &mut rand::rngs::StdRng, n: usize| -> Vec<OnlineRequest> {
+            (0..n)
+                .map(|_| OnlineRequest {
+                    processor: procs[rng.gen_range(0..procs.len())],
+                    object: ObjectId(rng.gen_range(0..5)),
+                    is_write: rng.gen_bool(0.15),
+                })
+                .collect()
+        };
+        let first = mk_trace(&mut rng, 800);
+        let second = mk_trace(&mut rng, 800);
+
+        let mut original = ShardedDynamic::new(&net, 5, 2, 3);
+        original.serve_trace(&net, &first);
+
+        // Rebuild a fresh strategy from the export and drive both
+        // through the same second half: every observable must match.
+        let mut restored = ShardedDynamic::new(&net, 5, 2, 3);
+        for x in 0..5u32 {
+            if let Some((replicas, counters)) = original.export_object(ObjectId(x)) {
+                restored.restore_object(&net, ObjectId(x), &replicas, &counters);
+            }
+        }
+        let mut loads = LoadMap::zero(&net);
+        original.add_loads_to(&mut loads);
+        restored.restore_accounting(loads, original.stats());
+
+        original.serve_trace(&net, &second);
+        restored.serve_trace(&net, &second);
+        let (mut a, mut b) = (LoadMap::zero(&net), LoadMap::zero(&net));
+        original.add_loads_to(&mut a);
+        restored.add_loads_to(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(original.stats(), restored.stats());
+        for x in 0..5u32 {
+            assert_eq!(original.replicas(ObjectId(x)), restored.replicas(ObjectId(x)));
         }
     }
 }

@@ -182,6 +182,11 @@ impl ObjectState {
     }
 }
 
+/// The exported durable state of one object: its replica set (in
+/// insertion order — index 0 is the walk anchor) and its live read
+/// counters as `(edge, count)` pairs.
+pub type ObjectExport = (Vec<NodeId>, Vec<(EdgeId, u64)>);
+
 /// Counters accumulated over a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DynamicStats {
@@ -193,6 +198,10 @@ pub struct DynamicStats {
     pub replications: u64,
     /// Collapse events triggered by writes.
     pub collapses: u64,
+    /// Fault-repair replication events — the subset of `replications`
+    /// performed to heal copy sets around a bus outage (each paid `D`
+    /// on one edge, exactly like any other replication).
+    pub repairs: u64,
 }
 
 impl DynamicStats {
@@ -203,6 +212,7 @@ impl DynamicStats {
             writes: self.writes + other.writes,
             replications: self.replications + other.replications,
             collapses: self.collapses + other.collapses,
+            repairs: self.repairs + other.repairs,
         }
     }
 }
@@ -333,6 +343,69 @@ impl DynamicTree {
         for &v in nodes {
             st.insert_replica(v);
         }
+    }
+
+    /// Number of objects this strategy was constructed for.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Export the live state of `x` for durable serialization: its
+    /// replica set (in insertion order — `replicas[0]` is the walk
+    /// anchor) and its live read counters as `(edge, count)` pairs in
+    /// ascending edge order. `None` for an untouched object.
+    ///
+    /// "Live" is kernel-aware: the fast kernel's counters are valid only
+    /// under the current generation stamp, while the reference kernel
+    /// addresses counts physically and never stamps — the export reads
+    /// exactly what the bound kernel would, so a
+    /// [`DynamicTree::restore_object`] roundtrip resumes bit-for-bit
+    /// under either kernel.
+    pub fn export_object(&self, x: ObjectId) -> Option<ObjectExport> {
+        let st = self.objects[x.index()].as_ref()?;
+        let physical = self.mode == Some(ServeMode::Reference);
+        let counters = st
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count > 0 && (physical || s.cstamp == st.gen))
+            .map(|(i, s)| (EdgeId(i as u32), s.count))
+            .collect();
+        Some((st.replicas.clone(), counters))
+    }
+
+    /// Rebuild the state of `x` from an [`DynamicTree::export_object`]
+    /// snapshot: seed the replica set (uncharged, exactly like
+    /// [`DynamicTree::seed_replicas`]) and re-install the live read
+    /// counters. `replicas` must be non-empty and connected.
+    pub fn restore_object(
+        &mut self,
+        net: &Network,
+        x: ObjectId,
+        replicas: &[NodeId],
+        counters: &[(EdgeId, u64)],
+    ) {
+        self.seed_replicas(net, x, replicas);
+        let st = self.objects[x.index()].as_mut().expect("seeded above");
+        // Counters are installed both physically (read densely by the
+        // reference kernel) and under the live stamp (read by the fast
+        // kernel), so the restored tree serves identically on either.
+        let gen = st.gen;
+        for &(e, c) in counters {
+            st.grow_to(e.index());
+            let slot = &mut st.slots[e.index()];
+            slot.cstamp = gen;
+            slot.count = c;
+        }
+    }
+
+    /// Overwrite the accumulated loads and stats — the accounting half
+    /// of a durable restore, paired with per-object
+    /// [`DynamicTree::restore_object`] calls.
+    pub fn restore_accounting(&mut self, loads: LoadMap, stats: DynamicStats) {
+        self.loads = loads;
+        self.stats = stats;
     }
 
     /// Process one request with the internally owned workspace — the

@@ -13,7 +13,7 @@
 
 use crate::placement::{Bottleneck, CongestionReport, Placement};
 use crate::ratio::LoadRatio;
-use hbn_topology::{steiner, EdgeId, Network, NodeId};
+use hbn_topology::{steiner, CapacityOverlay, EdgeId, Network, NodeId};
 use hbn_workload::{AccessMatrix, ObjectId};
 
 /// Per-edge loads of a placement (undirected; indexed by `EdgeId`, i.e. by
@@ -67,6 +67,13 @@ impl LoadMap {
         self.edge.iter().sum()
     }
 
+    /// The raw per-edge loads, indexed by [`EdgeId::index`] (one slot per
+    /// node; the root's slot is always zero). Used by the durable
+    /// checkpoint codec, which serializes load maps edge by edge.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.edge
+    }
+
     /// Zero every edge load in place, keeping the allocation. Used by the
     /// scenario engine's epoch-delta accumulators, which reuse one map per
     /// run instead of cloning the strategy's cumulative loads every epoch.
@@ -113,6 +120,35 @@ impl LoadMap {
         for v in net.nodes().filter(|&v| net.is_bus(v)) {
             // bus load = (Σ incident)/2, bandwidth b(v): compare Σ/(2b).
             let r = LoadRatio::new(self.bus_load_x2(net, v), 2 * net.node_bandwidth(v));
+            if r > best.congestion {
+                best = CongestionReport { congestion: r, bottleneck: Bottleneck::Bus(v) };
+            }
+        }
+        best
+    }
+
+    /// [`LoadMap::congestion`] under a per-bus capacity overlay: bus
+    /// ratios are normalized by the *effective* (possibly degraded)
+    /// bandwidth. A pristine overlay yields bit-identical results to
+    /// [`LoadMap::congestion`] — same iteration order, same strict-`>`
+    /// replacement. A *down* bus is normalized by its degraded
+    /// bandwidth too (outages are a bounded per-replay window, not a
+    /// whole-epoch zero-capacity denominator).
+    pub fn congestion_with(&self, net: &Network, overlay: &CapacityOverlay) -> CongestionReport {
+        let mut best =
+            CongestionReport { congestion: LoadRatio::ZERO, bottleneck: Bottleneck::None };
+        for e in net.edges() {
+            let r = LoadRatio::new(self.edge_load(e), net.edge_bandwidth(e));
+            if r > best.congestion {
+                best = CongestionReport { congestion: r, bottleneck: Bottleneck::Edge(e) };
+            }
+        }
+        for v in net.nodes().filter(|&v| net.is_bus(v)) {
+            // bus load = (Σ incident)/2, bandwidth b(v): compare Σ/(2b).
+            let r = LoadRatio::new(
+                self.bus_load_x2(net, v),
+                2 * overlay.effective_node_bandwidth(net, v),
+            );
             if r > best.congestion {
                 best = CongestionReport { congestion: r, bottleneck: Bottleneck::Bus(v) };
             }
@@ -388,6 +424,46 @@ mod tests {
         assert_eq!(rep.congestion, LoadRatio::new(6, 1));
         // Now drop bus bandwidth relevance: check explicit bus value.
         assert_eq!(loads.bus_load_x2(&net, net.root()), 12);
+    }
+
+    #[test]
+    fn congestion_with_pristine_overlay_is_identity() {
+        let net = star(4, 2);
+        let x = ObjectId(0);
+        let p = net.processors();
+        let mut m = AccessMatrix::new(1);
+        m.add(p[0], x, 5, 0);
+        m.add(p[1], x, 5, 0);
+        let pl = Placement::single_leaf(&net, &m, |_| p[3]);
+        let loads = LoadMap::from_placement(&net, &m, &pl);
+        let overlay = CapacityOverlay::pristine(net.n_nodes());
+        assert_eq!(loads.congestion_with(&net, &overlay), loads.congestion(&net));
+    }
+
+    #[test]
+    fn congestion_with_degraded_bus_raises_bus_ratio() {
+        let net = star(4, 8);
+        let x = ObjectId(0);
+        let p = net.processors();
+        let mut m = AccessMatrix::new(1);
+        m.add(p[0], x, 4, 0);
+        let pl = Placement::single_leaf(&net, &m, |_| p[3]);
+        let loads = LoadMap::from_placement(&net, &m, &pl);
+        // Pristine: bus carries (4+4)/2 = 4 over b = 8 → 1/2; edges 4/1.
+        let mut overlay = CapacityOverlay::pristine(net.n_nodes());
+        assert_eq!(loads.congestion_with(&net, &overlay), loads.congestion(&net));
+        // Degrade the bus to b = 1: bus ratio becomes 4/1 but edges tie
+        // first; degrade to effective 1 with higher load to dominate.
+        overlay.degrade(net.root(), 8);
+        let rep = loads.congestion_with(&net, &overlay);
+        assert_eq!(rep.congestion, LoadRatio::new(4, 1));
+        let pristine = loads.congestion(&net);
+        assert!(rep.congestion >= pristine.congestion);
+        // 16x degradation pushes the bus past the edges: 8/(2·1) vs 4/1
+        // ties again — check the ratio value is normalized by the
+        // effective bandwidth, not the pristine one.
+        assert_eq!(loads.bus_load_x2(&net, net.root()), 8);
+        assert_eq!(overlay.effective_node_bandwidth(&net, net.root()), 1);
     }
 
     #[test]

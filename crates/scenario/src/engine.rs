@@ -36,9 +36,9 @@ use hbn_sim::SimError;
 use hbn_topology::Network;
 use rayon::prelude::*;
 
-/// The six request/migration counters every reporting granularity
-/// shares — epoch, phase and whole run carry one `TrafficCounters`
-/// instead of six duplicated fields, and aggregation is `+=`.
+/// The request/migration counters every reporting granularity shares —
+/// epoch, phase and whole run carry one `TrafficCounters` instead of
+/// eight duplicated fields, and aggregation is `+=`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TrafficCounters {
     /// Requests served.
@@ -57,6 +57,12 @@ pub struct TrafficCounters {
     /// Migration traffic charged to the strategy's loads
     /// (`replications × D`, exactly — same unit for every strategy).
     pub migration_traffic: u64,
+    /// The subset of `replications` performed to heal copy sets around a
+    /// bus outage (strategy self-healing at fault boundaries).
+    pub repairs: u64,
+    /// Repair traffic charged to the strategy's loads (`repairs × D` —
+    /// repair fetches are charged exactly like migration).
+    pub repair_traffic: u64,
 }
 
 impl std::ops::AddAssign for TrafficCounters {
@@ -67,6 +73,8 @@ impl std::ops::AddAssign for TrafficCounters {
         self.replications += rhs.replications;
         self.collapses += rhs.collapses;
         self.migration_traffic += rhs.migration_traffic;
+        self.repairs += rhs.repairs;
+        self.repair_traffic += rhs.repair_traffic;
     }
 }
 
@@ -92,6 +100,11 @@ pub struct EpochSummary {
     pub p99_latency: u64,
     /// Live objects at the epoch boundary.
     pub live_objects: usize,
+    /// Buses fully down during this epoch (from the spec's
+    /// [`crate::FaultPlan`]).
+    pub buses_down: usize,
+    /// Buses degraded (capacity divided) but not down during this epoch.
+    pub buses_degraded: usize,
 }
 
 /// Per-phase aggregation of the phase's epochs.
@@ -141,9 +154,32 @@ pub struct ScenarioReport {
     pub hindsight_congestion: LoadRatio,
     /// `online / hindsight` congestion ratio (`None` when hindsight is 0).
     pub competitive_ratio: Option<f64>,
+    /// Epochs from the end of the last faulty epoch until the per-epoch
+    /// online congestion first returns to its pre-fault peak — the
+    /// recovery time of the run. `None` when the run had no faults, the
+    /// first fault hit at epoch 0 (no baseline), or congestion never
+    /// returned to baseline before the run ended.
+    pub recovery_epochs: Option<u64>,
     /// Strategy event counters over the whole run (merged across
     /// [`crate::Session::swap_strategy`] retirements).
     pub stats: DynamicStats,
+}
+
+/// Recovery time from the epoch record: the distance (in epochs) from
+/// the last faulty epoch to the first later epoch whose online
+/// congestion is back at or below the pre-fault peak.
+pub(crate) fn recovery_epochs(epochs: &[EpochSummary]) -> Option<u64> {
+    let faulty = |e: &EpochSummary| e.buses_down + e.buses_degraded > 0;
+    let first = epochs.iter().position(faulty)?;
+    if first == 0 {
+        return None; // no pre-fault epochs to take a baseline from
+    }
+    let baseline = epochs[..first].iter().map(|e| e.online_congestion).max()?;
+    let last = epochs.iter().rposition(faulty)?;
+    epochs[last + 1..]
+        .iter()
+        .position(|e| e.online_congestion <= baseline)
+        .map(|offset| offset as u64 + 1)
 }
 
 /// Aggregate a phase's epochs into its summary.

@@ -24,6 +24,16 @@
 //! hierarchical bus network, with the simulator checking that completion
 //! time tracks the congestion of the data management strategy.
 //!
+//! Two robustness layers ride on the session: a deterministic, seeded
+//! **fault plan** ([`FaultPlan`] on the spec) degrades or downs buses
+//! for epoch windows — strategies self-heal their copy sets around the
+//! outage (repair traffic charged exactly like migration, surfaced as
+//! [`TrafficCounters::repairs`]) while the replay defers (never drops)
+//! packets of a downed bus — and **durable checkpoints**
+//! ([`SessionCheckpoint::save`] / [`Session::restore_from_file`]):
+//! versioned, checksummed, atomically written files from which a killed
+//! run resumes bit for bit.
+//!
 //! ```
 //! use hbn_scenario::{run_scenario, ScenarioSpec, TopologyFamily};
 //! use hbn_workload::phases::full_tour;
@@ -52,15 +62,21 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod engine;
+pub mod faults;
 pub mod session;
 pub mod spec;
 pub mod strategy;
 
+pub use durable::RestoreError;
 pub use engine::{
     run_scenario, run_scenario_sharded, run_scenario_sharded_with, run_scenario_with,
     try_run_scenario, try_run_scenario_with, EpochSummary, PhaseSummary, ScenarioReport,
     TrafficCounters,
+};
+pub use faults::{
+    FaultEvent, FaultKind, FaultPlan, FaultPlanError, FaultView, DEFAULT_OUTAGE_SLOTS,
 };
 pub use session::{Session, SessionCheckpoint};
 pub use spec::{

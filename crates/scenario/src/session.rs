@@ -23,15 +23,26 @@
 //!   resumed run reproduces an unbroken one exactly
 //!   (`exp_session_resume` proves it at benchmark scale).
 
-use crate::engine::{summarise_phase, EpochSummary, PhaseSummary, ScenarioReport, TrafficCounters};
+use crate::durable::{
+    put_f64, put_loads, put_ratio, put_stats, put_str, put_u32, put_u64, read_frame,
+    spec_fingerprint, write_frame, Dec, RestoreError,
+};
+use crate::engine::{
+    recovery_epochs, summarise_phase, EpochSummary, PhaseSummary, ScenarioReport, TrafficCounters,
+};
+use crate::faults::FaultView;
 use crate::spec::{ExecutionConfig, ReplayKernel, ScenarioSpec};
-use crate::strategy::Strategy;
+use crate::strategy::{strategy_from_durable, Strategy};
 use hbn_core::nibble_placement;
 use hbn_dynamic::{DynamicStats, OnlineRequest};
 use hbn_load::{LoadMap, Placement};
-use hbn_sim::{simulate_reference, simulate_with, Request, SimError, SimResult, SimWorkspace};
-use hbn_topology::Network;
-use hbn_workload::{AccessMatrix, PhaseRequest, PhaseStreamState};
+use hbn_sim::{
+    simulate_reference, simulate_reference_overlay, simulate_with, simulate_with_overlay, Request,
+    SimError, SimResult, SimWorkspace,
+};
+use hbn_topology::{Network, NodeId};
+use hbn_workload::{AccessMatrix, ObjectId, PhaseRequest, PhaseStreamState};
+use std::path::Path;
 
 fn stats_delta(cur: DynamicStats, prev: DynamicStats) -> DynamicStats {
     DynamicStats {
@@ -39,6 +50,7 @@ fn stats_delta(cur: DynamicStats, prev: DynamicStats) -> DynamicStats {
         writes: cur.writes - prev.writes,
         replications: cur.replications - prev.replications,
         collapses: cur.collapses - prev.collapses,
+        repairs: cur.repairs - prev.repairs,
     }
 }
 
@@ -64,6 +76,10 @@ pub struct SessionCheckpoint {
     spec: ScenarioSpec,
     strategy: Box<dyn Strategy>,
     stream: PhaseStreamState,
+    /// Requests drawn from the stream so far — the durable form of the
+    /// stream cursor (a disk restore replays this many draws from a
+    /// fresh seed instead of serializing RNG internals).
+    requests_drawn: u64,
     aggregate: AccessMatrix,
     cum: LoadMap,
     phase_delta: LoadMap,
@@ -83,6 +99,277 @@ impl SessionCheckpoint {
     pub fn epoch_index(&self) -> usize {
         self.epoch_idx
     }
+
+    /// Write the checkpoint to `path` as a durable file: a versioned,
+    /// checksummed frame written atomically (tmp sibling + fsync +
+    /// rename), so a crash mid-write leaves any previous checkpoint
+    /// intact. Restore with [`Session::restore_from_file`].
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::UnsupportedStrategy`] when the policy does not
+    /// implement [`Strategy::durable`] (external policies by default);
+    /// [`RestoreError::Io`] on filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), RestoreError> {
+        let strategy_bytes = self
+            .strategy
+            .durable()
+            .ok_or_else(|| RestoreError::UnsupportedStrategy(self.strategy.label()))?;
+        let mut p = Vec::new();
+        put_u64(&mut p, spec_fingerprint(&self.spec));
+        put_u64(&mut p, self.requests_drawn);
+        put_u64(&mut p, strategy_bytes.len() as u64);
+        p.extend_from_slice(&strategy_bytes);
+        put_matrix(&mut p, &self.aggregate);
+        put_loads(&mut p, &self.cum);
+        put_loads(&mut p, &self.phase_delta);
+        put_loads(&mut p, &self.retired_loads);
+        put_stats(&mut p, self.retired_stats);
+        put_stats(&mut p, self.stats_mark);
+        put_u64(&mut p, self.epoch_idx as u64);
+        put_u64(&mut p, self.phase_idx as u64);
+        put_u64(&mut p, self.remaining_in_phase as u64);
+        put_u64(&mut p, self.phase_start as u64);
+        put_u64(&mut p, self.epochs.len() as u64);
+        for e in &self.epochs {
+            put_epoch(&mut p, e);
+        }
+        put_u64(&mut p, self.phases.len() as u64);
+        for ph in &self.phases {
+            put_phase(&mut p, ph);
+        }
+        write_frame(path, &p)
+    }
+}
+
+// --- durable session codec --------------------------------------------
+
+fn put_matrix(out: &mut Vec<u8>, matrix: &AccessMatrix) {
+    put_u64(out, matrix.n_objects() as u64);
+    for x in matrix.objects() {
+        let entries = matrix.object_entries(x);
+        put_u64(out, entries.len() as u64);
+        for e in entries {
+            put_u32(out, e.processor.0);
+            put_u64(out, e.reads);
+            put_u64(out, e.writes);
+        }
+    }
+}
+
+fn read_matrix(
+    dec: &mut Dec<'_>,
+    net: &Network,
+    max_objects: usize,
+) -> Result<AccessMatrix, String> {
+    let n = dec.u64()? as usize;
+    if n != max_objects {
+        return Err(format!("matrix of {n} objects, expected {max_objects}"));
+    }
+    let mut matrix = AccessMatrix::new(n);
+    for i in 0..n {
+        let n_entries = dec.len(20)?;
+        for _ in 0..n_entries {
+            let p = NodeId(dec.u32()?);
+            if p.index() >= net.n_nodes() || !net.is_processor(p) {
+                return Err(format!("matrix entry at non-processor node {}", p.0));
+            }
+            let reads = dec.u64()?;
+            let writes = dec.u64()?;
+            if reads == 0 && writes == 0 {
+                return Err("empty matrix entry".into());
+            }
+            matrix.add(p, ObjectId(i as u32), reads, writes);
+        }
+    }
+    Ok(matrix)
+}
+
+fn put_traffic(out: &mut Vec<u8>, t: TrafficCounters) {
+    put_u64(out, t.requests);
+    put_u64(out, t.reads);
+    put_u64(out, t.writes);
+    put_u64(out, t.replications);
+    put_u64(out, t.collapses);
+    put_u64(out, t.migration_traffic);
+    put_u64(out, t.repairs);
+    put_u64(out, t.repair_traffic);
+}
+
+fn read_traffic(dec: &mut Dec<'_>) -> Result<TrafficCounters, String> {
+    Ok(TrafficCounters {
+        requests: dec.u64()?,
+        reads: dec.u64()?,
+        writes: dec.u64()?,
+        replications: dec.u64()?,
+        collapses: dec.u64()?,
+        migration_traffic: dec.u64()?,
+        repairs: dec.u64()?,
+        repair_traffic: dec.u64()?,
+    })
+}
+
+fn put_epoch(out: &mut Vec<u8>, e: &EpochSummary) {
+    put_u64(out, e.phase as u64);
+    put_traffic(out, e.traffic);
+    put_ratio(out, e.online_congestion);
+    put_ratio(out, e.placement_congestion);
+    put_u64(out, e.makespan);
+    put_f64(out, e.mean_latency);
+    put_u64(out, e.p99_latency);
+    put_u64(out, e.live_objects as u64);
+    put_u64(out, e.buses_down as u64);
+    put_u64(out, e.buses_degraded as u64);
+}
+
+fn read_epoch(dec: &mut Dec<'_>) -> Result<EpochSummary, String> {
+    Ok(EpochSummary {
+        phase: dec.u64()? as usize,
+        traffic: read_traffic(dec)?,
+        online_congestion: dec.ratio()?,
+        placement_congestion: dec.ratio()?,
+        makespan: dec.u64()?,
+        mean_latency: dec.f64()?,
+        p99_latency: dec.u64()?,
+        live_objects: dec.u64()? as usize,
+        buses_down: dec.u64()? as usize,
+        buses_degraded: dec.u64()? as usize,
+    })
+}
+
+fn put_phase(out: &mut Vec<u8>, ph: &PhaseSummary) {
+    put_str(out, &ph.label);
+    put_u64(out, ph.epochs as u64);
+    put_traffic(out, ph.traffic);
+    put_ratio(out, ph.online_congestion);
+    put_u64(out, ph.makespan);
+    put_f64(out, ph.mean_latency);
+    put_u64(out, ph.p99_latency);
+}
+
+fn read_phase(dec: &mut Dec<'_>) -> Result<PhaseSummary, String> {
+    Ok(PhaseSummary {
+        label: dec.string()?,
+        epochs: dec.u64()? as usize,
+        traffic: read_traffic(dec)?,
+        online_congestion: dec.ratio()?,
+        makespan: dec.u64()?,
+        mean_latency: dec.f64()?,
+        p99_latency: dec.u64()?,
+    })
+}
+
+/// Decode a durable payload back into a checkpoint under `spec`,
+/// validating the spec fingerprint, every length and every index, and
+/// rebuilding the stream cursor by replaying the recorded number of
+/// draws from the spec's seed.
+fn decode_checkpoint(
+    spec: &ScenarioSpec,
+    payload: &[u8],
+) -> Result<SessionCheckpoint, RestoreError> {
+    let net = spec.topology.build();
+    let max_objects = spec.schedule.max_objects();
+    let mut dec = Dec::new(payload);
+    let found = dec.u64().map_err(RestoreError::Malformed)?;
+    let expected = spec_fingerprint(spec);
+    if found != expected {
+        return Err(RestoreError::SpecMismatch { expected, found });
+    }
+    let checkpoint = decode_checkpoint_body(spec, &net, max_objects, &mut dec)
+        .map_err(RestoreError::Malformed)?;
+    dec.finish().map_err(RestoreError::Malformed)?;
+    Ok(checkpoint)
+}
+
+fn decode_checkpoint_body(
+    spec: &ScenarioSpec,
+    net: &Network,
+    max_objects: usize,
+    dec: &mut Dec<'_>,
+) -> Result<SessionCheckpoint, String> {
+    let requests_drawn = dec.u64()?;
+    let strategy_bytes = dec.bytes()?;
+    let strategy = strategy_from_durable(net, &spec.exec, max_objects, strategy_bytes)?;
+    let aggregate = read_matrix(dec, net, max_objects)?;
+    let cum = dec.loads(net)?;
+    let phase_delta = dec.loads(net)?;
+    let retired_loads = dec.loads(net)?;
+    let retired_stats = dec.stats()?;
+    let stats_mark = dec.stats()?;
+    let epoch_idx = dec.u64()? as usize;
+    let phase_idx = dec.u64()? as usize;
+    let remaining_in_phase = dec.u64()? as usize;
+    let phase_start = dec.u64()? as usize;
+    let n_epochs = dec.len(1)?;
+    let epochs = (0..n_epochs).map(|_| read_epoch(dec)).collect::<Result<Vec<_>, _>>()?;
+    let n_phases = dec.len(1)?;
+    let phases = (0..n_phases).map(|_| read_phase(dec)).collect::<Result<Vec<_>, _>>()?;
+    let mut stream = spec.schedule.stream_state(net, spec.seed);
+    for drawn in 0..requests_drawn {
+        if stream.next_request(&spec.schedule, net).is_none() {
+            return Err(format!(
+                "stream cursor {requests_drawn} beyond the schedule (exhausted after {drawn})"
+            ));
+        }
+    }
+    Ok(SessionCheckpoint {
+        spec: spec.clone(),
+        strategy,
+        stream,
+        requests_drawn,
+        aggregate,
+        cum,
+        phase_delta,
+        retired_loads,
+        retired_stats,
+        stats_mark,
+        epoch_idx,
+        phase_idx,
+        remaining_in_phase,
+        phase_start,
+        epochs,
+        phases,
+    })
+}
+
+/// The internal-consistency checks of [`Session::restore`]: the fault
+/// plan must be valid on the instantiated network and every schedule
+/// cursor in range and mutually consistent.
+fn validate_cursors(cp: &SessionCheckpoint, net: &Network) -> Result<(), RestoreError> {
+    let bad = |msg: String| Err(RestoreError::InvalidState(msg));
+    if let Err(e) = cp.spec.faults.validate(net) {
+        return bad(format!("invalid fault plan: {e}"));
+    }
+    let n_phases = cp.spec.schedule.phases.len();
+    if cp.phase_idx > n_phases {
+        return bad(format!("phase cursor {} beyond {n_phases} phases", cp.phase_idx));
+    }
+    if cp.phases.len() != cp.phase_idx {
+        return bad(format!(
+            "{} completed phases disagree with phase cursor {}",
+            cp.phases.len(),
+            cp.phase_idx
+        ));
+    }
+    if cp.epoch_idx != cp.epochs.len() {
+        return bad(format!(
+            "epoch cursor {} disagrees with {} recorded epochs",
+            cp.epoch_idx,
+            cp.epochs.len()
+        ));
+    }
+    if cp.phase_start > cp.epochs.len() {
+        return bad(format!("phase start {} beyond {} epochs", cp.phase_start, cp.epochs.len()));
+    }
+    if let Some(phase) = cp.spec.schedule.phases.get(cp.phase_idx) {
+        if cp.remaining_in_phase > phase.requests {
+            return bad(format!(
+                "{} requests remaining in a {}-request phase",
+                cp.remaining_in_phase, phase.requests
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// One scenario run as a stateful, incremental driver — see the module
@@ -121,6 +408,9 @@ pub struct Session {
     strategy: Box<dyn Strategy>,
     ws: SimWorkspace,
     stream: PhaseStreamState,
+    /// Requests drawn from the stream so far (the durable stream
+    /// cursor — see [`SessionCheckpoint`]).
+    requests_drawn: u64,
     /// Cumulative observed access matrix (what re-optimizing strategies
     /// see at epoch boundaries).
     aggregate: AccessMatrix,
@@ -167,11 +457,19 @@ impl Session {
     /// end of the engine. The factory receives the instantiated network,
     /// the execution config and the object-count bound, which is
     /// everything a policy constructor needs; `spec.strategy` is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.faults` is invalid on the instantiated network
+    /// ([`crate::FaultPlan::validate`]).
     pub fn with_strategy(
         spec: &ScenarioSpec,
         factory: impl FnOnce(&Network, &ExecutionConfig, usize) -> Box<dyn Strategy>,
     ) -> Session {
         let net = spec.topology.build();
+        if let Err(e) = spec.faults.validate(&net) {
+            panic!("scenario {:?} has an invalid fault plan: {e}", spec.name);
+        }
         let max_objects = spec.schedule.max_objects();
         let strategy = factory(&net, &spec.exec, max_objects);
         let stream = spec.schedule.stream_state(&net, spec.seed);
@@ -182,6 +480,7 @@ impl Session {
             strategy,
             ws: SimWorkspace::new(),
             stream,
+            requests_drawn: 0,
             aggregate: AccessMatrix::new(max_objects),
             cum: LoadMap::zero(&net),
             epoch_delta: LoadMap::zero(&net),
@@ -271,9 +570,11 @@ impl Session {
         };
         self.remaining_in_phase -= epoch_len;
 
-        // Strategy boundary work first: re-optimization / re-seeding
-        // sees only the traffic observed *before* this epoch.
-        self.strategy.begin_epoch(&self.net, self.epoch_idx, &self.aggregate);
+        // Strategy boundary work first: re-optimization / re-seeding /
+        // fault self-healing sees only the traffic observed *before*
+        // this epoch, plus the epoch's fault view.
+        let view = self.spec.faults.fault_view(&self.net, self.epoch_idx);
+        self.strategy.begin_epoch(&self.net, self.epoch_idx, &self.aggregate, &view);
 
         self.epoch_trace.clear();
         self.epoch_online.clear();
@@ -284,6 +585,7 @@ impl Session {
             else {
                 break;
             };
+            self.requests_drawn += 1;
             self.epoch_trace.push(Request { processor, object, is_write });
             self.epoch_online.push(OnlineRequest { processor, object, is_write });
             if is_write {
@@ -295,7 +597,7 @@ impl Session {
             }
         }
 
-        let summary = self.run_epoch_body(self.phase_idx, &epoch_matrix, true)?;
+        let summary = self.run_epoch_body(self.phase_idx, &epoch_matrix, true, &view)?;
         if self.remaining_in_phase == 0 {
             self.finish_phase();
         }
@@ -358,7 +660,8 @@ impl Session {
                 "pushed request {i} is issued from a non-processor node"
             );
         }
-        self.strategy.begin_epoch(&self.net, self.epoch_idx, &self.aggregate);
+        let view = self.spec.faults.fault_view(&self.net, self.epoch_idx);
+        self.strategy.begin_epoch(&self.net, self.epoch_idx, &self.aggregate, &view);
         self.epoch_trace.clear();
         self.epoch_online.clear();
         let mut epoch_matrix = AccessMatrix::new(self.max_objects);
@@ -373,7 +676,7 @@ impl Session {
             epoch_matrix.add(req.processor, req.object, r, w);
             self.aggregate.add(req.processor, req.object, r, w);
         }
-        self.run_epoch_body(self.spec.schedule.phases.len(), &epoch_matrix, false)
+        self.run_epoch_body(self.spec.schedule.phases.len(), &epoch_matrix, false, &view)
     }
 
     /// The shared tail of an epoch: serve the buffered trace, snapshot,
@@ -384,6 +687,7 @@ impl Session {
         phase: usize,
         epoch_matrix: &AccessMatrix,
         in_phase: bool,
+        view: &FaultView,
     ) -> Result<EpochSummary, SimError> {
         let reads = self.epoch_online.iter().filter(|r| !r.is_write).count() as u64;
         let writes = self.epoch_online.len() as u64 - reads;
@@ -396,8 +700,12 @@ impl Session {
         // placement serving the epoch matrix; charge it before the epoch
         // delta is taken. (No-op for per-request-charging strategies.)
         self.strategy.charge_service(&placement_loads);
-        let sim: SimResult = match self.spec.exec.replay {
-            ReplayKernel::Workspace => simulate_with(
+        // A pristine fault view takes the exact legacy replay path; under
+        // faults the same kernels run with the epoch's capacity overlay
+        // (down buses forward nothing for the outage window, degraded
+        // buses at reduced capacity — traffic defers, it is never lost).
+        let sim: SimResult = match (self.spec.exec.replay, view.is_pristine()) {
+            (ReplayKernel::Workspace, true) => simulate_with(
                 &mut self.ws,
                 &self.net,
                 epoch_matrix,
@@ -405,12 +713,29 @@ impl Session {
                 &self.epoch_trace,
                 self.spec.exec.sim,
             )?,
-            ReplayKernel::Reference => simulate_reference(
+            (ReplayKernel::Workspace, false) => simulate_with_overlay(
+                &mut self.ws,
                 &self.net,
                 epoch_matrix,
                 &placement,
                 &self.epoch_trace,
                 self.spec.exec.sim,
+                &view.overlay,
+            )?,
+            (ReplayKernel::Reference, true) => simulate_reference(
+                &self.net,
+                epoch_matrix,
+                &placement,
+                &self.epoch_trace,
+                self.spec.exec.sim,
+            )?,
+            (ReplayKernel::Reference, false) => simulate_reference_overlay(
+                &self.net,
+                epoch_matrix,
+                &placement,
+                &self.epoch_trace,
+                self.spec.exec.sim,
+                &view.overlay,
             )?,
         };
 
@@ -428,6 +753,10 @@ impl Session {
         let delta = stats_delta(stats_now, self.stats_mark);
         self.stats_mark = stats_now;
 
+        // Per-epoch congestion is normalized by the epoch's *effective*
+        // capacities (identical to the pristine normalization when no
+        // fault is scheduled), so degraded epochs report degraded-mode
+        // ratios; the aggregate report stays pristine-normalized.
         let summary = EpochSummary {
             phase,
             traffic: TrafficCounters {
@@ -437,13 +766,22 @@ impl Session {
                 replications: delta.replications,
                 collapses: delta.collapses,
                 migration_traffic: delta.replications * self.spec.exec.threshold,
+                repairs: delta.repairs,
+                repair_traffic: delta.repairs * self.spec.exec.threshold,
             },
-            online_congestion: self.epoch_delta.congestion(&self.net).congestion,
-            placement_congestion: placement_loads.congestion(&self.net).congestion,
+            online_congestion: self
+                .epoch_delta
+                .congestion_with(&self.net, &view.overlay)
+                .congestion,
+            placement_congestion: placement_loads
+                .congestion_with(&self.net, &view.overlay)
+                .congestion,
             makespan: sim.makespan,
             mean_latency: sim.mean_latency,
             p99_latency: sim.p99_latency,
             live_objects: self.stream.live_objects().len(),
+            buses_down: view.buses_down,
+            buses_degraded: view.buses_degraded,
         };
         self.epochs.push(summary.clone());
         self.epoch_idx += 1;
@@ -498,6 +836,7 @@ impl Session {
             spec: self.spec.clone(),
             strategy: self.strategy.snapshot(),
             stream: self.stream.clone(),
+            requests_drawn: self.requests_drawn,
             aggregate: self.aggregate.clone(),
             cum: self.cum.clone(),
             phase_delta: self.phase_delta.clone(),
@@ -518,14 +857,24 @@ impl Session {
     /// forward reproduces an unbroken run bit for bit (network and
     /// simulator scratch are rebuilt fresh — they are caches, not
     /// state).
-    pub fn restore(checkpoint: SessionCheckpoint) -> Session {
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::InvalidState`] when the checkpoint is internally
+    /// inconsistent — an invalid fault plan on the instantiated network,
+    /// or schedule cursors out of range. (In-memory checkpoints from
+    /// [`Session::checkpoint`] always pass; the checks guard state that
+    /// crossed a serialization boundary.)
+    pub fn restore(checkpoint: SessionCheckpoint) -> Result<Session, RestoreError> {
         let net = checkpoint.spec.topology.build();
         let max_objects = checkpoint.spec.schedule.max_objects();
-        Session {
+        validate_cursors(&checkpoint, &net)?;
+        Ok(Session {
             max_objects,
             strategy: checkpoint.strategy,
             ws: SimWorkspace::new(),
             stream: checkpoint.stream,
+            requests_drawn: checkpoint.requests_drawn,
             aggregate: checkpoint.aggregate,
             cum: checkpoint.cum,
             epoch_delta: LoadMap::zero(&net),
@@ -543,7 +892,26 @@ impl Session {
             phases: checkpoint.phases,
             spec: checkpoint.spec,
             net,
-        }
+        })
+    }
+
+    /// Rebuild a session from a durable checkpoint file written by
+    /// [`SessionCheckpoint::save`]. `spec` must be the spec of the saved
+    /// run — the file carries a structural fingerprint and restoring
+    /// under a different spec fails with [`RestoreError::SpecMismatch`].
+    /// The stream cursor is restored by replaying the recorded number of
+    /// draws from the spec's seed, so the resumed run is bit-for-bit the
+    /// unbroken one.
+    ///
+    /// # Errors
+    ///
+    /// Every corruption is a clean error, never a panic: i/o failures
+    /// ([`RestoreError::Io`]), bad magic/version/checksum, malformed
+    /// payloads, spec mismatches and inconsistent cursors.
+    pub fn restore_from_file(spec: &ScenarioSpec, path: &Path) -> Result<Session, RestoreError> {
+        let payload = read_frame(path)?;
+        let checkpoint = decode_checkpoint(spec, &payload)?;
+        Session::restore(checkpoint)
     }
 
     /// The report of everything run so far (a complete run's report once
@@ -589,11 +957,12 @@ impl Session {
             seed: self.spec.seed,
             traffic,
             total_makespan: epochs.iter().map(|e| e.makespan).sum(),
-            phases,
-            epochs,
             online_congestion,
             hindsight_congestion,
             competitive_ratio: online_congestion.ratio_to(hindsight_congestion),
+            recovery_epochs: recovery_epochs(&epochs),
+            phases,
+            epochs,
             stats: self.retired_stats.merge(self.strategy.stats()),
         }
     }

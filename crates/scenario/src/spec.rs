@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::faults::FaultPlan;
 use hbn_sim::SimConfig;
 use hbn_topology::generators::{balanced, caterpillar, star, BandwidthProfile};
 use hbn_topology::{Bandwidth, Network};
@@ -322,6 +323,9 @@ pub struct ScenarioSpec {
     /// How the scenario executes: kernels, shard counts, the `D`
     /// threshold and the simulator configuration.
     pub exec: ExecutionConfig,
+    /// Deterministic bus-outage / degradation schedule (empty = no
+    /// faults, bit-for-bit the pre-fault engine).
+    pub faults: FaultPlan,
 }
 
 impl ScenarioSpec {
@@ -375,6 +379,7 @@ impl ScenarioSpec {
                 seed: 0,
                 epoch_requests: 0,
                 exec: ExecutionConfig::default(),
+                faults: FaultPlan::none(),
             },
         }
     }
@@ -453,6 +458,14 @@ impl ScenarioSpecBuilder {
     /// Replace the whole execution configuration at once.
     pub fn execution(mut self, exec: ExecutionConfig) -> Self {
         self.spec.exec = exec;
+        self
+    }
+
+    /// The fault-injection schedule the run executes under (default: no
+    /// faults). [`crate::Session`] validates it against the instantiated
+    /// network.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.spec.faults = faults;
         self
     }
 

@@ -17,11 +17,13 @@
 //! replications × D` holds identically across policies and the reported
 //! congestion numbers stay directly comparable.
 
+use crate::durable::{put_f64, put_loads, put_nodes, put_stats, put_u32, put_u64, put_u8, Dec};
+use crate::faults::FaultView;
 use crate::spec::{ExecutionConfig, ServeKernel, StrategyKind};
 use hbn_core::PlacementKernel;
-use hbn_dynamic::{DynamicStats, DynamicTree, OnlineRequest, ShardedDynamic};
+use hbn_dynamic::{DynamicStats, DynamicTree, ObjectExport, OnlineRequest, ShardedDynamic};
 use hbn_load::{nearest_copy_map, LoadMap, Placement};
-use hbn_topology::{Network, NodeId};
+use hbn_topology::{EdgeId, Network, NodeId};
 use hbn_workload::{AccessMatrix, ObjectId};
 
 /// A data-management policy the scenario [`crate::Session`] can drive.
@@ -57,7 +59,8 @@ use hbn_workload::{AccessMatrix, ObjectId};
 ///
 /// impl Strategy for SingleHome {
 ///     fn label(&self) -> String { "single-home".into() }
-///     fn begin_epoch(&mut self, _: &Network, _: usize, _: &hbn_workload::AccessMatrix) {}
+///     fn begin_epoch(&mut self, _: &Network, _: usize, _: &hbn_workload::AccessMatrix,
+///                    _: &hbn_scenario::FaultView) {}
 ///     fn serve_batch(&mut self, net: &Network, trace: &[OnlineRequest],
 ///                    _: &hbn_workload::AccessMatrix) {
 ///         for req in trace {
@@ -93,8 +96,17 @@ pub trait Strategy: Send {
     /// the epoch's requests are drawn. `observed` is the cumulative
     /// access matrix of everything served so far — re-optimizing
     /// policies recompute placements from it; purely online policies
-    /// ignore it.
-    fn begin_epoch(&mut self, net: &Network, epoch_idx: usize, observed: &AccessMatrix);
+    /// ignore it. `faults` is the epoch's fault view (pristine when the
+    /// spec schedules no faults): self-healing policies evict or re-home
+    /// copies stranded in dead subtrees here, charging repair fetches
+    /// exactly like migration.
+    fn begin_epoch(
+        &mut self,
+        net: &Network,
+        epoch_idx: usize,
+        observed: &AccessMatrix,
+        faults: &FaultView,
+    );
 
     /// Serve one epoch's requests, in trace order. `epoch_matrix` is the
     /// frequency view of exactly `trace` (what a static policy serves
@@ -135,6 +147,17 @@ pub trait Strategy: Send {
     /// [`crate::Session::checkpoint`]: driving the snapshot forward must
     /// reproduce the original bit for bit.
     fn snapshot(&self) -> Box<dyn Strategy>;
+
+    /// Serialize the full policy state for *durable* (on-disk)
+    /// checkpoints — [`crate::SessionCheckpoint::save`]. The five
+    /// built-in policies implement this; external policies keep the
+    /// default `None`, making [`crate::SessionCheckpoint::save`] fail
+    /// with [`crate::RestoreError::UnsupportedStrategy`] instead of
+    /// writing an unrestorable file. A restored strategy must reproduce
+    /// the serialized one bit for bit.
+    fn durable(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Charge the migration of one object's copy set from `old` to `new`:
@@ -215,6 +238,99 @@ fn connected_closure(net: &Network, nodes: &[NodeId]) -> Vec<NodeId> {
     out
 }
 
+/// First non-stranded ancestor of `anchor` — the harbor a wholly
+/// stranded copy set migrates to. The root is never stranded
+/// ([`crate::FaultPlan::validate`] rejects root outages), so the walk
+/// terminates.
+fn harbor_of(net: &Network, view: &FaultView, anchor: NodeId) -> NodeId {
+    let mut harbor = anchor;
+    while view.stranded[harbor.index()] {
+        harbor = net.parent(harbor);
+    }
+    harbor
+}
+
+/// Nearest non-stranded processor to `anchor` (ties by node id) — where
+/// a wholly stranded static copy set relocates. `None` when every
+/// processor is stranded.
+fn harbor_processor(net: &Network, view: &FaultView, anchor: NodeId) -> Option<NodeId> {
+    net.processors()
+        .iter()
+        .copied()
+        .filter(|p| !view.stranded[p.index()])
+        .min_by_key(|&p| (net.distance(anchor, p), p.0))
+}
+
+/// Self-heal a dynamic kernel around a bus outage: copies stranded in a
+/// dead subtree are evicted (free — they are unreachable, not moved),
+/// and a copy set stranded *wholly* is re-homed at its first live
+/// ancestor via a repair fetch charged exactly like a migration
+/// ([`charged_migration`] at `D` per edge). `repairs` counts the
+/// `D`-sized repair transfers — always a subset of `replications`, so
+/// `migration_traffic = replications × D` keeps holding.
+fn heal_dynamic(
+    kernel: &mut DynKernel,
+    net: &Network,
+    view: &FaultView,
+    d: u64,
+    loads: &mut LoadMap,
+    stats: &mut DynamicStats,
+) {
+    for i in 0..kernel.n_objects() {
+        let x = ObjectId(i as u32);
+        let replicas = kernel.replicas(x).to_vec();
+        if replicas.is_empty() {
+            continue;
+        }
+        let stranded = replicas.iter().filter(|v| view.stranded[v.index()]).count();
+        if stranded == 0 {
+            continue;
+        }
+        if stranded == replicas.len() {
+            // The whole set sits inside a dead subtree: fetch one fresh
+            // copy up to the first live ancestor. `harbor` is a strict
+            // ancestor outside the set, so every old copy collapses.
+            let harbor = harbor_of(net, view, replicas[0]);
+            let transfers = charged_migration(net, &replicas, &[harbor], d, loads);
+            stats.replications += transfers;
+            stats.repairs += transfers;
+            stats.collapses += replicas.len() as u64;
+            kernel.seed_replicas(net, x, &[harbor]);
+        } else {
+            // Part of the set survives. Strandedness is downward-closed,
+            // so the survivors of a connected replica set stay connected
+            // — a valid seed.
+            let survivors: Vec<NodeId> =
+                replicas.iter().copied().filter(|v| !view.stranded[v.index()]).collect();
+            stats.collapses += stranded as u64;
+            kernel.seed_replicas(net, x, &survivors);
+        }
+    }
+}
+
+/// Clamp a freshly optimized placement to the live part of the network:
+/// stranded copies are dropped, and a copy set that would be wholly
+/// stranded is redirected to the nearest live processor. Objects with no
+/// live processor anywhere keep their computed set — the outage window
+/// is bounded, so the epoch still drains.
+fn sanitize_placement(net: &Network, view: &FaultView, placement: &mut Placement) {
+    for i in 0..placement.n_objects() {
+        let x = ObjectId(i as u32);
+        let copies = placement.copies(x);
+        if copies.is_empty() || copies.iter().all(|v| !view.stranded[v.index()]) {
+            continue;
+        }
+        let copies = copies.to_vec();
+        let survivors: Vec<NodeId> =
+            copies.iter().copied().filter(|v| !view.stranded[v.index()]).collect();
+        if !survivors.is_empty() {
+            placement.set_copies(x, survivors);
+        } else if let Some(harbor) = harbor_processor(net, view, copies[0]) {
+            placement.set_copies(x, vec![harbor]);
+        }
+    }
+}
+
 /// The dynamic-strategy serve kernel of one run: the object-sharded
 /// workspace kernel ([`hbn_dynamic::ShardedDynamic`]) or the unsharded
 /// naive reference kernel.
@@ -282,6 +398,55 @@ impl DynKernel {
         match self {
             DynKernel::Sharded(sharded) => sharded.stats(),
             DynKernel::Reference(tree) => tree.stats(),
+        }
+    }
+
+    /// Number of objects the kernel was constructed for.
+    fn n_objects(&self) -> usize {
+        match self {
+            DynKernel::Sharded(sharded) => sharded.n_objects(),
+            DynKernel::Reference(tree) => tree.n_objects(),
+        }
+    }
+
+    /// Export the live state of `x` (replicas + live edge counters) for
+    /// durable serialization.
+    fn export_object(&self, x: ObjectId) -> Option<ObjectExport> {
+        match self {
+            DynKernel::Sharded(sharded) => sharded.export_object(x),
+            DynKernel::Reference(tree) => tree.export_object(x),
+        }
+    }
+
+    /// Rebuild the state of `x` from an export.
+    fn restore_object(
+        &mut self,
+        net: &Network,
+        x: ObjectId,
+        replicas: &[NodeId],
+        counters: &[(EdgeId, u64)],
+    ) {
+        match self {
+            DynKernel::Sharded(sharded) => sharded.restore_object(net, x, replicas, counters),
+            DynKernel::Reference(tree) => tree.restore_object(net, x, replicas, counters),
+        }
+    }
+
+    /// The merged cumulative loads and counters, as owned values (for
+    /// durable serialization, which has no network handy for a scratch
+    /// map).
+    fn export_accounting(&self) -> (LoadMap, DynamicStats) {
+        match self {
+            DynKernel::Sharded(sharded) => sharded.export_accounting(),
+            DynKernel::Reference(tree) => (tree.loads().clone(), tree.stats()),
+        }
+    }
+
+    /// Install restored accounting totals.
+    fn restore_accounting(&mut self, loads: LoadMap, stats: DynamicStats) {
+        match self {
+            DynKernel::Sharded(sharded) => sharded.restore_accounting(loads, stats),
+            DynKernel::Reference(tree) => tree.restore_accounting(loads, stats),
         }
     }
 
@@ -372,6 +537,43 @@ impl StaticCore {
         self.placed = true;
     }
 
+    /// Self-heal the held placement around a bus outage: stranded copies
+    /// are dropped free (they are unreachable, not moved), and a copy set
+    /// stranded *wholly* is relocated to the nearest live processor via a
+    /// repair fetch charged exactly like a migration
+    /// ([`charged_migration`] at `D` per edge). An object with no live
+    /// processor anywhere keeps its set — the outage window is bounded,
+    /// so its traffic drains when the bus returns.
+    fn heal(&mut self, net: &Network, view: &FaultView, d: u64) {
+        if !self.placed {
+            return;
+        }
+        for i in 0..self.copies.n_objects() {
+            let x = ObjectId(i as u32);
+            let copies = self.copies.copies(x);
+            if copies.is_empty() {
+                continue;
+            }
+            let stranded = copies.iter().filter(|v| view.stranded[v.index()]).count();
+            if stranded == 0 {
+                continue;
+            }
+            let copies = copies.to_vec();
+            if stranded < copies.len() {
+                let survivors: Vec<NodeId> =
+                    copies.iter().copied().filter(|v| !view.stranded[v.index()]).collect();
+                self.stats.collapses += stranded as u64;
+                self.copies.set_copies(x, survivors);
+            } else if let Some(harbor) = harbor_processor(net, view, copies[0]) {
+                let transfers = charged_migration(net, &copies, &[harbor], d, &mut self.loads);
+                self.stats.replications += transfers;
+                self.stats.repairs += transfers;
+                self.stats.collapses += copies.len() as u64;
+                self.copies.set_copies(x, vec![harbor]);
+            }
+        }
+    }
+
     /// Inherit a predecessor's copy sets verbatim, free of charge.
     fn adopt(&mut self, prior: &dyn Strategy, max_objects: usize) {
         for i in 0..max_objects {
@@ -392,6 +594,13 @@ impl StaticCore {
 #[derive(Debug, Clone)]
 pub struct DynamicStrategy {
     kernel: DynKernel,
+    /// Migration charge unit `D` (for outage repair fetches).
+    threshold: u64,
+    /// Loads charged by outage self-healing (the kernel owns its own
+    /// serve loads).
+    heal_loads: LoadMap,
+    /// Healing counters, merged into [`Strategy::stats`].
+    heal_stats: DynamicStats,
 }
 
 impl DynamicStrategy {
@@ -407,7 +616,12 @@ impl DynamicStrategy {
     /// assert_eq!(strategy.label(), "dynamic");
     /// ```
     pub fn new(net: &Network, exec: &ExecutionConfig, max_objects: usize) -> DynamicStrategy {
-        DynamicStrategy { kernel: DynKernel::new(net, exec, max_objects) }
+        DynamicStrategy {
+            kernel: DynKernel::new(net, exec, max_objects),
+            threshold: exec.threshold,
+            heal_loads: LoadMap::zero(net),
+            heal_stats: DynamicStats::default(),
+        }
     }
 }
 
@@ -416,7 +630,24 @@ impl Strategy for DynamicStrategy {
         StrategyKind::Dynamic.to_string()
     }
 
-    fn begin_epoch(&mut self, _net: &Network, _epoch_idx: usize, _observed: &AccessMatrix) {}
+    fn begin_epoch(
+        &mut self,
+        net: &Network,
+        _epoch_idx: usize,
+        _observed: &AccessMatrix,
+        faults: &FaultView,
+    ) {
+        if faults.buses_down > 0 {
+            heal_dynamic(
+                &mut self.kernel,
+                net,
+                faults,
+                self.threshold,
+                &mut self.heal_loads,
+                &mut self.heal_stats,
+            );
+        }
+    }
 
     fn serve_batch(&mut self, net: &Network, trace: &[OnlineRequest], _matrix: &AccessMatrix) {
         self.kernel.serve_trace(net, trace);
@@ -428,10 +659,11 @@ impl Strategy for DynamicStrategy {
 
     fn add_loads_to(&self, out: &mut LoadMap) {
         self.kernel.add_loads_to(out);
+        out.add_assign(&self.heal_loads);
     }
 
     fn stats(&self) -> DynamicStats {
-        self.kernel.stats()
+        self.kernel.stats().merge(self.heal_stats)
     }
 
     fn adopt(&mut self, net: &Network, prior: &dyn Strategy, max_objects: usize) {
@@ -440,6 +672,14 @@ impl Strategy for DynamicStrategy {
 
     fn snapshot(&self) -> Box<dyn Strategy> {
         Box::new(self.clone())
+    }
+
+    fn durable(&self) -> Option<Vec<u8>> {
+        let mut out = vec![TAG_DYNAMIC];
+        put_dyn_kernel(&mut out, &self.kernel);
+        put_loads(&mut out, &self.heal_loads);
+        put_stats(&mut out, self.heal_stats);
+        Some(out)
     }
 }
 
@@ -545,12 +785,30 @@ impl Strategy for PeriodicStatic {
         }
     }
 
-    fn begin_epoch(&mut self, net: &Network, epoch_idx: usize, observed: &AccessMatrix) {
-        if !self.fires(epoch_idx) {
+    fn begin_epoch(
+        &mut self,
+        net: &Network,
+        epoch_idx: usize,
+        observed: &AccessMatrix,
+        faults: &FaultView,
+    ) {
+        if faults.buses_down > 0 {
+            self.core.heal(net, faults, self.threshold);
+        }
+        // A changed outage set triggers an immediate re-placement around
+        // the dead subtree (once a placement exists to migrate from), on
+        // top of the periodic rule.
+        let outage_refit =
+            faults.buses_down > 0 && faults.changed && epoch_idx > 0 && self.core.placed;
+        if !self.fires(epoch_idx) && !outage_refit {
             return;
         }
         let outcome = self.kernel.place(net, observed).expect("static re-optimization failed");
-        self.core.refit(net, observed, outcome.placement, self.threshold);
+        let mut placement = outcome.placement;
+        if faults.buses_down > 0 {
+            sanitize_placement(net, faults, &mut placement);
+        }
+        self.core.refit(net, observed, placement, self.threshold);
     }
 
     fn serve_batch(&mut self, net: &Network, trace: &[OnlineRequest], epoch_matrix: &AccessMatrix) {
@@ -579,6 +837,21 @@ impl Strategy for PeriodicStatic {
 
     fn snapshot(&self) -> Box<dyn Strategy> {
         Box::new(self.clone())
+    }
+
+    fn durable(&self) -> Option<Vec<u8>> {
+        let mut out = vec![TAG_PERIODIC_STATIC];
+        put_static_core(&mut out, &self.core);
+        put_u64(&mut out, self.threshold);
+        put_u64(&mut out, self.replace_every_epochs as u64);
+        match self.first_fire {
+            None => put_u8(&mut out, 0),
+            Some(first) => {
+                put_u8(&mut out, 1);
+                put_u64(&mut out, first as u64);
+            }
+        }
+        Some(out)
     }
 }
 
@@ -647,7 +920,23 @@ impl Strategy for HybridReseed {
         StrategyKind::Hybrid { reseed_every_epochs: self.reseed_every_epochs }.to_string()
     }
 
-    fn begin_epoch(&mut self, net: &Network, epoch_idx: usize, observed: &AccessMatrix) {
+    fn begin_epoch(
+        &mut self,
+        net: &Network,
+        epoch_idx: usize,
+        observed: &AccessMatrix,
+        faults: &FaultView,
+    ) {
+        if faults.buses_down > 0 {
+            heal_dynamic(
+                &mut self.dynamic,
+                net,
+                faults,
+                self.threshold,
+                &mut self.migration_loads,
+                &mut self.seed_stats,
+            );
+        }
         if !self.fires(epoch_idx) {
             return;
         }
@@ -660,6 +949,21 @@ impl Strategy for HybridReseed {
             if seed.is_empty() {
                 continue;
             }
+            // Under an outage, seed only the live part of the nibble set
+            // (still connected — strandedness is downward-closed); skip
+            // the object entirely if the whole set is dead.
+            let live_seed: Vec<NodeId>;
+            let seed: &[NodeId] = if faults.buses_down > 0
+                && seed.iter().any(|v| faults.stranded[v.index()])
+            {
+                live_seed = seed.iter().copied().filter(|v| !faults.stranded[v.index()]).collect();
+                if live_seed.is_empty() {
+                    continue;
+                }
+                &live_seed
+            } else {
+                seed
+            };
             self.seed_stats.replications += charged_migration(
                 net,
                 self.dynamic.replicas(x),
@@ -697,6 +1001,16 @@ impl Strategy for HybridReseed {
     fn snapshot(&self) -> Box<dyn Strategy> {
         Box::new(self.clone())
     }
+
+    fn durable(&self) -> Option<Vec<u8>> {
+        let mut out = vec![TAG_HYBRID];
+        put_dyn_kernel(&mut out, &self.dynamic);
+        put_loads(&mut out, &self.migration_loads);
+        put_stats(&mut out, self.seed_stats);
+        put_u64(&mut out, self.threshold);
+        put_u64(&mut out, self.reseed_every_epochs as u64);
+        Some(out)
+    }
 }
 
 /// The paper's pure static model as its own policy, only expressible
@@ -713,6 +1027,9 @@ impl Strategy for HybridReseed {
 pub struct FrozenStatic {
     core: StaticCore,
     kernel: PlacementKernel,
+    /// Migration charge unit `D` (for outage repair fetches — the only
+    /// migration this policy ever performs).
+    threshold: u64,
 }
 
 impl FrozenStatic {
@@ -730,6 +1047,7 @@ impl FrozenStatic {
         FrozenStatic {
             core: StaticCore::new(net, max_objects),
             kernel: PlacementKernel::new(net, exec.serve_shards),
+            threshold: exec.threshold,
         }
     }
 }
@@ -739,7 +1057,19 @@ impl Strategy for FrozenStatic {
         "frozen-static".into()
     }
 
-    fn begin_epoch(&mut self, _net: &Network, _epoch_idx: usize, _observed: &AccessMatrix) {}
+    fn begin_epoch(
+        &mut self,
+        net: &Network,
+        _epoch_idx: usize,
+        _observed: &AccessMatrix,
+        faults: &FaultView,
+    ) {
+        // Frozen means no re-optimization, not no survival: a bus outage
+        // still evicts stranded copies and re-homes dead sets.
+        if faults.buses_down > 0 {
+            self.core.heal(net, faults, self.threshold);
+        }
+    }
 
     fn serve_batch(&mut self, net: &Network, trace: &[OnlineRequest], epoch_matrix: &AccessMatrix) {
         self.core.serve_batch(net, &mut self.kernel, trace, epoch_matrix);
@@ -767,6 +1097,13 @@ impl Strategy for FrozenStatic {
 
     fn snapshot(&self) -> Box<dyn Strategy> {
         Box::new(self.clone())
+    }
+
+    fn durable(&self) -> Option<Vec<u8>> {
+        let mut out = vec![TAG_FROZEN_STATIC];
+        put_static_core(&mut out, &self.core);
+        put_u64(&mut out, self.threshold);
+        Some(out)
     }
 }
 
@@ -835,7 +1172,30 @@ impl Strategy for ThresholdSwitch {
         format!("threshold-switch(w>={:.2},after={})", self.write_bound, self.min_epochs)
     }
 
-    fn begin_epoch(&mut self, net: &Network, epoch_idx: usize, observed: &AccessMatrix) {
+    fn begin_epoch(
+        &mut self,
+        net: &Network,
+        epoch_idx: usize,
+        observed: &AccessMatrix,
+        faults: &FaultView,
+    ) {
+        if faults.buses_down > 0 {
+            if self.switched {
+                self.core.heal(net, faults, self.threshold);
+            } else {
+                // Pre-switch healing charges into the static core's
+                // accumulators — both are unconditionally merged into the
+                // reported loads and stats.
+                heal_dynamic(
+                    &mut self.dynamic,
+                    net,
+                    faults,
+                    self.threshold,
+                    &mut self.core.loads,
+                    &mut self.core.stats,
+                );
+            }
+        }
         if self.switched || epoch_idx == 0 || epoch_idx < self.min_epochs {
             return;
         }
@@ -900,6 +1260,17 @@ impl Strategy for ThresholdSwitch {
     fn snapshot(&self) -> Box<dyn Strategy> {
         Box::new(self.clone())
     }
+
+    fn durable(&self) -> Option<Vec<u8>> {
+        let mut out = vec![TAG_THRESHOLD_SWITCH];
+        put_dyn_kernel(&mut out, &self.dynamic);
+        put_static_core(&mut out, &self.core);
+        put_u64(&mut out, self.threshold);
+        put_f64(&mut out, self.write_bound);
+        put_u64(&mut out, self.min_epochs as u64);
+        put_u8(&mut out, self.switched as u8);
+        Some(out)
+    }
 }
 
 impl StrategyKind {
@@ -932,4 +1303,207 @@ impl StrategyKind {
             }
         }
     }
+}
+
+// --- durable strategy codec -------------------------------------------
+//
+// Tag byte + policy state. The serve-kernel variant of a [`DynKernel`]
+// is *not* encoded — it is an execution detail reconstructed from
+// `exec.serve`, which the spec fingerprint pins to the saved run.
+
+const TAG_DYNAMIC: u8 = 1;
+const TAG_PERIODIC_STATIC: u8 = 2;
+const TAG_HYBRID: u8 = 3;
+const TAG_FROZEN_STATIC: u8 = 4;
+const TAG_THRESHOLD_SWITCH: u8 = 5;
+
+fn put_dyn_kernel(out: &mut Vec<u8>, kernel: &DynKernel) {
+    let n = kernel.n_objects();
+    put_u64(out, n as u64);
+    for i in 0..n {
+        let x = ObjectId(i as u32);
+        match kernel.export_object(x) {
+            None => put_u8(out, 0),
+            Some((replicas, counters)) => {
+                put_u8(out, 1);
+                put_nodes(out, &replicas);
+                put_u64(out, counters.len() as u64);
+                for (e, c) in counters {
+                    put_u32(out, e.0);
+                    put_u64(out, c);
+                }
+            }
+        }
+    }
+    let (loads, stats) = kernel.export_accounting();
+    put_loads(out, &loads);
+    put_stats(out, stats);
+}
+
+fn check_nodes(nodes: &[NodeId], net: &Network) -> Result<(), String> {
+    match nodes.iter().find(|v| v.index() >= net.n_nodes()) {
+        Some(v) => Err(format!("node id {} out of range", v.0)),
+        None => Ok(()),
+    }
+}
+
+fn read_dyn_kernel(
+    dec: &mut Dec<'_>,
+    net: &Network,
+    exec: &ExecutionConfig,
+    max_objects: usize,
+) -> Result<DynKernel, String> {
+    let n = dec.u64()? as usize;
+    if n != max_objects {
+        return Err(format!("kernel of {n} objects, expected {max_objects}"));
+    }
+    let mut kernel = DynKernel::new(net, exec, max_objects);
+    for i in 0..n {
+        if dec.u8()? == 0 {
+            continue;
+        }
+        let x = ObjectId(i as u32);
+        let replicas = dec.nodes()?;
+        check_nodes(&replicas, net)?;
+        if replicas.is_empty() {
+            return Err(format!("live object {i} with empty replica set"));
+        }
+        let n_counters = dec.len(12)?;
+        let mut counters = Vec::with_capacity(n_counters);
+        for _ in 0..n_counters {
+            let e = dec.u32()?;
+            if e as usize >= net.n_nodes() {
+                return Err(format!("edge id {e} out of range"));
+            }
+            counters.push((EdgeId(e), dec.u64()?));
+        }
+        kernel.restore_object(net, x, &replicas, &counters);
+    }
+    let loads = dec.loads(net)?;
+    let stats = dec.stats()?;
+    kernel.restore_accounting(loads, stats);
+    Ok(kernel)
+}
+
+fn put_static_core(out: &mut Vec<u8>, core: &StaticCore) {
+    put_u8(out, core.placed as u8);
+    put_stats(out, core.stats);
+    put_loads(out, &core.loads);
+    let n = core.copies.n_objects();
+    put_u64(out, n as u64);
+    for i in 0..n {
+        put_nodes(out, core.copies.copies(ObjectId(i as u32)));
+    }
+}
+
+fn read_static_core(
+    dec: &mut Dec<'_>,
+    net: &Network,
+    max_objects: usize,
+) -> Result<StaticCore, String> {
+    let placed = match dec.u8()? {
+        0 => false,
+        1 => true,
+        b => return Err(format!("bad placed flag {b}")),
+    };
+    let stats = dec.stats()?;
+    let loads = dec.loads(net)?;
+    let n = dec.u64()? as usize;
+    if n != max_objects {
+        return Err(format!("placement of {n} objects, expected {max_objects}"));
+    }
+    let mut copies = Placement::new(max_objects);
+    for i in 0..n {
+        let nodes = dec.nodes()?;
+        check_nodes(&nodes, net)?;
+        if !nodes.is_empty() {
+            copies.set_copies(ObjectId(i as u32), nodes);
+        }
+    }
+    Ok(StaticCore { copies, loads, stats, placed })
+}
+
+/// Rebuild a built-in strategy from its [`Strategy::durable`] bytes.
+/// `exec` must be the execution config of the saved run (the spec
+/// fingerprint guarantees this for disk restores).
+pub(crate) fn strategy_from_durable(
+    net: &Network,
+    exec: &ExecutionConfig,
+    max_objects: usize,
+    bytes: &[u8],
+) -> Result<Box<dyn Strategy>, String> {
+    let mut dec = Dec::new(bytes);
+    let strategy: Box<dyn Strategy> = match dec.u8()? {
+        TAG_DYNAMIC => {
+            let kernel = read_dyn_kernel(&mut dec, net, exec, max_objects)?;
+            let heal_loads = dec.loads(net)?;
+            let heal_stats = dec.stats()?;
+            Box::new(DynamicStrategy { kernel, threshold: exec.threshold, heal_loads, heal_stats })
+        }
+        TAG_PERIODIC_STATIC => {
+            let core = read_static_core(&mut dec, net, max_objects)?;
+            let threshold = dec.u64()?;
+            let replace_every_epochs = dec.u64()? as usize;
+            let first_fire = match dec.u8()? {
+                0 => None,
+                1 => Some(dec.u64()? as usize),
+                b => return Err(format!("bad first-fire flag {b}")),
+            };
+            Box::new(PeriodicStatic {
+                core,
+                kernel: PlacementKernel::new(net, exec.serve_shards),
+                threshold,
+                replace_every_epochs,
+                first_fire,
+            })
+        }
+        TAG_HYBRID => {
+            let dynamic = read_dyn_kernel(&mut dec, net, exec, max_objects)?;
+            let migration_loads = dec.loads(net)?;
+            let seed_stats = dec.stats()?;
+            let threshold = dec.u64()?;
+            let reseed_every_epochs = dec.u64()? as usize;
+            Box::new(HybridReseed {
+                dynamic,
+                kernel: PlacementKernel::new(net, exec.serve_shards),
+                migration_loads,
+                seed_stats,
+                threshold,
+                reseed_every_epochs,
+            })
+        }
+        TAG_FROZEN_STATIC => {
+            let core = read_static_core(&mut dec, net, max_objects)?;
+            let threshold = dec.u64()?;
+            Box::new(FrozenStatic {
+                core,
+                kernel: PlacementKernel::new(net, exec.serve_shards),
+                threshold,
+            })
+        }
+        TAG_THRESHOLD_SWITCH => {
+            let dynamic = read_dyn_kernel(&mut dec, net, exec, max_objects)?;
+            let core = read_static_core(&mut dec, net, max_objects)?;
+            let threshold = dec.u64()?;
+            let write_bound = dec.f64()?;
+            let min_epochs = dec.u64()? as usize;
+            let switched = match dec.u8()? {
+                0 => false,
+                1 => true,
+                b => return Err(format!("bad switched flag {b}")),
+            };
+            Box::new(ThresholdSwitch {
+                dynamic,
+                core,
+                kernel: PlacementKernel::new(net, exec.serve_shards),
+                threshold,
+                write_bound,
+                min_epochs,
+                switched,
+            })
+        }
+        tag => return Err(format!("unknown strategy tag {tag}")),
+    };
+    dec.finish()?;
+    Ok(strategy)
 }

@@ -1,0 +1,310 @@
+//! Fault-injection robustness: deterministic fault traces, no lost
+//! traffic under a mid-run root-adjacent bus outage, repair traffic
+//! charged exactly like migration, and bit-parity of the empty plan.
+
+use hbn_dynamic::OnlineRequest;
+use hbn_scenario::{
+    run_scenario, run_scenario_with, FaultPlan, FrozenStatic, ScenarioSpec, ScenarioSpecBuilder,
+    Session, StrategyKind, ThresholdSwitch, TopologyFamily,
+};
+use hbn_testutil::family_schedules;
+use hbn_topology::{Network, NodeId};
+use hbn_workload::ObjectId;
+
+const D: u64 = 2;
+
+/// The hotspot-migration scenario of the acceptance criterion: a
+/// warm-up phase plus a migrating-hotspot phase on a three-level
+/// balanced tree, 8 epochs of 40 requests.
+fn hotspot_builder(seed: u64) -> ScenarioSpecBuilder {
+    let (_, schedule) = family_schedules(8, 80, 240).swap_remove(1);
+    ScenarioSpec::builder(
+        "hotspot-outage",
+        TopologyFamily::Balanced { branching: 3, height: 2 },
+        schedule,
+    )
+    .threshold(D)
+    .seed(seed)
+    .epoch_requests(40)
+}
+
+/// A root-adjacent bus of the spec's topology (the outage target the
+/// acceptance criterion names).
+fn root_adjacent_bus(net: &Network) -> NodeId {
+    *net.children(net.root()).iter().find(|&&v| net.is_bus(v)).expect("root has a bus child")
+}
+
+fn all_builtin_strategies() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Dynamic,
+        StrategyKind::PeriodicStatic { replace_every_epochs: 0 },
+        StrategyKind::PeriodicStatic { replace_every_epochs: 2 },
+        StrategyKind::Hybrid { reseed_every_epochs: 2 },
+    ]
+}
+
+/// The headline acceptance test: a mid-run outage of a root-adjacent
+/// bus under *every* built-in strategy. The run completes, no request
+/// is lost, migration traffic is exactly `replications × D` and repair
+/// traffic is exactly `repairs × D`, and the outage epochs are marked.
+#[test]
+fn mid_run_outage_completes_under_every_strategy_with_no_lost_requests() {
+    let net = hotspot_builder(41).build().topology.build();
+    let bus = root_adjacent_bus(&net);
+    let plan = FaultPlan::single_outage(bus, 3, 5);
+
+    let mut reports = Vec::new();
+    for strategy in all_builtin_strategies() {
+        let spec = hotspot_builder(41).strategy(strategy).faults(plan.clone()).build();
+        reports.push(run_scenario(&spec));
+    }
+    // The trait-only strategies go through the same acceptance bar.
+    let spec = hotspot_builder(41).faults(plan.clone()).build();
+    reports
+        .push(run_scenario_with(&spec, |net, exec, n| Box::new(FrozenStatic::new(net, exec, n))));
+    reports.push(run_scenario_with(&spec, |net, exec, n| {
+        Box::new(ThresholdSwitch::new(net, exec, n, 0.3, 2))
+    }));
+
+    for report in &reports {
+        // No lost traffic: every scheduled request is served and replayed.
+        assert_eq!(report.traffic.requests, 320, "strategy {}", report.strategy);
+        assert_eq!(report.stats.reads + report.stats.writes, 320, "strategy {}", report.strategy);
+        // Movement is charged at exactly D per crossed edge, repairs
+        // exactly like migration.
+        assert_eq!(report.traffic.migration_traffic, report.traffic.replications * D);
+        assert_eq!(report.traffic.repair_traffic, report.traffic.repairs * D);
+        assert!(report.traffic.repairs <= report.traffic.replications);
+        // The outage epochs (3..5) are marked, all others pristine.
+        assert_eq!(report.epochs.len(), 8);
+        for (e, epoch) in report.epochs.iter().enumerate() {
+            let expect_down = usize::from((3..5).contains(&e));
+            assert_eq!(epoch.buses_down, expect_down, "epoch {e} of {}", report.strategy);
+            assert_eq!(epoch.buses_degraded, 0);
+        }
+        // The outage defers (never drops) packets: an epoch whose trace
+        // crosses the down bus pays at least the outage window.
+        let worst_outage_makespan = report.epochs[3..5].iter().map(|e| e.makespan).max().unwrap();
+        assert!(
+            worst_outage_makespan >= plan.outage_slots,
+            "strategy {}: outage makespan {} < window {}",
+            report.strategy,
+            worst_outage_makespan,
+            plan.outage_slots
+        );
+    }
+}
+
+/// Same seed, same plan ⇒ identical fault trace and identical report —
+/// both for hand-written and for seeded random plans.
+#[test]
+fn fault_runs_are_deterministic() {
+    let net = hotspot_builder(7).build().topology.build();
+
+    let seeded_a = FaultPlan::seeded(&net, 99, 8);
+    let seeded_b = FaultPlan::seeded(&net, 99, 8);
+    assert_eq!(seeded_a, seeded_b, "seeded plans are a pure function of (net, seed)");
+
+    for plan in [FaultPlan::single_outage(root_adjacent_bus(&net), 2, 4), seeded_a] {
+        let spec = hotspot_builder(7).faults(plan).build();
+        let a = run_scenario(&spec);
+        let b = run_scenario(&spec);
+        assert_eq!(a, b);
+        assert!(a.epochs.iter().any(|e| e.buses_down + e.buses_degraded > 0));
+    }
+}
+
+/// The empty plan is bit-for-bit inert, and so is a plan whose events
+/// all lie beyond the end of the run.
+#[test]
+fn empty_and_out_of_range_plans_are_bit_for_bit_inert() {
+    let baseline = run_scenario(&hotspot_builder(13).build());
+    assert_eq!(baseline.recovery_epochs, None, "no fault, no recovery time");
+
+    let net = hotspot_builder(13).build().topology.build();
+    let bus = root_adjacent_bus(&net);
+    for plan in [FaultPlan::none(), FaultPlan::single_outage(bus, 100, 102)] {
+        let report = run_scenario(&hotspot_builder(13).faults(plan).build());
+        assert_eq!(report, baseline);
+    }
+}
+
+/// Degradation (capacity divided, bus still up) inflates the replayed
+/// makespan of the degraded epochs but strands nothing: no repairs, no
+/// down marks, and the run still serves everything.
+#[test]
+fn degradation_slows_but_strands_nothing() {
+    let net = hotspot_builder(17).build().topology.build();
+    let bus = root_adjacent_bus(&net);
+    let plan = FaultPlan::default().degrade(2, bus, 4).restore(6, bus);
+    let report = run_scenario(&hotspot_builder(17).faults(plan).build());
+    assert_eq!(report.traffic.requests, 320);
+    assert_eq!(report.traffic.repairs, 0, "degradation is not an outage: nothing to heal");
+    for (e, epoch) in report.epochs.iter().enumerate() {
+        assert_eq!(epoch.buses_down, 0);
+        assert_eq!(epoch.buses_degraded, usize::from((2..6).contains(&e)));
+    }
+    // Congestion is normalized against *effective* capacity, so the
+    // degraded epochs report elevated online congestion whenever the
+    // degraded bus carries load.
+    let clean = run_scenario(&hotspot_builder(17).build());
+    for e in 2..6 {
+        assert!(
+            report.epochs[e].online_congestion >= clean.epochs[e].online_congestion,
+            "epoch {e}: degraded congestion must not undercut the clean run"
+        );
+    }
+}
+
+/// Deterministic repair micro-test: drive all traffic from processors
+/// under one root-adjacent bus so the dynamic strategy's copy sets live
+/// wholly inside that subtree, then take the bus down. Self-healing
+/// must evacuate every stranded copy set to a live harbor, charging
+/// exactly `repairs × D` — and afterwards no copy set touches a
+/// stranded node.
+#[test]
+fn dynamic_self_healing_evacuates_stranded_copy_sets() {
+    let spec_net = TopologyFamily::Balanced { branching: 3, height: 2 }.build();
+    let bus = root_adjacent_bus(&spec_net);
+    let stranded: Vec<NodeId> =
+        spec_net.processors().iter().copied().filter(|&p| spec_net.is_ancestor(bus, p)).collect();
+    assert!(!stranded.is_empty());
+
+    let (_, schedule) = family_schedules(4, 40, 40).swap_remove(0);
+    let spec = ScenarioSpec::builder(
+        "heal-micro",
+        TopologyFamily::Balanced { branching: 3, height: 2 },
+        schedule,
+    )
+    .threshold(D)
+    .seed(3)
+    .faults(FaultPlan::default().down(2, bus))
+    .build();
+
+    let mut session = Session::new(&spec);
+    // Two pushed epochs of subtree-only traffic: a write pins each
+    // object's copy set inside the doomed subtree, reads keep it there.
+    for round in 0..2usize {
+        let batch: Vec<OnlineRequest> = (0..session.max_objects())
+            .map(|x| OnlineRequest {
+                processor: stranded[x % stranded.len()],
+                object: ObjectId(x as u32),
+                is_write: round == 0,
+            })
+            .collect();
+        session.push_epoch(&batch).unwrap();
+    }
+    for x in 0..session.max_objects() {
+        let copies = session.strategy().copy_set(ObjectId(x as u32));
+        assert!(
+            copies.iter().all(|&v| spec_net.is_ancestor(bus, v) || v == bus),
+            "object {x}: copy set {copies:?} must sit inside the doomed subtree"
+        );
+    }
+
+    // Epoch 2: the bus goes down; begin_epoch heals before serving.
+    let before = session.strategy().stats();
+    let batch: Vec<OnlineRequest> = (0..session.max_objects())
+        .map(|x| OnlineRequest {
+            processor: spec_net.processors()[0],
+            object: ObjectId(x as u32),
+            is_write: false,
+        })
+        .collect();
+    let summary = session.push_epoch(&batch).unwrap();
+    let after = session.strategy().stats();
+
+    assert!(after.repairs > before.repairs, "wholly stranded sets must be repaired");
+    assert_eq!(summary.traffic.repairs, after.repairs - before.repairs);
+    assert_eq!(summary.traffic.repair_traffic, summary.traffic.repairs * D);
+    assert_eq!(summary.buses_down, 1);
+    let view = spec.faults.fault_view(&spec_net, 2);
+    for x in 0..session.max_objects() {
+        let copies = session.strategy().copy_set(ObjectId(x as u32));
+        assert!(!copies.is_empty());
+        assert!(
+            copies.iter().all(|&v| !view.stranded[v.index()]),
+            "object {x}: healed copy set {copies:?} still touches a stranded node"
+        );
+    }
+}
+
+/// The same micro-scenario under a periodically re-placing static
+/// strategy: the heal path re-roots wholly stranded placements onto a
+/// live harbor processor, charged as repairs.
+#[test]
+fn static_self_healing_reroots_stranded_placements() {
+    let spec_net = TopologyFamily::Balanced { branching: 3, height: 2 }.build();
+    let bus = root_adjacent_bus(&spec_net);
+    let stranded: Vec<NodeId> =
+        spec_net.processors().iter().copied().filter(|&p| spec_net.is_ancestor(bus, p)).collect();
+
+    let (_, schedule) = family_schedules(4, 40, 40).swap_remove(0);
+    let spec = ScenarioSpec::builder(
+        "heal-static-micro",
+        TopologyFamily::Balanced { branching: 3, height: 2 },
+        schedule,
+    )
+    .strategy(StrategyKind::PeriodicStatic { replace_every_epochs: 1 })
+    .threshold(D)
+    .seed(3)
+    .faults(FaultPlan::default().down(2, bus))
+    .build();
+
+    let mut session = Session::new(&spec);
+    // Two epochs of subtree-only traffic; every boundary re-fits the
+    // placement from the observed aggregate, pulling it into the subtree.
+    for _ in 0..2 {
+        let batch: Vec<OnlineRequest> = (0..session.max_objects())
+            .map(|x| OnlineRequest {
+                processor: stranded[x % stranded.len()],
+                object: ObjectId(x as u32),
+                is_write: false,
+            })
+            .collect();
+        session.push_epoch(&batch).unwrap();
+    }
+
+    let before = session.strategy().stats();
+    let batch: Vec<OnlineRequest> = (0..session.max_objects())
+        .map(|x| OnlineRequest {
+            processor: spec_net.processors()[0],
+            object: ObjectId(x as u32),
+            is_write: false,
+        })
+        .collect();
+    let summary = session.push_epoch(&batch).unwrap();
+    let after = session.strategy().stats();
+
+    assert!(after.repairs > before.repairs);
+    assert_eq!(summary.traffic.repair_traffic, summary.traffic.repairs * D);
+    let view = spec.faults.fault_view(&spec_net, 2);
+    for x in 0..session.max_objects() {
+        let copies = session.strategy().copy_set(ObjectId(x as u32));
+        assert!(!copies.is_empty());
+        assert!(copies.iter().all(|&v| !view.stranded[v.index()]));
+    }
+}
+
+/// Recovery time is measured from the last faulty epoch: once the
+/// outage clears and online congestion drops back to the pre-fault
+/// baseline, `recovery_epochs` records the distance.
+#[test]
+fn recovery_time_is_reported_after_the_outage_clears() {
+    let net = hotspot_builder(41).build().topology.build();
+    let bus = root_adjacent_bus(&net);
+    // A short early outage with a long pristine tail: the run has ample
+    // room to settle back to baseline.
+    let plan = FaultPlan::single_outage(bus, 2, 3);
+    let report = run_scenario(&hotspot_builder(41).faults(plan).build());
+    if let Some(k) = report.recovery_epochs {
+        let baseline = report.epochs[..2].iter().map(|e| e.online_congestion).max().unwrap();
+        let recovered = &report.epochs[2 + k as usize];
+        assert!(recovered.buses_down == 0);
+        assert!(recovered.online_congestion <= baseline);
+    }
+    // Determinism of the field itself.
+    let again =
+        run_scenario(&hotspot_builder(41).faults(FaultPlan::single_outage(bus, 2, 3)).build());
+    assert_eq!(report.recovery_epochs, again.recovery_epochs);
+}

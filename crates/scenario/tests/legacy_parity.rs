@@ -36,6 +36,7 @@ fn stats_delta(cur: DynamicStats, prev: DynamicStats) -> DynamicStats {
         writes: cur.writes - prev.writes,
         replications: cur.replications - prev.replications,
         collapses: cur.collapses - prev.collapses,
+        repairs: cur.repairs - prev.repairs,
     }
 }
 
@@ -425,6 +426,8 @@ fn legacy_run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
                     replications: delta.replications,
                     collapses: delta.collapses,
                     migration_traffic: delta.replications * spec.exec.threshold,
+                    repairs: delta.repairs,
+                    repair_traffic: delta.repairs * spec.exec.threshold,
                 },
                 online_congestion: epoch_delta.congestion(&net).congestion,
                 placement_congestion: placement_loads.congestion(&net).congestion,
@@ -432,6 +435,8 @@ fn legacy_run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
                 mean_latency: sim.mean_latency,
                 p99_latency: sim.p99_latency,
                 live_objects: stream.live_objects().len(),
+                buses_down: 0,
+                buses_degraded: 0,
             });
             epoch_idx += 1;
         }
@@ -466,6 +471,7 @@ fn legacy_run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
         online_congestion,
         hindsight_congestion,
         competitive_ratio: online_congestion.ratio_to(hindsight_congestion),
+        recovery_epochs: None,
         stats: online.stats(),
     }
 }

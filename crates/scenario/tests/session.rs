@@ -128,7 +128,7 @@ fn restored_session_reproduces_unbroken_run() {
         while unbroken.step_epoch().unwrap().is_some() {}
         let expected = unbroken.into_report();
 
-        let mut resumed = Session::restore(checkpoint);
+        let mut resumed = Session::restore(checkpoint).expect("in-memory checkpoint restores");
         assert_eq!(resumed.epoch_index(), 5);
         while resumed.step_epoch().unwrap().is_some() {}
         assert_eq!(resumed.into_report(), expected, "strategy {strategy}");
@@ -153,7 +153,7 @@ fn checkpoint_is_isolated_from_the_live_session() {
     let swapped_report = a.into_report();
 
     // The restored session continues the *dynamic* run.
-    let mut b = Session::restore(checkpoint);
+    let mut b = Session::restore(checkpoint).expect("in-memory checkpoint restores");
     while b.step_epoch().unwrap().is_some() {}
     let resumed_report = b.into_report();
     assert_eq!(resumed_report.strategy, "dynamic");
@@ -192,7 +192,7 @@ fn checkpoint_after_swap_restores_the_successor() {
     while unbroken.step_epoch().unwrap().is_some() {}
     let expected = unbroken.into_report();
 
-    let mut resumed = Session::restore(checkpoint);
+    let mut resumed = Session::restore(checkpoint).expect("in-memory checkpoint restores");
     while resumed.step_epoch().unwrap().is_some() {}
     assert_eq!(resumed.into_report(), expected);
 }

@@ -115,7 +115,24 @@ pub fn simulate_with(
     trace: &[Request],
     config: SimConfig,
 ) -> Result<SimResult, SimError> {
-    workspace::run(ws, net, matrix, placement, trace, config)
+    workspace::run(ws, net, matrix, placement, trace, config, None)
+}
+
+/// [`simulate_with`] under a per-bus capacity overlay: degraded buses
+/// grant fewer tokens per slot, and *down* buses grant none while
+/// `slot < overlay.outage_slots()` — their packets defer and retry once
+/// the outage window ends, so the batch still drains (deferred, never
+/// lost). A pristine overlay is bit-for-bit identical to no overlay.
+pub fn simulate_with_overlay(
+    ws: &mut SimWorkspace,
+    net: &hbn_topology::Network,
+    matrix: &AccessMatrix,
+    placement: &Placement,
+    trace: &[Request],
+    config: SimConfig,
+    overlay: &hbn_topology::CapacityOverlay,
+) -> Result<SimResult, SimError> {
+    workspace::run(ws, net, matrix, placement, trace, config, Some(overlay))
 }
 
 #[cfg(test)]

@@ -47,8 +47,8 @@ pub mod reference;
 pub mod trace;
 pub mod workspace;
 
-pub use engine::{simulate, simulate_with, SimConfig, SimError, SimResult};
+pub use engine::{simulate, simulate_with, simulate_with_overlay, SimConfig, SimError, SimResult};
 pub use packet::{Packet, PacketKind};
-pub use reference::simulate_reference;
+pub use reference::{simulate_reference, simulate_reference_overlay};
 pub use trace::{expand, expand_shuffled, Request};
 pub use workspace::SimWorkspace;

@@ -16,7 +16,7 @@ use crate::engine::{SimConfig, SimError, SimResult};
 use crate::packet::{Packet, PacketKind};
 use crate::trace::Request;
 use hbn_load::Placement;
-use hbn_topology::{EdgeId, Network, NodeId};
+use hbn_topology::{CapacityOverlay, EdgeId, Network, NodeId};
 use hbn_workload::{AccessMatrix, ObjectId};
 use std::collections::VecDeque;
 
@@ -65,6 +65,33 @@ pub fn simulate_reference(
     placement: &Placement,
     trace: &[Request],
     config: SimConfig,
+) -> Result<SimResult, SimError> {
+    reference_inner(net, matrix, placement, trace, config, None)
+}
+
+/// [`simulate_reference`] under a per-bus capacity overlay — the naive
+/// counterpart of [`crate::simulate_with_overlay`], with identical
+/// overlay semantics (degraded bus tokens; zero tokens on down buses
+/// while `slot < overlay.outage_slots()`). The differential suite pins
+/// the two kernels against each other under faults too.
+pub fn simulate_reference_overlay(
+    net: &Network,
+    matrix: &AccessMatrix,
+    placement: &Placement,
+    trace: &[Request],
+    config: SimConfig,
+    overlay: &CapacityOverlay,
+) -> Result<SimResult, SimError> {
+    reference_inner(net, matrix, placement, trace, config, Some(overlay))
+}
+
+fn reference_inner(
+    net: &Network,
+    matrix: &AccessMatrix,
+    placement: &Placement,
+    trace: &[Request],
+    config: SimConfig,
+    overlay: Option<&CapacityOverlay>,
 ) -> Result<SimResult, SimError> {
     let n = net.n_nodes();
     let mut router = Router::new(placement, matrix);
@@ -146,7 +173,20 @@ pub fn simulate_reference(
             .collect();
         let mut bus_tokens2: Vec<u64> = net
             .nodes()
-            .map(|v| if net.is_bus(v) { 2 * net.node_bandwidth(v) } else { 0 })
+            .map(|v| {
+                if !net.is_bus(v) {
+                    0
+                } else {
+                    match overlay {
+                        // A down bus grants no tokens during the outage
+                        // window, then reverts to its (possibly
+                        // degraded) capacity.
+                        Some(o) if o.is_down(v) && slot < o.outage_slots() => 0,
+                        Some(o) => 2 * o.effective_node_bandwidth(net, v),
+                        None => 2 * net.node_bandwidth(v),
+                    }
+                }
+            })
             .collect();
 
         let mut spawned: Vec<Packet> = Vec::new();

@@ -35,7 +35,7 @@ use crate::engine::{SimConfig, SimError, SimResult};
 use crate::packet::PacketKind;
 use crate::trace::Request;
 use hbn_load::Placement;
-use hbn_topology::{EdgeId, Network, NodeId};
+use hbn_topology::{CapacityOverlay, EdgeId, Network, NodeId};
 use hbn_workload::{AccessMatrix, ObjectId};
 
 /// A packet in the fast kernel: destinations are an arena range.
@@ -89,9 +89,14 @@ struct Queued {
 #[derive(Debug, Default)]
 pub struct SimWorkspace {
     // Static per-run caches of the capacity normalisation: b(e) per switch
-    // (0 at the root slot) and 2·b(B) per bus (0 at processors).
+    // (0 at the root slot) and 2·b(B) per bus (0 at processors), both
+    // under the run's capacity overlay when one is bound.
     edge_bw: Vec<u64>,
     bus_bw2: Vec<u64>,
+    // Down buses of the bound overlay: zero bus tokens while
+    // `slot < outage_slots`, so their packets defer and retry.
+    down_buses: Vec<NodeId>,
+    outage_slots: u64,
     // Dense router: CSR over object × processor (dense processor index).
     route_off: Vec<u32>,
     route_entries: Vec<RouteEntry>,
@@ -124,8 +129,10 @@ impl SimWorkspace {
         SimWorkspace::default()
     }
 
-    /// Reset all per-run state and (re)build the static caches for `net`.
-    fn bind(&mut self, net: &Network) {
+    /// Reset all per-run state and (re)build the static caches for `net`
+    /// under an optional capacity overlay. A pristine (or absent)
+    /// overlay yields the unmodified bandwidths.
+    fn bind(&mut self, net: &Network, overlay: Option<&CapacityOverlay>) {
         let n = net.n_nodes();
         self.edge_bw.clear();
         self.edge_bw.extend(net.nodes().map(|v| {
@@ -138,11 +145,20 @@ impl SimWorkspace {
         self.bus_bw2.clear();
         self.bus_bw2.extend(net.nodes().map(|v| {
             if net.is_bus(v) {
-                2 * net.node_bandwidth(v)
+                match overlay {
+                    Some(o) => 2 * o.effective_node_bandwidth(net, v),
+                    None => 2 * net.node_bandwidth(v),
+                }
             } else {
                 0
             }
         }));
+        self.down_buses.clear();
+        self.outage_slots = 0;
+        if let Some(o) = overlay {
+            self.down_buses.extend(o.down_nodes().into_iter().filter(|&v| net.is_bus(v)));
+            self.outage_slots = o.outage_slots();
+        }
         self.edge_tokens.clear();
         self.edge_tokens.resize(n, 0);
         self.bus_tokens.clear();
@@ -336,8 +352,9 @@ pub(crate) fn run(
     placement: &Placement,
     trace: &[Request],
     config: SimConfig,
+    overlay: Option<&CapacityOverlay>,
 ) -> Result<SimResult, SimError> {
-    ws.bind(net);
+    ws.bind(net, overlay);
     ws.build_router(net, matrix, placement);
     ws.build_queues(net, trace)?;
 
@@ -410,6 +427,14 @@ pub(crate) fn run(
         // --- Forwarding ---
         ws.edge_tokens.copy_from_slice(&ws.edge_bw);
         ws.bus_tokens.copy_from_slice(&ws.bus_bw2);
+        // Down buses grant no tokens during the outage window; every
+        // edge has a bus endpoint, so all their crossings defer until
+        // the window ends and the packets retry — deferred, not lost.
+        if slot < ws.outage_slots {
+            for i in 0..ws.down_buses.len() {
+                ws.bus_tokens[ws.down_buses[i].index()] = 0;
+            }
+        }
         ws.survivors.clear();
         ws.moved.clear();
         ws.updates.clear();

@@ -5,10 +5,11 @@
 
 use hbn_core::ExtendedNibble;
 use hbn_sim::{
-    expand, expand_shuffled, simulate, simulate_reference, simulate_with, SimConfig, SimWorkspace,
+    expand, expand_shuffled, simulate, simulate_reference, simulate_reference_overlay,
+    simulate_with, simulate_with_overlay, SimConfig, SimWorkspace,
 };
 use hbn_topology::generators::{balanced, random_network, star, BandwidthProfile};
-use hbn_topology::Network;
+use hbn_topology::{CapacityOverlay, Network};
 use hbn_workload::generators as wgen;
 use hbn_workload::{AccessMatrix, ObjectId};
 use rand::rngs::StdRng;
@@ -152,6 +153,91 @@ fn kernels_agree_on_configs_and_errors() {
         simulate(&net, &m, &empty, &trace, SimConfig::default()),
         simulate_reference(&net, &m, &empty, &trace, SimConfig::default()),
         "unrouted error must match"
+    );
+}
+
+/// The two kernels agree under random capacity overlays too: degraded
+/// buses, full outage windows, and combinations thereof. A pristine
+/// overlay must reproduce the no-overlay result bit-for-bit in both
+/// kernels.
+#[test]
+fn kernels_agree_under_capacity_overlays() {
+    let mut rng = StdRng::seed_from_u64(7004);
+    let mut ws = SimWorkspace::new();
+    for round in 0..20 {
+        let buses = rng.gen_range(2..6);
+        let procs = rng.gen_range(4..12).max(buses * 2);
+        let net =
+            random_network(buses, procs, BandwidthProfile::FatTree { base: 2, cap: 16 }, &mut rng);
+        let m = wgen::uniform(&net, rng.gen_range(1..5), 5, 3, 0.7, &mut rng);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let trace = expand_shuffled(&m, &mut rng);
+        let cfg = SimConfig::default();
+
+        // Random overlay: degrade some non-root buses, maybe take one
+        // down for a bounded window.
+        let mut overlay =
+            CapacityOverlay::pristine(net.n_nodes()).with_outage_slots(rng.gen_range(1..40));
+        for v in net.nodes().filter(|&v| net.is_bus(v) && v != net.root()) {
+            if rng.gen_bool(0.4) {
+                overlay.degrade(v, rng.gen_range(2..8));
+            }
+            if rng.gen_bool(0.2) {
+                overlay.set_down(v);
+            }
+        }
+
+        let fast = simulate_with_overlay(&mut ws, &net, &m, &out.placement, &trace, cfg, &overlay);
+        let naive = simulate_reference_overlay(&net, &m, &out.placement, &trace, cfg, &overlay);
+        assert_eq!(fast, naive, "overlay kernel divergence on round {round}");
+        // Nothing is lost under an outage: the batch still drains.
+        let res = fast.unwrap();
+        assert_eq!(res.delivered_requests, trace.len() as u64, "lost traffic on round {round}");
+
+        // Pristine overlay ≡ no overlay, in both kernels.
+        let pristine = CapacityOverlay::pristine(net.n_nodes());
+        assert_eq!(
+            simulate_with_overlay(&mut ws, &net, &m, &out.placement, &trace, cfg, &pristine),
+            simulate(&net, &m, &out.placement, &trace, cfg),
+            "pristine overlay must be identity (fast, round {round})"
+        );
+        assert_eq!(
+            simulate_reference_overlay(&net, &m, &out.placement, &trace, cfg, &pristine),
+            simulate_reference(&net, &m, &out.placement, &trace, cfg),
+            "pristine overlay must be identity (naive, round {round})"
+        );
+    }
+}
+
+/// An outage on the only route defers packets for exactly the outage
+/// window: the makespan is inflated by it, but every request delivers.
+#[test]
+fn outage_defers_and_bounds_makespan() {
+    let net = star(3, 100);
+    let p = net.processors();
+    let mut m = AccessMatrix::new(1);
+    m.add(p[0], ObjectId(0), 1, 0);
+    let pl = hbn_load::Placement::single_leaf(&net, &m, |_| p[1]);
+    let trace = expand(&m);
+    let cfg = SimConfig::default();
+    let baseline = simulate(&net, &m, &pl, &trace, cfg).unwrap();
+    assert_eq!(baseline.makespan, 2);
+
+    // The star's only bus is the root; its outage stalls everything for
+    // `outage_slots` slots, after which the packet crosses as usual.
+    let mut overlay = CapacityOverlay::pristine(net.n_nodes()).with_outage_slots(10);
+    overlay.set_down(net.root());
+    let faulted = simulate(&net, &m, &pl, &trace, cfg).unwrap();
+    assert_eq!(faulted, baseline, "overlay must not leak into the overlay-free entry point");
+    let faulted =
+        simulate_with_overlay(&mut SimWorkspace::new(), &net, &m, &pl, &trace, cfg, &overlay)
+            .unwrap();
+    assert_eq!(faulted.delivered_requests, 1, "no lost traffic under outage");
+    assert_eq!(faulted.makespan, baseline.makespan + 10, "deferral is exactly the outage window");
+    assert_eq!(
+        simulate_reference_overlay(&net, &m, &pl, &trace, cfg, &overlay).unwrap(),
+        faulted,
+        "reference kernel must defer identically"
     );
 }
 

@@ -1,0 +1,207 @@
+//! Per-bus capacity overlays: degraded and dead buses.
+//!
+//! A [`CapacityOverlay`] records, per node, a *divisor* applied to the
+//! bus bandwidth `b(B)` and a *down* flag. It is the shared currency of
+//! the fault subsystem: the load model normalizes congestion by the
+//! effective bandwidth (`hbn-load`'s `congestion_with`), and the
+//! simulator slot kernels grant a down bus zero tokens during the
+//! outage window of an epoch replay — packets are deferred and retried
+//! in later slots, never dropped.
+//!
+//! A pristine overlay (all divisors 1, nothing down) is mathematically
+//! identical to no overlay at all; every overlay-aware entry point
+//! treats `None` and a pristine overlay bit-for-bit the same.
+
+use crate::ids::{Bandwidth, NodeId};
+use crate::tree::Network;
+
+/// Per-node capacity modification: bandwidth divisors and down flags.
+///
+/// Only bus nodes are ever degraded or taken down (processors have no
+/// bus bandwidth to modify); the vectors are indexed by `NodeId` over
+/// *all* nodes so lookups stay O(1) without an id translation.
+///
+/// ```
+/// use hbn_topology::generators::{balanced, BandwidthProfile};
+/// use hbn_topology::{CapacityOverlay, NodeId};
+///
+/// let net = balanced(2, 2, BandwidthProfile::Uniform);
+/// let mut overlay = CapacityOverlay::pristine(net.n_nodes());
+/// assert!(overlay.is_pristine());
+///
+/// let bus = net.children(net.root())[0];
+/// overlay.degrade(bus, 4);
+/// assert_eq!(overlay.effective_node_bandwidth(&net, bus), 1.max(net.node_bandwidth(bus) / 4));
+/// overlay.set_down(bus);
+/// assert!(overlay.is_down(bus));
+/// overlay.restore(bus);
+/// assert!(overlay.is_pristine());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityOverlay {
+    /// `divisor[v]` divides the bus bandwidth of `v` (1 = unmodified).
+    divisor: Vec<u64>,
+    /// `down[v]` — the bus is out: zero capacity during the outage
+    /// window of an epoch replay.
+    down: Vec<bool>,
+    /// Length of the outage window in simulator slots: a down bus has
+    /// zero capacity while `slot < outage_slots`, then reverts to its
+    /// (possibly degraded) capacity so the replay always drains.
+    outage_slots: u64,
+}
+
+impl CapacityOverlay {
+    /// The identity overlay over `n_nodes` nodes: every divisor 1,
+    /// nothing down.
+    pub fn pristine(n_nodes: usize) -> Self {
+        CapacityOverlay { divisor: vec![1; n_nodes], down: vec![false; n_nodes], outage_slots: 0 }
+    }
+
+    /// Set the outage window: a down bus has zero capacity for the
+    /// first `slots` slots of each epoch replay.
+    pub fn with_outage_slots(mut self, slots: u64) -> Self {
+        self.outage_slots = slots;
+        self
+    }
+
+    /// The outage window length, in simulator slots.
+    #[inline]
+    pub fn outage_slots(&self) -> u64 {
+        self.outage_slots
+    }
+
+    /// Number of nodes the overlay covers.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.divisor.len()
+    }
+
+    /// `true` when the overlay modifies nothing — equivalent to passing
+    /// no overlay at all.
+    pub fn is_pristine(&self) -> bool {
+        self.divisor.iter().all(|&d| d == 1) && !self.down.iter().any(|&d| d)
+    }
+
+    /// Degrade node `v`: its bus bandwidth is divided by `factor`
+    /// (clamped below at 1 by [`CapacityOverlay::effective_node_bandwidth`]).
+    /// A factor of 0 or 1 restores full capacity.
+    pub fn degrade(&mut self, v: NodeId, factor: u64) {
+        self.divisor[v.index()] = factor.max(1);
+    }
+
+    /// Take node `v` fully down.
+    pub fn set_down(&mut self, v: NodeId) {
+        self.down[v.index()] = true;
+    }
+
+    /// Clear both the down flag and the divisor of `v`.
+    pub fn restore(&mut self, v: NodeId) {
+        self.down[v.index()] = false;
+        self.divisor[v.index()] = 1;
+    }
+
+    /// Is node `v` fully down?
+    #[inline]
+    pub fn is_down(&self, v: NodeId) -> bool {
+        self.down[v.index()]
+    }
+
+    /// The bandwidth divisor of `v` (1 = unmodified).
+    #[inline]
+    pub fn divisor_of(&self, v: NodeId) -> u64 {
+        self.divisor[v.index()]
+    }
+
+    /// Is node `v` degraded (divisor > 1) without being down?
+    #[inline]
+    pub fn is_degraded(&self, v: NodeId) -> bool {
+        self.divisor[v.index()] > 1 && !self.down[v.index()]
+    }
+
+    /// Effective bus bandwidth of `v` under the overlay:
+    /// `max(1, b(v) / divisor)`. A *degraded* bus never drops below
+    /// bandwidth 1 — only an outage ([`CapacityOverlay::is_down`])
+    /// removes capacity entirely, and only for the bounded outage
+    /// window of a replay.
+    #[inline]
+    pub fn effective_node_bandwidth(&self, net: &Network, v: NodeId) -> Bandwidth {
+        (net.node_bandwidth(v) / self.divisor[v.index()]).max(1)
+    }
+
+    /// All down nodes, ascending.
+    pub fn down_nodes(&self) -> Vec<NodeId> {
+        (0..self.down.len() as u32).map(NodeId).filter(|&v| self.down[v.index()]).collect()
+    }
+
+    /// Per-node strandedness: a node is stranded when it or any strict
+    /// ancestor is down — no path to the root avoids a dead bus.
+    /// Stranded sets are downward-closed, so the non-stranded part of a
+    /// connected tree set stays connected.
+    pub fn stranded(&self, net: &Network) -> Vec<bool> {
+        let mut stranded = vec![false; net.n_nodes()];
+        for &v in net.preorder() {
+            let own = self.down[v.index()];
+            stranded[v.index()] = own || (v != net.root() && stranded[net.parent(v).index()]);
+        }
+        stranded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{balanced, BandwidthProfile};
+
+    #[test]
+    fn pristine_is_identity() {
+        let net = balanced(3, 2, BandwidthProfile::Uniform);
+        let overlay = CapacityOverlay::pristine(net.n_nodes());
+        assert!(overlay.is_pristine());
+        for v in net.nodes() {
+            assert_eq!(overlay.effective_node_bandwidth(&net, v), net.node_bandwidth(v));
+            assert!(!overlay.is_down(v));
+        }
+        assert!(overlay.down_nodes().is_empty());
+        assert!(overlay.stranded(&net).iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn degrade_clamps_at_one() {
+        let net = balanced(2, 2, BandwidthProfile::FatTree { base: 2, cap: 32 });
+        let mut overlay = CapacityOverlay::pristine(net.n_nodes());
+        let bus = net.children(net.root())[0];
+        let b = net.node_bandwidth(bus);
+        overlay.degrade(bus, 2);
+        assert_eq!(overlay.effective_node_bandwidth(&net, bus), (b / 2).max(1));
+        overlay.degrade(bus, 10 * b.max(1));
+        assert_eq!(overlay.effective_node_bandwidth(&net, bus), 1);
+        assert!(overlay.is_degraded(bus));
+        overlay.restore(bus);
+        assert!(overlay.is_pristine());
+    }
+
+    #[test]
+    fn stranded_is_downward_closed() {
+        let net = balanced(2, 3, BandwidthProfile::Uniform);
+        let mut overlay = CapacityOverlay::pristine(net.n_nodes());
+        let bus = net.children(net.root())[1];
+        overlay.set_down(bus);
+        let stranded = overlay.stranded(&net);
+        for v in net.nodes() {
+            let expect = net.is_ancestor(bus, v);
+            assert_eq!(stranded[v.index()], expect, "{v}");
+        }
+        assert_eq!(overlay.down_nodes(), vec![bus]);
+    }
+
+    #[test]
+    fn degrade_one_restores() {
+        let net = balanced(2, 2, BandwidthProfile::Uniform);
+        let mut overlay = CapacityOverlay::pristine(net.n_nodes());
+        let bus = net.children(net.root())[0];
+        overlay.degrade(bus, 0);
+        overlay.degrade(bus, 1);
+        assert!(overlay.is_pristine());
+        assert!(!overlay.is_degraded(bus));
+    }
+}

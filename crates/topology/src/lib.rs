@@ -14,6 +14,8 @@
 //! * [`Network`] — the immutable rooted tree with O(1) structural queries,
 //!   LCA, paths and subtree ranges ([`tree`]);
 //! * [`NetworkBuilder`] — validated construction ([`builder`]);
+//! * [`CapacityOverlay`] — per-bus degraded/dead capacity overlays for
+//!   fault injection ([`capacity`]);
 //! * deterministic generators for stars, balanced trees, caterpillars, bus
 //!   paths and random networks ([`generators`]);
 //! * SCI ring-of-rings networks and the paper's Figure 1 → Figure 2
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod capacity;
 pub mod dot;
 pub mod error;
 pub mod generators;
@@ -35,6 +38,7 @@ pub mod steiner;
 pub mod tree;
 
 pub use builder::NetworkBuilder;
+pub use capacity::CapacityOverlay;
 pub use error::TopologyError;
 pub use ids::{Bandwidth, DirEdge, Direction, EdgeId, NodeId};
 pub use spec::NetworkSpec;
