@@ -25,8 +25,10 @@ use std::path::Path;
 
 /// File magic of durable checkpoints.
 pub(crate) const MAGIC: [u8; 4] = *b"HBNC";
-/// Current checkpoint format version.
-pub(crate) const VERSION: u32 = 1;
+/// Current checkpoint format version. v2 added the per-epoch estimator
+/// bounds to the epoch record; v1 files fail with
+/// [`RestoreError::BadVersion`] rather than decode wrongly.
+pub(crate) const VERSION: u32 = 2;
 
 /// Why restoring a session (from a checkpoint or from disk) failed.
 #[derive(Debug)]

@@ -78,6 +78,34 @@ impl std::ops::AddAssign for TrafficCounters {
     }
 }
 
+/// Estimator output attached to an epoch under
+/// [`crate::ReplayKernel::Estimate`]: inclusive makespan bounds from the
+/// epoch's congestion ([`hbn_load::makespan_bounds`]), computed without
+/// running the slot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochEstimate {
+    /// Congestion lower bound: no schedule of the epoch's traffic
+    /// finishes earlier.
+    pub lower: u64,
+    /// Delay-attribution upper bound: the slot kernel finishes no later.
+    pub upper: u64,
+    /// Whether this epoch was *also* replayed exactly for validation —
+    /// then [`EpochSummary::makespan`] carries the exact value and the
+    /// report checks `lower ≤ makespan ≤ upper`.
+    pub sampled_exact: bool,
+}
+
+impl EpochEstimate {
+    /// Upper-to-lower gap ratio (`1.0` = tight, and when `lower` is 0).
+    pub fn gap_ratio(&self) -> f64 {
+        if self.lower == 0 {
+            1.0
+        } else {
+            self.upper as f64 / self.lower as f64
+        }
+    }
+}
+
 /// Metrics of one replay epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpochSummary {
@@ -92,12 +120,18 @@ pub struct EpochSummary {
     /// Congestion of the epoch snapshot placement serving the epoch's
     /// frequency matrix.
     pub placement_congestion: LoadRatio,
-    /// Simulated makespan of the epoch replay, in slots.
+    /// Simulated makespan of the epoch replay, in slots (`0` on
+    /// estimator epochs that were not sampled for exact replay — see
+    /// [`EpochSummary::estimate`]).
     pub makespan: u64,
     /// Mean request latency of the replay, in slots.
     pub mean_latency: f64,
     /// 99th-percentile request latency of the replay.
     pub p99_latency: u64,
+    /// Makespan bounds from the congestion-bound estimator — `Some` on
+    /// every epoch run under [`crate::ReplayKernel::Estimate`], `None`
+    /// under the exact kernels.
+    pub estimate: Option<EpochEstimate>,
     /// Live objects at the epoch boundary.
     pub live_objects: usize,
     /// Buses fully down during this epoch (from the spec's
@@ -160,6 +194,18 @@ pub struct ScenarioReport {
     /// first fault hit at epoch 0 (no baseline), or congestion never
     /// returned to baseline before the run ended.
     pub recovery_epochs: Option<u64>,
+    /// Epochs priced by the congestion-bound estimator
+    /// ([`crate::ReplayKernel::Estimate`]); `0` under the exact kernels.
+    pub estimated_epochs: usize,
+    /// Mean upper-to-lower bound gap ratio over the estimated epochs
+    /// (`None` when none were estimated). `1.0` means the bounds pinch
+    /// the makespan exactly; the tightness-regression suite keeps this
+    /// from drifting upward.
+    pub estimate_gap: Option<f64>,
+    /// Exact-sampled estimator epochs whose replayed makespan fell
+    /// *outside* the bounds — always `0` unless the estimator is broken
+    /// (the bracket suite and the in-run validation both pin this).
+    pub estimate_violations: usize,
     /// Strategy event counters over the whole run (merged across
     /// [`crate::Session::swap_strategy`] retirements).
     pub stats: DynamicStats,

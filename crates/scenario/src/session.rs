@@ -24,11 +24,12 @@
 //!   (`exp_session_resume` proves it at benchmark scale).
 
 use crate::durable::{
-    put_f64, put_loads, put_ratio, put_stats, put_str, put_u32, put_u64, read_frame,
+    put_f64, put_loads, put_ratio, put_stats, put_str, put_u32, put_u64, put_u8, read_frame,
     spec_fingerprint, write_frame, Dec, RestoreError,
 };
 use crate::engine::{
-    recovery_epochs, summarise_phase, EpochSummary, PhaseSummary, ScenarioReport, TrafficCounters,
+    recovery_epochs, summarise_phase, EpochEstimate, EpochSummary, PhaseSummary, ScenarioReport,
+    TrafficCounters,
 };
 use crate::faults::FaultView;
 use crate::spec::{ExecutionConfig, ReplayKernel, ScenarioSpec};
@@ -37,8 +38,8 @@ use hbn_core::nibble_placement;
 use hbn_dynamic::{DynamicStats, OnlineRequest};
 use hbn_load::{LoadMap, Placement};
 use hbn_sim::{
-    simulate_reference, simulate_reference_overlay, simulate_with, simulate_with_overlay, Request,
-    SimError, SimResult, SimWorkspace,
+    estimate_makespan_from_loads, simulate_reference, simulate_reference_overlay, simulate_with,
+    simulate_with_overlay, Request, SimError, SimResult, SimWorkspace,
 };
 use hbn_topology::{Network, NodeId};
 use hbn_workload::{AccessMatrix, ObjectId, PhaseRequest, PhaseStreamState};
@@ -217,6 +218,14 @@ fn put_epoch(out: &mut Vec<u8>, e: &EpochSummary) {
     put_u64(out, e.makespan);
     put_f64(out, e.mean_latency);
     put_u64(out, e.p99_latency);
+    match e.estimate {
+        None => put_u8(out, 0),
+        Some(est) => {
+            put_u8(out, if est.sampled_exact { 2 } else { 1 });
+            put_u64(out, est.lower);
+            put_u64(out, est.upper);
+        }
+    }
     put_u64(out, e.live_objects as u64);
     put_u64(out, e.buses_down as u64);
     put_u64(out, e.buses_degraded as u64);
@@ -231,6 +240,18 @@ fn read_epoch(dec: &mut Dec<'_>) -> Result<EpochSummary, String> {
         makespan: dec.u64()?,
         mean_latency: dec.f64()?,
         p99_latency: dec.u64()?,
+        estimate: match dec.u8()? {
+            0 => None,
+            tag @ (1 | 2) => {
+                let lower = dec.u64()?;
+                let upper = dec.u64()?;
+                if lower > upper {
+                    return Err(format!("inverted epoch bounds {lower} > {upper}"));
+                }
+                Some(EpochEstimate { lower, upper, sampled_exact: tag == 2 })
+            }
+            tag => return Err(format!("unknown epoch estimate tag {tag}")),
+        },
         live_objects: dec.u64()? as usize,
         buses_down: dec.u64()? as usize,
         buses_degraded: dec.u64()? as usize,
@@ -704,40 +725,95 @@ impl Session {
         // faults the same kernels run with the epoch's capacity overlay
         // (down buses forward nothing for the outage window, degraded
         // buses at reduced capacity — traffic defers, it is never lost).
-        let sim: SimResult = match (self.spec.exec.replay, view.is_pristine()) {
-            (ReplayKernel::Workspace, true) => simulate_with(
-                &mut self.ws,
-                &self.net,
-                epoch_matrix,
-                &placement,
-                &self.epoch_trace,
-                self.spec.exec.sim,
-            )?,
-            (ReplayKernel::Workspace, false) => simulate_with_overlay(
-                &mut self.ws,
-                &self.net,
-                epoch_matrix,
-                &placement,
-                &self.epoch_trace,
-                self.spec.exec.sim,
-                &view.overlay,
-            )?,
-            (ReplayKernel::Reference, true) => simulate_reference(
-                &self.net,
-                epoch_matrix,
-                &placement,
-                &self.epoch_trace,
-                self.spec.exec.sim,
-            )?,
-            (ReplayKernel::Reference, false) => simulate_reference_overlay(
-                &self.net,
-                epoch_matrix,
-                &placement,
-                &self.epoch_trace,
-                self.spec.exec.sim,
-                &view.overlay,
-            )?,
-        };
+        // The estimator prices the epoch from `placement_loads` instead
+        // and replays only its sampling subset exactly.
+        let (sim, estimate): (Option<SimResult>, Option<EpochEstimate>) =
+            match (self.spec.exec.replay, view.is_pristine()) {
+                (ReplayKernel::Workspace, true) => (
+                    Some(simulate_with(
+                        &mut self.ws,
+                        &self.net,
+                        epoch_matrix,
+                        &placement,
+                        &self.epoch_trace,
+                        self.spec.exec.sim,
+                    )?),
+                    None,
+                ),
+                (ReplayKernel::Workspace, false) => (
+                    Some(simulate_with_overlay(
+                        &mut self.ws,
+                        &self.net,
+                        epoch_matrix,
+                        &placement,
+                        &self.epoch_trace,
+                        self.spec.exec.sim,
+                        &view.overlay,
+                    )?),
+                    None,
+                ),
+                (ReplayKernel::Reference, true) => (
+                    Some(simulate_reference(
+                        &self.net,
+                        epoch_matrix,
+                        &placement,
+                        &self.epoch_trace,
+                        self.spec.exec.sim,
+                    )?),
+                    None,
+                ),
+                (ReplayKernel::Reference, false) => (
+                    Some(simulate_reference_overlay(
+                        &self.net,
+                        epoch_matrix,
+                        &placement,
+                        &self.epoch_trace,
+                        self.spec.exec.sim,
+                        &view.overlay,
+                    )?),
+                    None,
+                ),
+                (ReplayKernel::Estimate { sample_every }, pristine) => {
+                    let overlay = (!pristine).then_some(&view.overlay);
+                    let bounds = estimate_makespan_from_loads(
+                        &self.net,
+                        epoch_matrix,
+                        &placement_loads,
+                        self.spec.exec.sim,
+                        overlay,
+                    );
+                    let sampled = sample_every > 0 && self.epoch_idx.is_multiple_of(sample_every);
+                    let sim = if sampled {
+                        Some(match overlay {
+                            None => simulate_with(
+                                &mut self.ws,
+                                &self.net,
+                                epoch_matrix,
+                                &placement,
+                                &self.epoch_trace,
+                                self.spec.exec.sim,
+                            )?,
+                            Some(o) => simulate_with_overlay(
+                                &mut self.ws,
+                                &self.net,
+                                epoch_matrix,
+                                &placement,
+                                &self.epoch_trace,
+                                self.spec.exec.sim,
+                                o,
+                            )?,
+                        })
+                    } else {
+                        None
+                    };
+                    let estimate = EpochEstimate {
+                        lower: bounds.lower,
+                        upper: bounds.upper,
+                        sampled_exact: sampled,
+                    };
+                    (sim, Some(estimate))
+                }
+            };
 
         // epoch_delta := (retired + live cumulative) − cum; then roll the
         // marks forward by pure additions.
@@ -776,9 +852,10 @@ impl Session {
             placement_congestion: placement_loads
                 .congestion_with(&self.net, &view.overlay)
                 .congestion,
-            makespan: sim.makespan,
-            mean_latency: sim.mean_latency,
-            p99_latency: sim.p99_latency,
+            makespan: sim.as_ref().map_or(0, |s| s.makespan),
+            mean_latency: sim.as_ref().map_or(0.0, |s| s.mean_latency),
+            p99_latency: sim.as_ref().map_or(0, |s| s.p99_latency),
+            estimate,
             live_objects: self.stream.live_objects().len(),
             buses_down: view.buses_down,
             buses_degraded: view.buses_degraded,
@@ -950,6 +1027,19 @@ impl Session {
         for e in &epochs {
             traffic += e.traffic;
         }
+        let mut estimated_epochs = 0usize;
+        let mut gap_sum = 0.0f64;
+        let mut estimate_violations = 0usize;
+        for e in &epochs {
+            if let Some(est) = e.estimate {
+                estimated_epochs += 1;
+                gap_sum += est.gap_ratio();
+                if est.sampled_exact && !(est.lower <= e.makespan && e.makespan <= est.upper) {
+                    estimate_violations += 1;
+                }
+            }
+        }
+        let estimate_gap = (estimated_epochs > 0).then(|| gap_sum / estimated_epochs as f64);
         ScenarioReport {
             name,
             topology: self.spec.topology.to_string(),
@@ -961,6 +1051,9 @@ impl Session {
             hindsight_congestion,
             competitive_ratio: online_congestion.ratio_to(hindsight_congestion),
             recovery_epochs: recovery_epochs(&epochs),
+            estimated_epochs,
+            estimate_gap,
+            estimate_violations,
             phases,
             epochs,
             stats: self.retired_stats.merge(self.strategy.stats()),

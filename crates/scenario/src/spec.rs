@@ -87,6 +87,38 @@ impl fmt::Display for TopologyFamily {
 }
 
 /// Which simulator kernel replays the epochs.
+///
+/// The two slot kernels replay every epoch exactly; the *estimator*
+/// prices epochs from their congestion in `O(|V|)` instead, recording
+/// inclusive lower/upper makespan bounds
+/// ([`crate::EpochSummary::estimate`]) and replaying a sampled subset
+/// exactly to validate that the bounds bracket the true makespan:
+///
+/// ```
+/// use hbn_scenario::{run_scenario, ReplayKernel, ScenarioSpec, TopologyFamily};
+/// use hbn_workload::phases::full_tour;
+///
+/// let spec = ScenarioSpec::builder(
+///     "estimated",
+///     TopologyFamily::Balanced { branching: 3, height: 2 },
+///     full_tour(6, 80),
+/// )
+/// .seed(3)
+/// // Bound every epoch; replay every 2nd epoch exactly as a cross-check.
+/// .replay_kernel(ReplayKernel::Estimate { sample_every: 2 })
+/// .build();
+/// let report = run_scenario(&spec);
+/// assert_eq!(report.estimated_epochs, report.epochs.len());
+/// // Every sampled epoch's exact makespan fell inside its bounds.
+/// assert_eq!(report.estimate_violations, 0);
+/// for epoch in &report.epochs {
+///     let est = epoch.estimate.expect("estimator prices every epoch");
+///     assert!(est.lower <= est.upper);
+///     if est.sampled_exact {
+///         assert!(est.lower <= epoch.makespan && epoch.makespan <= est.upper);
+///     }
+/// }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReplayKernel {
     /// The zero-allocation [`hbn_sim::SimWorkspace`] kernel (default).
@@ -95,14 +127,26 @@ pub enum ReplayKernel {
     /// The naive [`hbn_sim::simulate_reference`] kernel — used by the
     /// differential suite to pin the engine's replay summaries.
     Reference,
+    /// The congestion-bound estimator ([`hbn_sim::estimate_makespan`]):
+    /// every epoch gets lower/upper makespan bounds in `O(|V|)`, and
+    /// epochs with `epoch_idx % sample_every == 0` are *also* replayed
+    /// exactly on the workspace kernel so the bracket property is
+    /// validated in-run ([`crate::ScenarioReport::estimate_violations`]).
+    Estimate {
+        /// Exact-replay sampling period; `0` disables sampling (bounds
+        /// only — the unsampled epochs report a zero makespan).
+        sample_every: usize,
+    },
 }
 
 impl fmt::Display for ReplayKernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            ReplayKernel::Workspace => "workspace",
-            ReplayKernel::Reference => "reference",
-        })
+        match *self {
+            ReplayKernel::Workspace => f.write_str("workspace"),
+            ReplayKernel::Reference => f.write_str("reference"),
+            ReplayKernel::Estimate { sample_every: 0 } => f.write_str("estimate(unsampled)"),
+            ReplayKernel::Estimate { sample_every } => write!(f, "estimate({sample_every})"),
+        }
     }
 }
 
@@ -529,5 +573,10 @@ mod tests {
         assert_eq!(exec.kernel_label(), "serve=reference/replay=workspace");
         exec.replay = ReplayKernel::Reference;
         assert_eq!(exec.kernel_label(), "reference");
+        exec.serve = ServeKernel::Workspace;
+        exec.replay = ReplayKernel::Estimate { sample_every: 4 };
+        assert_eq!(exec.kernel_label(), "serve=workspace/replay=estimate(4)");
+        exec.replay = ReplayKernel::Estimate { sample_every: 0 };
+        assert_eq!(exec.kernel_label(), "serve=workspace/replay=estimate(unsampled)");
     }
 }

@@ -406,6 +406,9 @@ fn legacy_run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
                     simulate_reference(&net, &epoch_matrix, &placement, &epoch_trace, spec.exec.sim)
                         .unwrap()
                 }
+                hbn_scenario::ReplayKernel::Estimate { .. } => {
+                    unreachable!("the frozen legacy engine predates the estimator kernel")
+                }
             };
 
             epoch_delta.reset();
@@ -434,6 +437,7 @@ fn legacy_run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
                 makespan: sim.makespan,
                 mean_latency: sim.mean_latency,
                 p99_latency: sim.p99_latency,
+                estimate: None,
                 live_objects: stream.live_objects().len(),
                 buses_down: 0,
                 buses_degraded: 0,
@@ -472,6 +476,9 @@ fn legacy_run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
         hindsight_congestion,
         competitive_ratio: online_congestion.ratio_to(hindsight_congestion),
         recovery_epochs: None,
+        estimated_epochs: 0,
+        estimate_gap: None,
+        estimate_violations: 0,
         stats: online.stats(),
     }
 }

@@ -42,13 +42,19 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod estimate;
 pub mod packet;
+pub mod parallel;
 pub mod reference;
 pub mod trace;
 pub mod workspace;
 
 pub use engine::{simulate, simulate_with, simulate_with_overlay, SimConfig, SimError, SimResult};
+pub use estimate::{estimate_makespan, estimate_makespan_from_loads};
 pub use packet::{Packet, PacketKind};
+pub use parallel::{
+    simulate_parallel, simulate_parallel_overlay, simulate_parallel_with, ParSimWorkspace,
+};
 pub use reference::{simulate_reference, simulate_reference_overlay};
 pub use trace::{expand, expand_shuffled, Request};
 pub use workspace::SimWorkspace;

@@ -1,0 +1,1167 @@
+//! Event-driven, level-synchronized parallel slot kernel.
+//!
+//! Replays the exact slot semantics of [`crate::workspace`] — bit-for-bit
+//! identical [`SimResult`]s, including under a [`CapacityOverlay`] — while
+//! attacking the sequential kernel's actual bottleneck: the per-slot scan
+//! of *every* active packet. At congested operating points most packets
+//! are blocked for most slots, so the scan is O(active packets) of work
+//! per slot to move a handful of them.
+//!
+//! ## Event-driven arbitration: probe queue heads, not packets
+//!
+//! Every unicast packet waiting to cross switch `e = (c, p)` contends for
+//! the *same* token pools — the switch pool `b(e)` plus the bus pools at
+//! whichever endpoints are buses — regardless of direction. Token pools
+//! only shrink within a slot. Therefore, if the *smallest-key* packet
+//! queued at `e` is blocked, every later packet at `e` is blocked too:
+//! the sequential kernel would probe each of them against the same (or
+//! further depleted) pools and fail. This kernel keeps a per-switch
+//! min-heap ordered by the arbitration key `(prio, seq)` and probes only
+//! heap heads. When a head crosses, the next head enters the candidate
+//! set *at its own key position*, so multiple packets still cross one
+//! switch per slot exactly when bandwidth allows. Multicast packets
+//! (update broadcasts fanning out along their Steiner tree) have no
+//! single switch, so each is probed every slot via the same grouping
+//! logic as the sequential kernel. Per-slot work drops from
+//! O(active packets) to O(active switches + crossings + multicasts).
+//!
+//! ## Why arbitration itself cannot be parallelized bit-for-bit
+//!
+//! Buses at the same tree level own disjoint child-switch sets, so
+//! *collecting* candidates and *enqueueing* arrivals parallelize cleanly
+//! level by level. Consuming tokens does not: a switch crossing `(c, p)`
+//! draws from bus pools at two adjacent levels, so the pool of bus `c`
+//! is shared between `c`'s own wavefront group and its parent's. Under
+//! contention the winner depends on the global key order across levels —
+//! see `DESIGN.md` for a two-packet counterexample. The kernel therefore
+//! runs each slot as a three-phase wavefront:
+//!
+//! 1. **Collect** (parallel, level-synchronized): fan out over same-level
+//!    buses, peeking each owned switch queue's head. Barrier per level.
+//! 2. **Commit** (sequential): arbitrate candidates in exact global
+//!    `(prio, seq)` order, consuming tokens and recording crossings,
+//!    deliveries and latencies precisely as the sequential kernel does.
+//! 3. **Apply** (parallel, level-synchronized): route the slot's moved
+//!    packets to their next switch queue, fanning out over same-level
+//!    buses again so every heap is touched by exactly one worker.
+//!
+//! Phases 1 and 3 fan out across `threads` workers over per-level bus
+//! groups (the vendored `rayon`'s chunked `std::thread::scope` pattern,
+//! done inline here because the workers need indexed per-worker scratch
+//! buffers); `rayon::current_num_threads()` — i.e. `RAYON_NUM_THREADS` —
+//! supplies the default width. With `threads == 1` the phases run inline
+//! with zero synchronization overhead; results are identical at every
+//! width, which `tests/parallel_differential.rs` pins.
+
+use crate::engine::{SimConfig, SimError, SimResult};
+use crate::packet::PacketKind;
+use crate::trace::Request;
+use crate::workspace::SimWorkspace;
+use hbn_load::Placement;
+use hbn_topology::{CapacityOverlay, EdgeId, Network, NodeId};
+use hbn_workload::{AccessMatrix, ObjectId};
+
+/// A unicast packet waiting in (or moving between) switch queues.
+#[derive(Debug, Clone, Copy)]
+struct QPacket {
+    prio: u64,
+    seq: u64,
+    object: ObjectId,
+    kind: PacketKind,
+    position: NodeId,
+    dest: NodeId,
+    issued_at: u64,
+}
+
+/// A multicast packet (update broadcast with ≥ 2 remaining copies, or a
+/// blocked remainder thereof). Destination sets and grouping plans are
+/// recycled through pools, so the steady-state slot loop stays
+/// allocation-free.
+#[derive(Debug)]
+struct McPacket {
+    prio: u64,
+    seq: u64,
+    object: ObjectId,
+    kind: PacketKind,
+    position: NodeId,
+    issued_at: u64,
+    dests: Vec<NodeId>,
+    /// Cached arbitration plan (see [`GroupPlan`]); empty = not yet
+    /// built. Valid for as long as the packet sits at `position`: a
+    /// partial crossing compacts the plan instead of regrouping.
+    groups: Vec<GroupPlan>,
+}
+
+/// One hop-group of a multicast's cached arbitration plan: the dests in
+/// `dests[start .. start + len]` all leave `position` through `edge`
+/// towards `hop`. Grouping depends only on `(position, dests)`, and a
+/// blocked remainder keeps both — so the plan is computed once per
+/// packet and merely *compacted* when some groups cross, turning each
+/// blocked slot from a full Steiner regroup into `O(groups)` pool
+/// checks. (The sequential kernel has the analogous cache for blocked
+/// unicasts but regroups multicasts every slot.)
+#[derive(Debug, Clone, Copy)]
+struct GroupPlan {
+    hop: NodeId,
+    /// Switch index (child endpoint), or `u32::MAX` once crossed.
+    edge: u32,
+    /// Parent-endpoint node index of `edge`.
+    parent: u32,
+    /// Bit 0: child endpoint is a bus; bit 1: parent endpoint is a bus.
+    flags: u8,
+    start: u32,
+    len: u32,
+}
+
+/// An arbitration candidate: a switch-queue head. (Multicasts are merged
+/// in from the sorted `mc_order` side-list during commit.)
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    prio: u64,
+    seq: u64,
+    /// Switch index.
+    src: u32,
+}
+
+#[inline]
+fn cand_key(c: &Cand) -> (u64, u64) {
+    (c.prio, c.seq)
+}
+
+// --- Minimal binary min-heaps over reusable Vecs (no per-slot allocation,
+// no `Ord` boilerplate). Keys are globally unique, so pop order is a
+// total order independent of insertion order.
+
+#[inline]
+fn qheap_push(h: &mut Vec<QPacket>, p: QPacket) {
+    h.push(p);
+    let mut i = h.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if (h[parent].prio, h[parent].seq) <= (h[i].prio, h[i].seq) {
+            break;
+        }
+        h.swap(parent, i);
+        i = parent;
+    }
+}
+
+#[inline]
+fn qheap_pop(h: &mut Vec<QPacket>) -> QPacket {
+    let top = h.swap_remove(0);
+    let n = h.len();
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut m = i;
+        if l < n && (h[l].prio, h[l].seq) < (h[m].prio, h[m].seq) {
+            m = l;
+        }
+        if r < n && (h[r].prio, h[r].seq) < (h[m].prio, h[m].seq) {
+            m = r;
+        }
+        if m == i {
+            break;
+        }
+        h.swap(i, m);
+        i = m;
+    }
+    top
+}
+
+#[inline]
+fn cheap_push(h: &mut Vec<Cand>, c: Cand) {
+    h.push(c);
+    let mut i = h.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if cand_key(&h[parent]) <= cand_key(&h[i]) {
+            break;
+        }
+        h.swap(parent, i);
+        i = parent;
+    }
+}
+
+fn cheap_sift_down(h: &mut [Cand], mut i: usize) {
+    let n = h.len();
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut m = i;
+        if l < n && cand_key(&h[l]) < cand_key(&h[m]) {
+            m = l;
+        }
+        if r < n && cand_key(&h[r]) < cand_key(&h[m]) {
+            m = r;
+        }
+        if m == i {
+            return;
+        }
+        h.swap(i, m);
+        i = m;
+    }
+}
+
+fn cheapify(h: &mut [Cand]) {
+    for i in (0..h.len() / 2).rev() {
+        cheap_sift_down(h, i);
+    }
+}
+
+#[inline]
+fn cheap_pop(h: &mut Vec<Cand>) -> Option<Cand> {
+    if h.is_empty() {
+        return None;
+    }
+    let top = h.swap_remove(0);
+    cheap_sift_down(h, 0);
+    Some(top)
+}
+
+/// Reusable buffers for the parallel kernel. Construct once, pass to
+/// [`crate::simulate_parallel_with`] any number of times; buffers are
+/// reset at bind time and keep their capacity between runs.
+///
+/// Embeds a [`SimWorkspace`] for everything the two kernels share: the
+/// capacity caches, the dense CSR router, the injection queues, token
+/// buffers and output accumulators.
+#[derive(Debug, Default)]
+pub struct ParSimWorkspace {
+    base: SimWorkspace,
+    threads: usize,
+    /// Per-switch min-heaps of waiting unicast packets, indexed by the
+    /// switch's child endpoint (the root slot is never used).
+    heaps: Vec<Vec<QPacket>>,
+    /// Switches with (possibly) non-empty heaps, plus membership flags.
+    active_edges: Vec<u32>,
+    active_next: Vec<u32>,
+    edge_active: Vec<bool>,
+    /// Per node `v`: level of the bus owning switch `(v, parent(v))`,
+    /// i.e. `level(parent(v))`. Groups switches into wavefront levels.
+    owner_level: Vec<u32>,
+    level_buckets: Vec<Vec<u32>>,
+    /// Multicast slab; emptied `dests` marks a dead entry whose slot is
+    /// on `mc_free`.
+    mc: Vec<McPacket>,
+    /// Slab indices of live multicasts, sorted by `(prio, seq)`. The
+    /// commit phase merges this list with the switch-head heap; spawns
+    /// binary-insert (injection-time keys are monotone, so they append).
+    mc_order: Vec<u32>,
+    mc_free: Vec<u32>,
+    mc_spawn: Vec<McPacket>,
+    mc_pool: Vec<Vec<NodeId>>,
+    mc_group_pool: Vec<Vec<GroupPlan>>,
+    /// Per-slot candidate heap and next-slot arrival buffers.
+    cands: Vec<Cand>,
+    arrivals: Vec<QPacket>,
+    arrival_edges: Vec<u32>,
+    arrival_buckets: Vec<Vec<u32>>,
+    runs: Vec<(u32, u32, u32)>,
+    /// Per-worker scratch for the collect phase: (candidates, drained
+    /// switches whose heaps turned out empty).
+    worker_cands: Vec<(Vec<Cand>, Vec<u32>)>,
+    // Multicast grouping scratch (mirrors the sequential kernel's).
+    hop_of: Vec<NodeId>,
+    group_hops: Vec<NodeId>,
+    remaining: Vec<NodeId>,
+    frag: Vec<NodeId>,
+    upd: Vec<NodeId>,
+}
+
+impl ParSimWorkspace {
+    /// An empty workspace with automatic thread width
+    /// (`rayon::current_num_threads()`, i.e. `RAYON_NUM_THREADS`).
+    pub fn new() -> ParSimWorkspace {
+        ParSimWorkspace::default()
+    }
+
+    /// An empty workspace pinned to `threads` workers (`0` = automatic).
+    pub fn with_threads(threads: usize) -> ParSimWorkspace {
+        ParSimWorkspace { threads, ..ParSimWorkspace::default() }
+    }
+
+    /// Override the wavefront fan-out width (`0` = automatic). Results
+    /// are bit-for-bit identical at every width.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    fn bind(&mut self, net: &Network, overlay: Option<&CapacityOverlay>) {
+        self.base.bind(net, overlay);
+        let n = net.n_nodes();
+        if self.heaps.len() < n {
+            self.heaps.resize_with(n, Vec::new);
+        }
+        for h in &mut self.heaps {
+            h.clear();
+        }
+        self.active_edges.clear();
+        self.active_next.clear();
+        self.edge_active.clear();
+        self.edge_active.resize(n, false);
+        self.owner_level.clear();
+        self.owner_level.extend(net.nodes().map(|v| {
+            if v == net.root() {
+                0
+            } else {
+                net.level(net.parent(v))
+            }
+        }));
+        let n_levels = net.height() as usize + 1;
+        if self.level_buckets.len() < n_levels {
+            self.level_buckets.resize_with(n_levels, Vec::new);
+        }
+        if self.arrival_buckets.len() < n_levels {
+            self.arrival_buckets.resize_with(n_levels, Vec::new);
+        }
+        for m in self.mc.drain(..) {
+            self.mc_pool.push(m.dests);
+            self.mc_group_pool.push(m.groups);
+        }
+        self.mc_order.clear();
+        self.mc_free.clear();
+        self.mc_spawn.clear();
+        self.cands.clear();
+        self.arrivals.clear();
+        self.arrival_edges.clear();
+    }
+
+    #[inline]
+    fn activate(&mut self, e: u32) {
+        if !self.edge_active[e as usize] {
+            self.edge_active[e as usize] = true;
+            self.active_edges.push(e);
+        }
+    }
+
+    /// Take a destination buffer from the pool.
+    fn pooled(&mut self) -> Vec<NodeId> {
+        self.mc_pool.pop().unwrap_or_default()
+    }
+
+    /// Take a grouping-plan buffer from the pool.
+    fn pooled_groups(&mut self) -> Vec<GroupPlan> {
+        self.mc_group_pool.pop().unwrap_or_default()
+    }
+
+    /// Move `m` into a free slab slot and register it in the sorted
+    /// live list.
+    fn mc_admit(&mut self, m: McPacket) {
+        let idx = match self.mc_free.pop() {
+            Some(i) => {
+                self.mc[i as usize] = m;
+                i
+            }
+            None => {
+                self.mc.push(m);
+                (self.mc.len() - 1) as u32
+            }
+        };
+        let key = {
+            let m = &self.mc[idx as usize];
+            (m.prio, m.seq)
+        };
+        let mc = &self.mc;
+        let pos = self.mc_order.partition_point(|&j| {
+            let o = &mc[j as usize];
+            (o.prio, o.seq) < key
+        });
+        self.mc_order.insert(pos, idx);
+    }
+}
+
+/// The switch a packet at `position` must cross next on the way to
+/// `dest` (identified, as everywhere, by its child endpoint).
+#[inline]
+fn next_edge(net: &Network, position: NodeId, dest: NodeId) -> u32 {
+    if net.is_ancestor(position, dest) {
+        net.child_towards(position, dest).index() as u32
+    } else {
+        position.index() as u32
+    }
+}
+
+/// Collect `copies(x) \ {server}` sorted and deduplicated — the update
+/// destination set, exactly as the sequential kernel's `spawn_update`.
+fn update_dests(placement: &Placement, x: ObjectId, server: NodeId, buf: &mut Vec<NodeId>) {
+    buf.clear();
+    for &c in placement.copies(x) {
+        if c != server {
+            buf.push(c);
+        }
+    }
+    buf.sort_unstable();
+    buf.dedup();
+}
+
+/// Replay `trace` with the parallel kernel using a fresh workspace.
+///
+/// Produces a [`SimResult`] bit-for-bit equal to [`crate::simulate`] —
+/// the differential suite in `tests/parallel_differential.rs` pins this
+/// at thread widths 1, 2 and the machine default, with and without
+/// capacity overlays.
+pub fn simulate_parallel(
+    net: &Network,
+    matrix: &AccessMatrix,
+    placement: &Placement,
+    trace: &[Request],
+    config: SimConfig,
+) -> Result<SimResult, SimError> {
+    simulate_parallel_with(&mut ParSimWorkspace::new(), net, matrix, placement, trace, config)
+}
+
+/// Replay `trace` with the parallel kernel, reusing `ws` across runs.
+pub fn simulate_parallel_with(
+    ws: &mut ParSimWorkspace,
+    net: &Network,
+    matrix: &AccessMatrix,
+    placement: &Placement,
+    trace: &[Request],
+    config: SimConfig,
+) -> Result<SimResult, SimError> {
+    run_parallel(ws, net, matrix, placement, trace, config, None)
+}
+
+/// Replay `trace` with the parallel kernel under a capacity overlay,
+/// bit-for-bit equal to [`crate::simulate_with_overlay`].
+pub fn simulate_parallel_overlay(
+    ws: &mut ParSimWorkspace,
+    net: &Network,
+    matrix: &AccessMatrix,
+    placement: &Placement,
+    trace: &[Request],
+    config: SimConfig,
+    overlay: &CapacityOverlay,
+) -> Result<SimResult, SimError> {
+    run_parallel(ws, net, matrix, placement, trace, config, Some(overlay))
+}
+
+/// Run the parallel kernel; see [`crate::simulate_parallel_with`].
+pub(crate) fn run_parallel(
+    pw: &mut ParSimWorkspace,
+    net: &Network,
+    matrix: &AccessMatrix,
+    placement: &Placement,
+    trace: &[Request],
+    config: SimConfig,
+    overlay: Option<&CapacityOverlay>,
+) -> Result<SimResult, SimError> {
+    pw.bind(net, overlay);
+    pw.base.build_router(net, matrix, placement);
+    pw.base.build_queues(net, trace)?;
+
+    let threads = if pw.threads == 0 { rayon::current_num_threads() } else { pw.threads };
+    if pw.worker_cands.len() < threads {
+        pw.worker_cands.resize_with(threads, Default::default);
+    }
+
+    let n_procs = net.n_processors();
+    let mut next_prio = 0u64;
+    let mut next_seq = 0u64;
+    let mut delivered_requests = 0u64;
+    let mut delivered_updates = 0u64;
+    let mut makespan = 0u64;
+    let mut remaining_queued = trace.len();
+    let mut waiting = 0usize;
+
+    let mut slot = 0u64;
+    loop {
+        if slot >= config.max_slots {
+            return Err(SimError::SlotBudgetExceeded);
+        }
+
+        // --- Injection: identical to the sequential kernel, but routed
+        // packets enter their first switch queue (and still contend in
+        // this very slot, like freshly appended actives do there).
+        let mut injected_any = false;
+        if remaining_queued > 0 {
+            for pi in 0..n_procs {
+                let p = net.processor_at(pi);
+                for _ in 0..config.injection_rate {
+                    let cur = pw.base.q_cursor[pi];
+                    if cur == pw.base.q_off[pi + 1] {
+                        break;
+                    }
+                    pw.base.q_cursor[pi] = cur + 1;
+                    remaining_queued -= 1;
+                    injected_any = true;
+                    let q = pw.base.q_entries[cur as usize];
+                    let prio = next_prio;
+                    next_prio += 1;
+                    if q.server == p {
+                        delivered_requests += 1;
+                        pw.base.latencies.push(0);
+                        makespan = makespan.max(slot);
+                        if q.is_write {
+                            let mut buf = std::mem::take(&mut pw.upd);
+                            update_dests(placement, q.object, p, &mut buf);
+                            if !buf.is_empty() {
+                                let uprio = next_prio;
+                                next_prio += 1;
+                                let useq = next_seq;
+                                next_seq += 1;
+                                if buf.len() == 1 {
+                                    let pkt = QPacket {
+                                        prio: uprio,
+                                        seq: useq,
+                                        object: q.object,
+                                        kind: PacketKind::Update,
+                                        position: p,
+                                        dest: buf[0],
+                                        issued_at: slot,
+                                    };
+                                    let e = p.index();
+                                    qheap_push(&mut pw.heaps[e], pkt);
+                                    waiting += 1;
+                                    pw.activate(e as u32);
+                                } else {
+                                    let mut dests = pw.pooled();
+                                    dests.clear();
+                                    let mut groups = pw.pooled_groups();
+                                    groups.clear();
+                                    dests.extend_from_slice(&buf);
+                                    pw.mc_admit(McPacket {
+                                        prio: uprio,
+                                        seq: useq,
+                                        object: q.object,
+                                        kind: PacketKind::Update,
+                                        position: p,
+                                        issued_at: slot,
+                                        dests,
+                                        groups,
+                                    });
+                                }
+                            }
+                            pw.upd = buf;
+                        }
+                    } else {
+                        let seq = next_seq;
+                        next_seq += 1;
+                        let pkt = QPacket {
+                            prio,
+                            seq,
+                            object: q.object,
+                            kind: if q.is_write { PacketKind::Write } else { PacketKind::Read },
+                            position: p,
+                            dest: q.server,
+                            issued_at: slot,
+                        };
+                        let e = p.index();
+                        qheap_push(&mut pw.heaps[e], pkt);
+                        waiting += 1;
+                        pw.activate(e as u32);
+                    }
+                }
+            }
+        }
+
+        // --- Token refresh (identical to the sequential kernel) ---
+        pw.base.edge_tokens.copy_from_slice(&pw.base.edge_bw);
+        pw.base.bus_tokens.copy_from_slice(&pw.base.bus_bw2);
+        if slot < pw.base.outage_slots {
+            for i in 0..pw.base.down_buses.len() {
+                pw.base.bus_tokens[pw.base.down_buses[i].index()] = 0;
+            }
+        }
+
+        // --- Phase 1: collect candidates (level-synchronized fan-out) ---
+        pw.cands.clear();
+        pw.active_next.clear();
+        if threads >= 2 && pw.active_edges.len() >= 2 {
+            for b in &mut pw.level_buckets {
+                b.clear();
+            }
+            for &e in &pw.active_edges {
+                pw.level_buckets[pw.owner_level[e as usize] as usize].push(e);
+            }
+            let mut buckets = std::mem::take(&mut pw.level_buckets);
+            for bucket in &buckets {
+                if bucket.is_empty() {
+                    continue;
+                }
+                if bucket.len() < 2 {
+                    let e = bucket[0];
+                    match pw.heaps[e as usize].first() {
+                        Some(h) => {
+                            pw.cands.push(Cand { prio: h.prio, seq: h.seq, src: e });
+                            pw.active_next.push(e);
+                        }
+                        None => pw.edge_active[e as usize] = false,
+                    }
+                    continue;
+                }
+                // Fan out over this level's switches; the barrier is the
+                // scope join before the next level starts.
+                let nt = threads.min(bucket.len());
+                let chunk = bucket.len().div_ceil(nt);
+                let heaps = &pw.heaps;
+                std::thread::scope(|s| {
+                    for (wb, part) in pw.worker_cands.iter_mut().zip(bucket.chunks(chunk)) {
+                        s.spawn(move || {
+                            wb.0.clear();
+                            wb.1.clear();
+                            for &e in part {
+                                match heaps[e as usize].first() {
+                                    Some(h) => wb.0.push(Cand { prio: h.prio, seq: h.seq, src: e }),
+                                    None => wb.1.push(e),
+                                }
+                            }
+                        });
+                    }
+                });
+                let used = bucket.len().div_ceil(chunk);
+                for (found, drained) in pw.worker_cands.iter().take(used) {
+                    for c in found {
+                        pw.cands.push(*c);
+                        pw.active_next.push(c.src);
+                    }
+                    for &e in drained {
+                        pw.edge_active[e as usize] = false;
+                    }
+                }
+            }
+            std::mem::swap(&mut pw.level_buckets, &mut buckets);
+        } else {
+            for i in 0..pw.active_edges.len() {
+                let e = pw.active_edges[i];
+                match pw.heaps[e as usize].first() {
+                    Some(h) => {
+                        pw.cands.push(Cand { prio: h.prio, seq: h.seq, src: e });
+                        pw.active_next.push(e);
+                    }
+                    None => pw.edge_active[e as usize] = false,
+                }
+            }
+        }
+        std::mem::swap(&mut pw.active_edges, &mut pw.active_next);
+        cheapify(&mut pw.cands);
+
+        // --- Phase 2: commit in exact global (prio, seq) order — a
+        // two-way merge of the switch-head heap and the sorted live
+        // multicast list (every entry of which is probed each slot:
+        // pools refill per slot, so a blocked multicast may cross the
+        // very next one).
+        let mut mj = 0usize;
+        let mut mc_died = false;
+        loop {
+            let sw_key = pw.cands.first().map(|c| (c.prio, c.seq));
+            let mc_key = pw.mc_order.get(mj).map(|&i| {
+                let m = &pw.mc[i as usize];
+                (m.prio, m.seq)
+            });
+            let take_switch = match (sw_key, mc_key) {
+                (None, None) => break,
+                (Some(s), Some(m)) => s < m,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+            };
+            if take_switch {
+                let c = cheap_pop(&mut pw.cands).unwrap();
+                let e = c.src as usize;
+                let eid = EdgeId::from(NodeId(c.src));
+                let (a, b) = net.edge_endpoints(eid);
+                let bus_a = net.is_bus(a);
+                let bus_b = net.is_bus(b);
+                let ok = pw.base.edge_tokens[e] >= 1
+                    && (!bus_a || pw.base.bus_tokens[a.index()] >= 1)
+                    && (!bus_b || pw.base.bus_tokens[b.index()] >= 1);
+                if !ok {
+                    // Pools only shrink within a slot, and every packet
+                    // queued here needs this exact pool set: the whole
+                    // queue is blocked for the rest of the slot.
+                    continue;
+                }
+                pw.base.edge_tokens[e] -= 1;
+                if bus_a {
+                    pw.base.bus_tokens[a.index()] -= 1;
+                }
+                if bus_b {
+                    pw.base.bus_tokens[b.index()] -= 1;
+                }
+                pw.base.edge_crossings[e] += 1;
+                let pkt = qheap_pop(&mut pw.heaps[e]);
+                waiting -= 1;
+                let hop = if pkt.position == a { b } else { a };
+                if hop == pkt.dest {
+                    match pkt.kind {
+                        PacketKind::Read | PacketKind::Write => {
+                            delivered_requests += 1;
+                            pw.base.latencies.push(slot + 1 - pkt.issued_at);
+                            makespan = makespan.max(slot + 1);
+                            if pkt.kind == PacketKind::Write {
+                                spawn_update_deferred(
+                                    pw,
+                                    placement,
+                                    pkt.object,
+                                    hop,
+                                    slot + 1,
+                                    &mut next_prio,
+                                    &mut next_seq,
+                                );
+                            }
+                        }
+                        PacketKind::Update => {
+                            delivered_updates += 1;
+                            makespan = makespan.max(slot + 1);
+                        }
+                    }
+                } else {
+                    let seq = next_seq;
+                    next_seq += 1;
+                    pw.arrivals.push(QPacket { seq, position: hop, ..pkt });
+                }
+                if let Some(h) = pw.heaps[e].first() {
+                    cheap_push(&mut pw.cands, Cand { prio: h.prio, seq: h.seq, src: c.src });
+                }
+            } else {
+                let mi = pw.mc_order[mj] as usize;
+                mj += 1;
+                mc_died |= commit_multicast(
+                    pw,
+                    net,
+                    placement,
+                    mi,
+                    slot,
+                    &mut next_prio,
+                    &mut next_seq,
+                    &mut delivered_requests,
+                    &mut delivered_updates,
+                    &mut makespan,
+                );
+            }
+        }
+
+        // --- Phase 3: apply arrivals (level-synchronized fan-out) ---
+        waiting += pw.arrivals.len();
+        apply_arrivals(pw, net, threads);
+
+        // --- Multicast maintenance: drop dead slab slots from the live
+        // list (their buffers were recycled at death), then admit this
+        // slot's spawns in key order.
+        if mc_died {
+            let mc = &pw.mc;
+            let free = &mut pw.mc_free;
+            pw.mc_order.retain(|&i| {
+                if mc[i as usize].dests.is_empty() {
+                    free.push(i);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let mut spawn = std::mem::take(&mut pw.mc_spawn);
+        for m in spawn.drain(..) {
+            pw.mc_admit(m);
+        }
+        pw.mc_spawn = spawn;
+
+        if waiting == 0 && pw.mc_order.is_empty() && !injected_any && remaining_queued == 0 {
+            break;
+        }
+        slot += 1;
+    }
+
+    pw.base.latencies.sort_unstable();
+    let mean_latency = if pw.base.latencies.is_empty() {
+        0.0
+    } else {
+        pw.base.latencies.iter().sum::<u64>() as f64 / pw.base.latencies.len() as f64
+    };
+    let p99_latency = pw
+        .base
+        .latencies
+        .get(((pw.base.latencies.len() as f64 * 0.99).ceil() as usize).saturating_sub(1))
+        .copied()
+        .unwrap_or(0);
+    Ok(SimResult {
+        makespan,
+        delivered_requests,
+        delivered_updates,
+        mean_latency,
+        p99_latency,
+        edge_crossings: pw.base.edge_crossings.clone(),
+    })
+}
+
+/// Spawn the update broadcast for a write delivered this slot. Like the
+/// sequential kernel's forwarding-time `spawn_update`, the new packet
+/// joins the *next* slot's contenders; its priority and sequence are
+/// drawn here, at delivery, in global key order.
+fn spawn_update_deferred(
+    pw: &mut ParSimWorkspace,
+    placement: &Placement,
+    x: ObjectId,
+    server: NodeId,
+    issued_at: u64,
+    next_prio: &mut u64,
+    next_seq: &mut u64,
+) {
+    let mut buf = std::mem::take(&mut pw.upd);
+    update_dests(placement, x, server, &mut buf);
+    if !buf.is_empty() {
+        let prio = *next_prio;
+        *next_prio += 1;
+        let seq = *next_seq;
+        *next_seq += 1;
+        if buf.len() == 1 {
+            pw.arrivals.push(QPacket {
+                prio,
+                seq,
+                object: x,
+                kind: PacketKind::Update,
+                position: server,
+                dest: buf[0],
+                issued_at,
+            });
+        } else {
+            let mut dests = pw.pooled();
+            dests.clear();
+            let mut groups = pw.pooled_groups();
+            groups.clear();
+            dests.extend_from_slice(&buf);
+            pw.mc_spawn.push(McPacket {
+                prio,
+                seq,
+                object: x,
+                kind: PacketKind::Update,
+                position: server,
+                issued_at,
+                dests,
+                groups,
+            });
+        }
+    }
+    pw.upd = buf;
+}
+
+/// Build a multicast's arbitration plan: group `dests` by next hop in
+/// first-occurrence order (same one-entry child-subtree cache as the
+/// sequential kernel), reorder `dests` group-contiguously, and record
+/// one [`GroupPlan`] per hop. Called once per packet — the plan stays
+/// valid while the packet sits at `v` and is compacted, not rebuilt,
+/// after partial crossings.
+fn build_plan(
+    pw: &mut ParSimWorkspace,
+    net: &Network,
+    v: NodeId,
+    dests: &mut Vec<NodeId>,
+    groups: &mut Vec<GroupPlan>,
+) {
+    pw.hop_of.clear();
+    pw.group_hops.clear();
+    let mut cached: Option<(u32, u32, NodeId)> = None;
+    for &d in dests.iter() {
+        let hop = if !net.is_ancestor(v, d) {
+            net.parent(v)
+        } else {
+            let t = net.preorder_index(d);
+            match cached {
+                Some((lo, hi, c)) if (lo..hi).contains(&t) => c,
+                _ => {
+                    let c = net.child_towards(v, d);
+                    let lo = net.preorder_index(c);
+                    cached = Some((lo, lo + net.subtree_size(c) as u32, c));
+                    c
+                }
+            }
+        };
+        pw.hop_of.push(hop);
+        if !pw.group_hops.contains(&hop) {
+            pw.group_hops.push(hop);
+        }
+    }
+    pw.remaining.clear();
+    groups.clear();
+    for gi in 0..pw.group_hops.len() {
+        let hop = pw.group_hops[gi];
+        let start = pw.remaining.len() as u32;
+        for (off, &h) in pw.hop_of.iter().enumerate() {
+            if h == hop {
+                pw.remaining.push(dests[off]);
+            }
+        }
+        let edge = if net.parent(hop) == v { hop } else { v };
+        let parent = net.parent(edge);
+        let flags = net.is_bus(edge) as u8 | ((net.is_bus(parent) as u8) << 1);
+        groups.push(GroupPlan {
+            hop,
+            edge: edge.index() as u32,
+            parent: parent.index() as u32,
+            flags,
+            start,
+            len: pw.remaining.len() as u32 - start,
+        });
+    }
+    dests.clear();
+    dests.extend_from_slice(&pw.remaining);
+}
+
+/// Arbitrate one multicast packet via its cached plan: per-group
+/// all-or-nothing token checks, fragment spawning and delivery — the
+/// sequential kernel's general path, with fragments buffered as
+/// next-slot arrivals. Returns whether the packet died (all groups
+/// crossed) so the slot-end maintenance knows to sweep the live list.
+#[allow(clippy::too_many_arguments)]
+fn commit_multicast(
+    pw: &mut ParSimWorkspace,
+    net: &Network,
+    placement: &Placement,
+    mi: usize,
+    slot: u64,
+    next_prio: &mut u64,
+    next_seq: &mut u64,
+    delivered_requests: &mut u64,
+    delivered_updates: &mut u64,
+    makespan: &mut u64,
+) -> bool {
+    if pw.mc[mi].groups.is_empty() {
+        let mut dests = std::mem::take(&mut pw.mc[mi].dests);
+        let mut groups = std::mem::take(&mut pw.mc[mi].groups);
+        let v = pw.mc[mi].position;
+        build_plan(pw, net, v, &mut dests, &mut groups);
+        pw.mc[mi].dests = dests;
+        pw.mc[mi].groups = groups;
+    }
+
+    // Fast path: probe the cached plan read-only. Fully blocked packets
+    // — the common case at congested operating points — mutate nothing.
+    {
+        let m = &pw.mc[mi];
+        let et = &pw.base.edge_tokens;
+        let bt = &pw.base.bus_tokens;
+        let any_open = m.groups.iter().any(|g| {
+            let e = g.edge as usize;
+            et[e] >= 1
+                && (g.flags & 1 == 0 || bt[e] >= 1)
+                && (g.flags & 2 == 0 || bt[g.parent as usize] >= 1)
+        });
+        if !any_open {
+            return false;
+        }
+    }
+
+    let (prio, object, kind, issued_at) = {
+        let m = &pw.mc[mi];
+        (m.prio, m.object, m.kind, m.issued_at)
+    };
+    let mut dests = std::mem::take(&mut pw.mc[mi].dests);
+    let mut groups = std::mem::take(&mut pw.mc[mi].groups);
+    let mut crossed_any = false;
+    for slot_g in groups.iter_mut() {
+        let g = *slot_g;
+        let e = g.edge as usize;
+        let ok = pw.base.edge_tokens[e] >= 1
+            && (g.flags & 1 == 0 || pw.base.bus_tokens[e] >= 1)
+            && (g.flags & 2 == 0 || pw.base.bus_tokens[g.parent as usize] >= 1);
+        if !ok {
+            continue;
+        }
+        crossed_any = true;
+        slot_g.edge = u32::MAX;
+        pw.base.edge_tokens[e] -= 1;
+        if g.flags & 1 != 0 {
+            pw.base.bus_tokens[e] -= 1;
+        }
+        if g.flags & 2 != 0 {
+            pw.base.bus_tokens[g.parent as usize] -= 1;
+        }
+        pw.base.edge_crossings[e] += 1;
+
+        let hop = g.hop;
+        pw.frag.clear();
+        let mut delivered_here = 0u64;
+        for &d in &dests[g.start as usize..(g.start + g.len) as usize] {
+            if d == hop {
+                delivered_here += 1;
+            } else {
+                pw.frag.push(d);
+            }
+        }
+        pw.frag.sort_unstable();
+        if !pw.frag.is_empty() {
+            let seq = *next_seq;
+            *next_seq += 1;
+            if pw.frag.len() == 1 {
+                pw.arrivals.push(QPacket {
+                    prio,
+                    seq,
+                    object,
+                    kind,
+                    position: hop,
+                    dest: pw.frag[0],
+                    issued_at,
+                });
+            } else {
+                let mut fd = pw.pooled();
+                fd.clear();
+                fd.extend_from_slice(&pw.frag);
+                let mut fg = pw.pooled_groups();
+                fg.clear();
+                pw.mc_spawn.push(McPacket {
+                    prio,
+                    seq,
+                    object,
+                    kind,
+                    position: hop,
+                    issued_at,
+                    dests: fd,
+                    groups: fg,
+                });
+            }
+        }
+        if delivered_here > 0 {
+            match kind {
+                PacketKind::Read | PacketKind::Write => {
+                    *delivered_requests += 1;
+                    pw.base.latencies.push(slot + 1 - issued_at);
+                    *makespan = (*makespan).max(slot + 1);
+                    if kind == PacketKind::Write {
+                        spawn_update_deferred(
+                            pw,
+                            placement,
+                            object,
+                            hop,
+                            slot + 1,
+                            next_prio,
+                            next_seq,
+                        );
+                    }
+                }
+                PacketKind::Update => {
+                    *delivered_updates += delivered_here;
+                    *makespan = (*makespan).max(slot + 1);
+                }
+            }
+        }
+    }
+
+    if crossed_any {
+        // Compact: surviving groups (and their dest slices) slide left,
+        // preserving order — exactly the grouping a fresh rebuild of the
+        // remainder would produce, so the plan stays valid.
+        let mut w = 0u32;
+        let mut gw = 0usize;
+        for gi in 0..groups.len() {
+            let g = groups[gi];
+            if g.edge == u32::MAX {
+                continue;
+            }
+            dests.copy_within(g.start as usize..(g.start + g.len) as usize, w as usize);
+            groups[gw] = GroupPlan { start: w, ..g };
+            w += g.len;
+            gw += 1;
+        }
+        dests.truncate(w as usize);
+        groups.truncate(gw);
+    }
+    if dests.is_empty() {
+        pw.mc_pool.push(dests);
+        pw.mc_group_pool.push(groups);
+        // pw.mc[mi].dests stays empty: dead, swept at slot end.
+        true
+    } else {
+        pw.mc[mi].dests = dests;
+        pw.mc[mi].groups = groups;
+        false
+    }
+}
+
+/// Route this slot's moved packets into their next switch queues. With
+/// `threads >= 2`, planning fans out over arrival chunks and enqueueing
+/// fans out over same-level buses (runs of a per-level edge-sorted order,
+/// split so each worker owns a disjoint contiguous range of heaps).
+fn apply_arrivals(pw: &mut ParSimWorkspace, net: &Network, threads: usize) {
+    let n = pw.arrivals.len();
+    if n == 0 {
+        return;
+    }
+    pw.arrival_edges.clear();
+    pw.arrival_edges.resize(n, 0);
+
+    if threads >= 2 && n >= 2 {
+        // Plan: next switch per arrival, chunked across workers.
+        let nt = threads.min(n);
+        let chunk = n.div_ceil(nt);
+        let arrivals = &pw.arrivals;
+        std::thread::scope(|s| {
+            for (wi, out) in pw.arrival_edges.chunks_mut(chunk).enumerate() {
+                let part = &arrivals[wi * chunk..(wi * chunk + out.len())];
+                s.spawn(move || {
+                    for (o, p) in out.iter_mut().zip(part) {
+                        *o = next_edge(net, p.position, p.dest);
+                    }
+                });
+            }
+        });
+
+        // Apply: level by level; within a level, sort arrivals by switch
+        // and hand each worker a disjoint contiguous heap range.
+        for b in &mut pw.arrival_buckets {
+            b.clear();
+        }
+        for i in 0..n {
+            let lvl = pw.owner_level[pw.arrival_edges[i] as usize] as usize;
+            pw.arrival_buckets[lvl].push(i as u32);
+        }
+        let mut buckets = std::mem::take(&mut pw.arrival_buckets);
+        for bucket in &mut buckets {
+            if bucket.is_empty() {
+                continue;
+            }
+            bucket.sort_unstable_by_key(|&i| (pw.arrival_edges[i as usize], i));
+            // Runs of equal switch: (edge, lo, hi) over the sorted bucket.
+            pw.runs.clear();
+            let mut lo = 0usize;
+            while lo < bucket.len() {
+                let e = pw.arrival_edges[bucket[lo] as usize];
+                let mut hi = lo + 1;
+                while hi < bucket.len() && pw.arrival_edges[bucket[hi] as usize] == e {
+                    hi += 1;
+                }
+                pw.runs.push((e, lo as u32, hi as u32));
+                lo = hi;
+            }
+            let nt = threads.min(pw.runs.len());
+            let per = pw.runs.len().div_ceil(nt);
+            let arrivals = &pw.arrivals;
+            let bucket = &bucket[..];
+            let runs = &pw.runs[..];
+            let mut rest: &mut [Vec<QPacket>] = &mut pw.heaps[..];
+            let mut offset = 0usize;
+            std::thread::scope(|s| {
+                for group in runs.chunks(per) {
+                    let hi_edge = group.last().expect("non-empty chunk").0 as usize + 1;
+                    let (left, right) = rest.split_at_mut(hi_edge - offset);
+                    let base = offset;
+                    s.spawn(move || {
+                        for &(e, glo, ghi) in group {
+                            let heap = &mut left[e as usize - base];
+                            for &i in &bucket[glo as usize..ghi as usize] {
+                                qheap_push(heap, arrivals[i as usize]);
+                            }
+                        }
+                    });
+                    rest = right;
+                    offset = hi_edge;
+                }
+            });
+            for ri in 0..pw.runs.len() {
+                let e = pw.runs[ri].0;
+                if !pw.edge_active[e as usize] {
+                    pw.edge_active[e as usize] = true;
+                    pw.active_edges.push(e);
+                }
+            }
+        }
+        std::mem::swap(&mut pw.arrival_buckets, &mut buckets);
+    } else {
+        for i in 0..n {
+            let pkt = pw.arrivals[i];
+            let e = next_edge(net, pkt.position, pkt.dest);
+            qheap_push(&mut pw.heaps[e as usize], pkt);
+            pw.activate(e);
+        }
+    }
+    pw.arrivals.clear();
+}

@@ -77,10 +77,10 @@ struct RouteEntry {
 
 /// A routed request waiting in its processor's injection queue.
 #[derive(Debug, Clone, Copy)]
-struct Queued {
-    object: ObjectId,
-    server: NodeId,
-    is_write: bool,
+pub(crate) struct Queued {
+    pub(crate) object: ObjectId,
+    pub(crate) server: NodeId,
+    pub(crate) is_write: bool,
 }
 
 /// Reusable buffers for the slot kernel. Construct once, pass to
@@ -91,22 +91,22 @@ pub struct SimWorkspace {
     // Static per-run caches of the capacity normalisation: b(e) per switch
     // (0 at the root slot) and 2·b(B) per bus (0 at processors), both
     // under the run's capacity overlay when one is bound.
-    edge_bw: Vec<u64>,
-    bus_bw2: Vec<u64>,
+    pub(crate) edge_bw: Vec<u64>,
+    pub(crate) bus_bw2: Vec<u64>,
     // Down buses of the bound overlay: zero bus tokens while
     // `slot < outage_slots`, so their packets defer and retry.
-    down_buses: Vec<NodeId>,
-    outage_slots: u64,
+    pub(crate) down_buses: Vec<NodeId>,
+    pub(crate) outage_slots: u64,
     // Dense router: CSR over object × processor (dense processor index).
     route_off: Vec<u32>,
     route_entries: Vec<RouteEntry>,
     // Injection queues: CSR over processors, entries in trace order.
-    q_off: Vec<u32>,
-    q_cursor: Vec<u32>,
-    q_entries: Vec<Queued>,
+    pub(crate) q_off: Vec<u32>,
+    pub(crate) q_cursor: Vec<u32>,
+    pub(crate) q_entries: Vec<Queued>,
     // Per-slot token buffers, reset in place.
-    edge_tokens: Vec<u64>,
-    bus_tokens: Vec<u64>,
+    pub(crate) edge_tokens: Vec<u64>,
+    pub(crate) bus_tokens: Vec<u64>,
     // Active packets, always sorted by (prio, seq).
     active: Vec<FastPacket>,
     survivors: Vec<FastPacket>,
@@ -119,8 +119,8 @@ pub struct SimWorkspace {
     hop_of: Vec<NodeId>,
     group_hops: Vec<NodeId>,
     // Outputs.
-    edge_crossings: Vec<u64>,
-    latencies: Vec<u64>,
+    pub(crate) edge_crossings: Vec<u64>,
+    pub(crate) latencies: Vec<u64>,
 }
 
 impl SimWorkspace {
@@ -132,7 +132,7 @@ impl SimWorkspace {
     /// Reset all per-run state and (re)build the static caches for `net`
     /// under an optional capacity overlay. A pristine (or absent)
     /// overlay yields the unmodified bandwidths.
-    fn bind(&mut self, net: &Network, overlay: Option<&CapacityOverlay>) {
+    pub(crate) fn bind(&mut self, net: &Network, overlay: Option<&CapacityOverlay>) {
         let n = net.n_nodes();
         self.edge_bw.clear();
         self.edge_bw.extend(net.nodes().map(|v| {
@@ -183,7 +183,12 @@ impl SimWorkspace {
     /// order), so split budgets are consumed identically. Assignment
     /// entries whose `processor` is not a leaf are unroutable by
     /// construction and skipped.
-    fn build_router(&mut self, net: &Network, matrix: &AccessMatrix, placement: &Placement) {
+    pub(crate) fn build_router(
+        &mut self,
+        net: &Network,
+        matrix: &AccessMatrix,
+        placement: &Placement,
+    ) {
         let n_procs = net.n_processors();
         let cells = matrix.n_objects() * n_procs;
         self.route_off.clear();
@@ -247,7 +252,11 @@ impl SimWorkspace {
 
     /// Build the per-processor injection queues (CSR) in trace order,
     /// routing every request up front like the naive kernel does.
-    fn build_queues(&mut self, net: &Network, trace: &[Request]) -> Result<(), SimError> {
+    pub(crate) fn build_queues(
+        &mut self,
+        net: &Network,
+        trace: &[Request],
+    ) -> Result<(), SimError> {
         let n_procs = net.n_processors();
         self.q_off.clear();
         self.q_off.resize(n_procs + 1, 0);

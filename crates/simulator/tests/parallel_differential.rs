@@ -1,0 +1,291 @@
+//! Differential suite for the parallel wavefront kernel: on every
+//! instance, at every thread width, `simulate_parallel*` must produce a
+//! `SimResult` bit-for-bit equal to the sequential workspace kernel —
+//! same makespan, same latency statistics (hence identical delivery-order
+//! effects), same delivery counts, same per-edge crossings — including
+//! under capacity overlays and on the error paths.
+
+use hbn_core::ExtendedNibble;
+use hbn_sim::{
+    expand, expand_shuffled, simulate, simulate_parallel_overlay, simulate_parallel_with,
+    simulate_with_overlay, ParSimWorkspace, SimConfig, SimError, SimWorkspace,
+};
+use hbn_testutil::workload_from_seed;
+use hbn_topology::generators::{balanced, random_network, star, BandwidthProfile};
+use hbn_topology::{CapacityOverlay, Network};
+use hbn_workload::generators as wgen;
+use hbn_workload::{AccessMatrix, ObjectId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Thread widths every case runs at: sequential, two workers (the
+/// explicit CI `RAYON_NUM_THREADS=2` run exercises the same barriers on
+/// the default width), and the machine default.
+fn widths() -> [usize; 3] {
+    [1, 2, 0]
+}
+
+fn assert_parallel_agrees(
+    net: &Network,
+    m: &AccessMatrix,
+    placement: &hbn_load::Placement,
+    trace: &[hbn_sim::Request],
+    config: SimConfig,
+    overlay: Option<&CapacityOverlay>,
+    ctx: &str,
+) {
+    let mut seq_ws = SimWorkspace::new();
+    let seq = match overlay {
+        None => hbn_sim::simulate_with(&mut seq_ws, net, m, placement, trace, config),
+        Some(o) => simulate_with_overlay(&mut seq_ws, net, m, placement, trace, config, o),
+    };
+    for threads in widths() {
+        let mut ws = ParSimWorkspace::with_threads(threads);
+        let par = match overlay {
+            None => simulate_parallel_with(&mut ws, net, m, placement, trace, config),
+            Some(o) => simulate_parallel_overlay(&mut ws, net, m, placement, trace, config, o),
+        };
+        assert_eq!(par, seq, "parallel (threads={threads}) diverged on {ctx}");
+    }
+}
+
+/// Random networks × random workloads × the paper's strategy, across
+/// injection rates and thread widths, with one parallel workspace reused
+/// across all rounds (stale state from a previous replay must not leak).
+#[test]
+fn parallel_agrees_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(9001);
+    let mut reused = ParSimWorkspace::with_threads(2);
+    for round in 0..25 {
+        let buses = rng.gen_range(1..7);
+        let procs = rng.gen_range(3..16).max(buses * 2);
+        let net = random_network(buses, procs, BandwidthProfile::Uniform, &mut rng);
+        let m = wgen::uniform(&net, rng.gen_range(1..6), 5, 3, 0.7, &mut rng);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let trace = expand_shuffled(&m, &mut rng);
+        let rate = *[1usize, 2, 5].get(round % 3).unwrap();
+        let cfg = SimConfig { injection_rate: rate, ..SimConfig::default() };
+        assert_parallel_agrees(
+            &net,
+            &m,
+            &out.placement,
+            &trace,
+            cfg,
+            None,
+            &format!("round {round} rate {rate}"),
+        );
+        let seq = simulate(&net, &m, &out.placement, &trace, cfg);
+        let par = simulate_parallel_with(&mut reused, &net, &m, &out.placement, &trace, cfg);
+        assert_eq!(par, seq, "reused-workspace divergence on round {round}");
+    }
+}
+
+/// Write-heavy workloads drive multicast fragmentation — the general
+/// path where priorities are inherited and fragment sequence numbers
+/// must be drawn in exactly the sequential kernel's order.
+#[test]
+fn parallel_agrees_on_write_heavy_multicast() {
+    let mut rng = StdRng::seed_from_u64(9002);
+    for round in 0..10 {
+        let net = balanced(3, 3, BandwidthProfile::Uniform);
+        let m = wgen::shared_write(&net, rng.gen_range(2..6), rng.gen_range(2..9), 3);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let trace = expand_shuffled(&m, &mut rng);
+        assert_parallel_agrees(
+            &net,
+            &m,
+            &out.placement,
+            &trace,
+            SimConfig::default(),
+            None,
+            &format!("write round {round}"),
+        );
+    }
+}
+
+/// Random capacity overlays: degraded buses and bounded outage windows
+/// must defer packets identically in both kernels, at every width.
+#[test]
+fn parallel_agrees_under_capacity_overlays() {
+    let mut rng = StdRng::seed_from_u64(9003);
+    for round in 0..15 {
+        let buses = rng.gen_range(2..6);
+        let procs = rng.gen_range(4..14).max(buses * 2);
+        let net =
+            random_network(buses, procs, BandwidthProfile::FatTree { base: 2, cap: 16 }, &mut rng);
+        let m = wgen::uniform(&net, rng.gen_range(1..5), 5, 3, 0.7, &mut rng);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let trace = expand_shuffled(&m, &mut rng);
+        let mut overlay =
+            CapacityOverlay::pristine(net.n_nodes()).with_outage_slots(rng.gen_range(1..40));
+        for v in net.nodes().filter(|&v| net.is_bus(v) && v != net.root()) {
+            if rng.gen_bool(0.4) {
+                overlay.degrade(v, rng.gen_range(2..8));
+            }
+            if rng.gen_bool(0.2) {
+                overlay.set_down(v);
+            }
+        }
+        assert_parallel_agrees(
+            &net,
+            &m,
+            &out.placement,
+            &trace,
+            SimConfig::default(),
+            Some(&overlay),
+            &format!("overlay round {round}"),
+        );
+    }
+}
+
+/// A root outage on a heavily loaded star: a dense contention pattern
+/// where the whole network blocks and then drains at once.
+#[test]
+fn parallel_agrees_through_full_outage_drain() {
+    let net = star(8, 2);
+    let p = net.processors();
+    let mut m = AccessMatrix::new(2);
+    for (i, &proc) in p.iter().enumerate() {
+        m.add(proc, ObjectId((i % 2) as u32), 6, 2);
+    }
+    let mut pl = hbn_load::Placement::new(2);
+    pl.add_copy(ObjectId(0), p[0]);
+    pl.add_copy(ObjectId(1), p[1]);
+    pl.nearest_assignment(&net, &m);
+    let mut overlay = CapacityOverlay::pristine(net.n_nodes()).with_outage_slots(25);
+    overlay.set_down(net.root());
+    assert_parallel_agrees(
+        &net,
+        &m,
+        &pl,
+        &expand(&m),
+        SimConfig::default(),
+        Some(&overlay),
+        "outage drain",
+    );
+}
+
+/// Error paths must match at every width: the unrouted-request error
+/// (same first offender in trace order) and the slot-budget error —
+/// including `SlotBudgetExceeded` raised *while an overlay outage is
+/// active*, a combination no other suite covers.
+#[test]
+fn parallel_agrees_on_error_paths() {
+    let net = star(4, 100);
+    let p = net.processors();
+    let mut m = AccessMatrix::new(1);
+    m.add(p[0], ObjectId(0), 20, 0);
+    let pl = hbn_load::Placement::single_leaf(&net, &m, |_| p[1]);
+    let trace = expand(&m);
+
+    let tight = SimConfig { injection_rate: 1, max_slots: 2 };
+    for threads in widths() {
+        let mut ws = ParSimWorkspace::with_threads(threads);
+        assert_eq!(
+            simulate_parallel_with(&mut ws, &net, &m, &pl, &trace, tight),
+            Err(SimError::SlotBudgetExceeded),
+            "slot budget at threads={threads}"
+        );
+    }
+
+    // Budget exhausted mid-outage: the down root grants no tokens, so
+    // nothing can cross before the budget runs out. Both kernels must
+    // report the budget error, not deliver or hang.
+    let mut overlay = CapacityOverlay::pristine(net.n_nodes()).with_outage_slots(1_000);
+    overlay.set_down(net.root());
+    let budget = SimConfig { injection_rate: 1, max_slots: 100 };
+    let seq =
+        simulate_with_overlay(&mut SimWorkspace::new(), &net, &m, &pl, &trace, budget, &overlay);
+    assert_eq!(seq, Err(SimError::SlotBudgetExceeded), "sequential overlay+budget");
+    for threads in widths() {
+        let mut ws = ParSimWorkspace::with_threads(threads);
+        assert_eq!(
+            simulate_parallel_overlay(&mut ws, &net, &m, &pl, &trace, budget, &overlay),
+            seq,
+            "overlay+budget at threads={threads}"
+        );
+    }
+
+    // Unrouted request: same error, same first offender.
+    let empty = hbn_load::Placement::new(1);
+    for threads in widths() {
+        let mut ws = ParSimWorkspace::with_threads(threads);
+        assert_eq!(
+            simulate_parallel_with(&mut ws, &net, &m, &empty, &trace, SimConfig::default()),
+            simulate(&net, &m, &empty, &trace, SimConfig::default()),
+            "unrouted at threads={threads}"
+        );
+    }
+
+    // An empty trace terminates immediately with a zero result.
+    for threads in widths() {
+        let mut ws = ParSimWorkspace::with_threads(threads);
+        let res =
+            simulate_parallel_with(&mut ws, &net, &m, &pl, &[], SimConfig::default()).unwrap();
+        assert_eq!(res.makespan, 0);
+        assert_eq!(res.delivered_requests, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Proptest-generated batches: random tree, random workload, random
+    /// injection rate, random overlay-or-not — the parallel kernel tracks
+    /// the sequential one bit-for-bit at widths 1, 2 and default.
+    #[test]
+    fn parallel_matches_sequential(
+        buses in 1usize..6,
+        procs in 3usize..14,
+        objects in 1usize..5,
+        net_seed in any::<u64>(),
+        wl_seed in any::<u64>(),
+        rate in 1usize..6,
+        fault in any::<bool>(),
+        outage in 1u64..30,
+    ) {
+        let mut rng = StdRng::seed_from_u64(net_seed);
+        let net = random_network(
+            buses,
+            procs.max(buses * 2),
+            BandwidthProfile::Uniform,
+            &mut rng,
+        );
+        let m = workload_from_seed(&net, objects, 6, 3, 0.7, wl_seed);
+        let out = ExtendedNibble::new().place(&net, &m).unwrap();
+        let trace = expand(&m);
+        let cfg = SimConfig { injection_rate: rate, ..SimConfig::default() };
+        let overlay = if fault {
+            let mut o = CapacityOverlay::pristine(net.n_nodes()).with_outage_slots(outage);
+            let mut orng = StdRng::seed_from_u64(wl_seed ^ 0xfa17);
+            for v in net.nodes().filter(|&v| net.is_bus(v) && v != net.root()) {
+                if orng.gen_bool(0.3) {
+                    o.degrade(v, orng.gen_range(2..6));
+                }
+                if orng.gen_bool(0.2) {
+                    o.set_down(v);
+                }
+            }
+            Some(o)
+        } else {
+            None
+        };
+        let seq = match &overlay {
+            None => simulate(&net, &m, &out.placement, &trace, cfg),
+            Some(o) => simulate_with_overlay(
+                &mut SimWorkspace::new(), &net, &m, &out.placement, &trace, cfg, o,
+            ),
+        };
+        for threads in widths() {
+            let mut ws = ParSimWorkspace::with_threads(threads);
+            let par = match &overlay {
+                None => simulate_parallel_with(&mut ws, &net, &m, &out.placement, &trace, cfg),
+                Some(o) => simulate_parallel_overlay(
+                    &mut ws, &net, &m, &out.placement, &trace, cfg, o,
+                ),
+            };
+            prop_assert_eq!(&par, &seq, "threads={}", threads);
+        }
+    }
+}
