@@ -768,6 +768,169 @@ pub fn emit_dynamic_json(
     f.write_all(render_dynamic_json(records, speedup).as_bytes())
 }
 
+/// One offered-load window of EXP-SERVER: client threads holding
+/// `outstanding` submissions open against every tenant of a live
+/// [`hbn-server`](../hbn_server/index.html) instance, retrying
+/// `QueueFull` rejections with capped exponential backoff + jitter.
+#[derive(Debug, Clone)]
+pub struct ServerLoadRecord {
+    /// Window label relative to the admission marks, e.g.
+    /// `0.5x-high-water`, `2x-high-water`, `beyond-capacity`.
+    pub window: String,
+    /// Tenants served concurrently.
+    pub tenants: usize,
+    /// Submissions each client holds open per tenant.
+    pub outstanding: usize,
+    /// Submit attempts across all tenants (accepted + rejected).
+    pub offered: usize,
+    /// Epochs actually served across all tenants.
+    pub served: usize,
+    /// Admission rejections ([`hbn_server::Rejected::QueueFull`]).
+    pub rejected_full: usize,
+    /// Requests shed server-side for an expired deadline.
+    pub deadline_shed: usize,
+    /// Epochs served under the degraded estimator kernel.
+    pub degraded_epochs: usize,
+    /// Client-side retries after a rejection.
+    pub retries: usize,
+    /// Wall-clock seconds of the window.
+    pub wall_seconds: f64,
+    /// Ingest latency p50 (admission to served), microseconds.
+    pub ingest_p50_micros: u64,
+    /// Ingest latency p99, microseconds.
+    pub ingest_p99_micros: u64,
+}
+
+impl ServerLoadRecord {
+    /// Goodput: served epochs (session steps) per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.served as f64 / self.wall_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Fraction of offered submissions shed instead of served
+    /// (admission rejections + expired deadlines).
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.rejected_full + self.deadline_shed) as f64 / self.offered as f64
+        }
+    }
+}
+
+/// One supervised recovery drill of EXP-SERVER: a tenant worker killed
+/// under live traffic (and, where the spec says so, an active
+/// fault-plan outage), restored by the supervisor from the last durable
+/// checkpoint plus a journal-tail replay.
+#[derive(Debug, Clone)]
+pub struct ServerRecoveryRecord {
+    /// Scenario label.
+    pub scenario: String,
+    /// Strategy label.
+    pub strategy: String,
+    /// Epoch the worker was killed at.
+    pub kill_epoch: usize,
+    /// Epochs of the full run.
+    pub epochs_total: usize,
+    /// Whether the recovered tenant's final report equalled an unbroken
+    /// twin bit for bit (a mismatch aborts the harness).
+    pub restored_equal: bool,
+    /// Journal epochs replayed on top of the restored checkpoint.
+    pub recovery_epochs: u64,
+    /// Wall-clock microseconds from crash detection to a respawned,
+    /// caught-up worker.
+    pub recovery_micros: u64,
+}
+
+/// Nearest-rank percentile over `u64` samples (0 on empty input).
+fn percentile_u64(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Render the server service-level document (EXP-SERVER).
+pub fn render_server_json(load: &[ServerLoadRecord], recovery: &[ServerRecoveryRecord]) -> String {
+    let emitted_at = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let all_equal = recovery.iter().all(|r| r.restored_equal);
+    let rec_micros: Vec<u64> = recovery.iter().map(|r| r.recovery_micros).collect();
+    let peak = load.iter().map(ServerLoadRecord::sessions_per_sec).fold(0.0f64, f64::max);
+    // Graceful degradation gate: the heaviest window (last) must keep at
+    // least half the peak goodput — overload sheds, it must not collapse.
+    let overload = load.last().map(ServerLoadRecord::sessions_per_sec).unwrap_or(0.0);
+    let graceful = load.is_empty() || overload >= 0.5 * peak;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"server\",\n");
+    out.push_str(&format!("  \"emitted_at_unix\": {emitted_at},\n"));
+    out.push_str(&format!("  \"all_restores_exact\": {all_equal},\n"));
+    out.push_str(&format!("  \"graceful_under_overload\": {graceful},\n"));
+    out.push_str(&format!("  \"recovery_p50_micros\": {},\n", percentile_u64(&rec_micros, 50.0)));
+    out.push_str(&format!("  \"recovery_p99_micros\": {},\n", percentile_u64(&rec_micros, 99.0)));
+    out.push_str("  \"load_windows\": [\n");
+    for (i, r) in load.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"window\": \"{}\", \"tenants\": {}, \"outstanding\": {}, \
+             \"offered\": {}, \"served\": {}, \"rejected_full\": {}, \
+             \"deadline_shed\": {}, \"degraded_epochs\": {}, \"retries\": {}, \
+             \"wall_seconds\": {}, \"sessions_per_sec\": {}, \"shed_fraction\": {}, \
+             \"ingest_p50_micros\": {}, \"ingest_p99_micros\": {}}}{}\n",
+            json_escape(&r.window),
+            r.tenants,
+            r.outstanding,
+            r.offered,
+            r.served,
+            r.rejected_full,
+            r.deadline_shed,
+            r.degraded_epochs,
+            r.retries,
+            json_f64(r.wall_seconds),
+            json_f64(r.sessions_per_sec()),
+            json_f64(r.shed_fraction()),
+            r.ingest_p50_micros,
+            r.ingest_p99_micros,
+            if i + 1 == load.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"recovery_drills\": [\n");
+    for (i, r) in recovery.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"strategy\": \"{}\", \"kill_epoch\": {}, \
+             \"epochs_total\": {}, \"restored_equal\": {}, \"recovery_epochs\": {}, \
+             \"recovery_micros\": {}}}{}\n",
+            json_escape(&r.scenario),
+            json_escape(&r.strategy),
+            r.kill_epoch,
+            r.epochs_total,
+            r.restored_equal,
+            r.recovery_epochs,
+            r.recovery_micros,
+            if i + 1 == recovery.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render and write the server service-level document to `path`.
+pub fn emit_server_json(
+    path: &str,
+    load: &[ServerLoadRecord],
+    recovery: &[ServerRecoveryRecord],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_server_json(load, recovery).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1083,5 +1246,68 @@ mod tests {
         assert!(doc.contains("\"checkpoint_epoch\": 6"));
         assert_eq!(doc.matches("\"resumed_equal\": true").count(), 2);
         assert_eq!(doc.matches("},\n").count(), 1);
+    }
+
+    fn load_window(window: &str, served: usize, wall: f64) -> ServerLoadRecord {
+        ServerLoadRecord {
+            window: window.into(),
+            tenants: 2,
+            outstanding: 8,
+            offered: 120,
+            served,
+            rejected_full: 15,
+            deadline_shed: 5,
+            degraded_epochs: 40,
+            retries: 15,
+            wall_seconds: wall,
+            ingest_p50_micros: 800,
+            ingest_p99_micros: 9_500,
+        }
+    }
+
+    #[test]
+    fn server_rates_and_shed_fraction_derive() {
+        let r = load_window("2x-high-water", 100, 0.5);
+        assert!((r.sessions_per_sec() - 200.0).abs() < 1e-9);
+        assert!((r.shed_fraction() - 20.0 / 120.0).abs() < 1e-9);
+        let empty = ServerLoadRecord { offered: 0, ..load_window("idle", 0, 0.0) };
+        assert_eq!(empty.shed_fraction(), 0.0);
+        assert!(empty.sessions_per_sec().is_infinite());
+    }
+
+    #[test]
+    fn server_document_carries_headline_gates_and_percentiles() {
+        let drill = ServerRecoveryRecord {
+            scenario: "pushed@balanced(3,2)".into(),
+            strategy: "dynamic".into(),
+            kill_epoch: 3,
+            epochs_total: 8,
+            restored_equal: true,
+            recovery_epochs: 1,
+            recovery_micros: 4_000,
+        };
+        let drills = vec![
+            ServerRecoveryRecord { recovery_micros: 1_000, ..drill.clone() },
+            ServerRecoveryRecord { recovery_micros: 2_000, ..drill.clone() },
+            ServerRecoveryRecord { recovery_micros: 9_000, ..drill },
+        ];
+        let load = vec![load_window("1x-high-water", 100, 1.0), load_window("2x", 90, 1.0)];
+        let doc = render_server_json(&load, &drills);
+        assert!(doc.contains("\"bench\": \"server\""));
+        assert!(doc.contains("\"all_restores_exact\": true"));
+        assert!(doc.contains("\"graceful_under_overload\": true"));
+        assert!(doc.contains("\"recovery_p50_micros\": 2000"));
+        assert!(doc.contains("\"recovery_p99_micros\": 9000"));
+        assert_eq!(doc.matches("\"restored_equal\": true").count(), 3);
+    }
+
+    #[test]
+    fn server_goodput_collapse_flips_the_overload_gate() {
+        let load = vec![load_window("1x-high-water", 100, 1.0), load_window("2x", 10, 1.0)];
+        let doc = render_server_json(&load, &[]);
+        assert!(doc.contains("\"graceful_under_overload\": false"));
+        // No drills: restores vacuously exact, percentiles zero.
+        assert!(doc.contains("\"all_restores_exact\": true"));
+        assert!(doc.contains("\"recovery_p50_micros\": 0"));
     }
 }

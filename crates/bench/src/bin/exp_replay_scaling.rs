@@ -21,7 +21,10 @@
 #![warn(missing_docs)]
 
 use hbn_baselines::{ExtendedNibbleStrategy, Strategy};
-use hbn_bench::{emit_replay_json, exp_quick, ReplayBenchRecord, ReplayEstimateRecord, Table};
+use hbn_bench::{
+    emit_replay_json, exit_on_estimate_violations, exp_quick, ReplayBenchRecord,
+    ReplayEstimateRecord, Table,
+};
 use hbn_load::Placement;
 use hbn_sim::{
     estimate_makespan, expand_shuffled, simulate_parallel_with, simulate_with, ParSimWorkspace,
@@ -188,7 +191,7 @@ fn estimator_cell(
         }
     }
     let wall = start.elapsed().as_secs_f64();
-    assert_eq!(violations, 0, "estimator bounds failed to bracket a sampled epoch on {label}");
+    exit_on_estimate_violations(violations, label);
 
     let exact_wall = time_exact_twin.then(|| {
         let start = Instant::now();

@@ -13,8 +13,10 @@
 //! file is always a clean [`RestoreError`], never a panic or a silently
 //! wrong resume (FNV-1a's per-byte steps are bijections, so any
 //! single-byte flip changes the checksum). `write_frame` writes to a
-//! sibling `.tmp` file, syncs it, and renames into place — a crash
-//! mid-write leaves the previous checkpoint intact.
+//! sibling `.tmp` file, syncs it, renames into place and fsyncs the
+//! parent directory — a crash (or power loss) mid-write leaves the
+//! previous checkpoint intact, and a stale `.tmp` left by a killed
+//! writer is ignored by readers and overwritten by the next save.
 
 use crate::spec::ScenarioSpec;
 use hbn_dynamic::DynamicStats;
@@ -105,8 +107,20 @@ pub(crate) fn fnv1a64(chunks: &[&[u8]]) -> u64 {
     hash
 }
 
-/// Frame `payload` and write it to `path` atomically (tmp + sync +
-/// rename).
+/// The `.tmp` sibling a frame is staged in before the atomic rename.
+pub(crate) fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    std::path::PathBuf::from(tmp)
+}
+
+/// Frame `payload` and write it to `path` atomically: stage in a `.tmp`
+/// sibling, fsync it, rename into place, then fsync the parent
+/// directory so the *rename itself* survives power loss (a synced file
+/// under an unsynced directory entry can still resurrect the old name).
+/// A stale `.tmp` left by a killed writer is simply overwritten — it
+/// was never part of a committed checkpoint and readers never look at
+/// it ([`read_frame`] opens only `path`).
 pub(crate) fn write_frame(path: &Path, payload: &[u8]) -> Result<(), RestoreError> {
     let mut frame = Vec::with_capacity(payload.len() + 24);
     frame.extend_from_slice(&MAGIC);
@@ -116,14 +130,33 @@ pub(crate) fn write_frame(path: &Path, payload: &[u8]) -> Result<(), RestoreErro
     let checksum = fnv1a64(&[&MAGIC, &VERSION.to_le_bytes(), payload]);
     frame.extend_from_slice(&checksum.to_le_bytes());
 
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
+    let tmp = tmp_sibling(path);
+    // `File::create` truncates, so a partial `.tmp` from a crashed
+    // writer is destroyed here rather than accumulating as junk.
     let mut file = std::fs::File::create(&tmp)?;
     file.write_all(&frame)?;
     file.sync_all()?;
     drop(file);
     std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
+/// Fsync the directory holding `path`. On unix a rename is durable only
+/// once the parent directory's entry block is on disk; elsewhere
+/// directories cannot be opened for syncing and the rename is the best
+/// available guarantee.
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
@@ -372,6 +405,46 @@ mod tests {
         for cut in 0..frame.len() {
             assert!(decode_frame(&frame[..cut]).is_err(), "truncation at {cut}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A killed writer leaves a partial `.tmp` sibling: readers ignore
+    /// it (the committed frame still decodes), and the next save
+    /// truncates it and commits over it.
+    #[test]
+    fn torn_tmp_sibling_is_ignored_and_overwritten() {
+        let dir = std::env::temp_dir().join("hbn_durable_torn_tmp_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frame.hbnc");
+        let first = b"first committed payload".to_vec();
+        write_frame(&path, &first).unwrap();
+
+        // The torn write: half a frame in the staging sibling.
+        let tmp = tmp_sibling(&path);
+        std::fs::write(&tmp, &MAGIC[..2]).unwrap();
+        assert_eq!(read_frame(&path).unwrap(), first, "torn .tmp must not shadow the frame");
+
+        // A subsequent save succeeds over the stale sibling and the
+        // staging file is consumed by the rename.
+        let second = b"second payload, after the torn writer".to_vec();
+        write_frame(&path, &second).unwrap();
+        assert_eq!(read_frame(&path).unwrap(), second);
+        assert!(!tmp.exists(), "the staging sibling is renamed away on commit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A kill *before* the first commit leaves only a partial `.tmp` and
+    /// no frame at all: restoring reports a clean i/o error for the
+    /// missing committed file, never touches the torn sibling.
+    #[test]
+    fn torn_tmp_without_committed_frame_is_a_clean_error() {
+        let dir = std::env::temp_dir().join("hbn_durable_torn_only_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("never_committed.hbnc");
+        std::fs::write(tmp_sibling(&path), b"HBNC torn mid-write").unwrap();
+        assert!(matches!(read_frame(&path), Err(RestoreError::Io(_))));
+        write_frame(&path, b"now committed").unwrap();
+        assert_eq!(read_frame(&path).unwrap(), b"now committed".to_vec());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -455,6 +455,11 @@ pub struct Session {
     // correct form is two reused Copy buffers filled side by side.
     epoch_trace: Vec<Request>,
     epoch_online: Vec<OnlineRequest>,
+    /// Serving-mode override of the spec's replay kernel — the graceful-
+    /// degradation hook of service layers ([`Session::set_replay_override`]).
+    /// Not part of checkpoints: a restored session starts unthrottled and
+    /// the caller re-applies its current mode.
+    replay_override: Option<ReplayKernel>,
     /// Global epoch counter across phases — the strategy boundary clock.
     epoch_idx: usize,
     phase_idx: usize,
@@ -511,6 +516,7 @@ impl Session {
             stats_mark: DynamicStats::default(),
             epoch_trace: Vec::new(),
             epoch_online: Vec::new(),
+            replay_override: None,
             epoch_idx: 0,
             phase_idx: 0,
             remaining_in_phase,
@@ -545,6 +551,52 @@ impl Session {
     /// The strategy currently serving the session.
     pub fn strategy(&self) -> &dyn Strategy {
         self.strategy.as_ref()
+    }
+
+    /// Override which replay kernel prices the *following* epochs,
+    /// without touching the spec (and therefore without changing the
+    /// spec fingerprint durable checkpoints are keyed by). `None`
+    /// restores the spec's own kernel.
+    ///
+    /// This is the graceful-degradation hook of service layers: an
+    /// overloaded server can drop a session from exact slot replay to
+    /// [`ReplayKernel::Estimate`] while a backlog drains, then lift the
+    /// override once recovered. Each epoch's summary records which mode
+    /// priced it ([`EpochSummary::estimate`] is `Some` exactly for
+    /// estimated epochs), so degraded windows stay visible in reports.
+    ///
+    /// The override is serving state, not run identity: it is *not*
+    /// captured by [`Session::checkpoint`], and a restored session
+    /// starts with no override — callers that degrade re-apply their
+    /// current mode after a restore.
+    ///
+    /// ```
+    /// use hbn_scenario::{ReplayKernel, ScenarioSpec, Session, TopologyFamily};
+    /// use hbn_workload::phases::full_tour;
+    ///
+    /// let spec = ScenarioSpec::new(
+    ///     "degrade", TopologyFamily::Star { processors: 4, bus_bandwidth: 2 },
+    ///     full_tour(4, 40), 2, 5);
+    /// let mut session = Session::new(&spec);
+    /// let exact = session.step_epoch().unwrap().unwrap();
+    /// assert!(exact.estimate.is_none());
+    ///
+    /// session.set_replay_override(Some(ReplayKernel::Estimate { sample_every: 0 }));
+    /// let degraded = session.step_epoch().unwrap().unwrap();
+    /// assert!(degraded.estimate.is_some());
+    ///
+    /// session.set_replay_override(None);
+    /// let restored = session.step_epoch().unwrap().unwrap();
+    /// assert!(restored.estimate.is_none());
+    /// ```
+    pub fn set_replay_override(&mut self, replay: Option<ReplayKernel>) {
+        self.replay_override = replay;
+    }
+
+    /// The active replay-kernel override, if any
+    /// ([`Session::set_replay_override`]).
+    pub fn replay_override(&self) -> Option<ReplayKernel> {
+        self.replay_override
     }
 
     /// Epoch summaries accumulated so far, in execution order.
@@ -727,8 +779,9 @@ impl Session {
         // buses at reduced capacity — traffic defers, it is never lost).
         // The estimator prices the epoch from `placement_loads` instead
         // and replays only its sampling subset exactly.
+        let replay = self.replay_override.unwrap_or(self.spec.exec.replay);
         let (sim, estimate): (Option<SimResult>, Option<EpochEstimate>) =
-            match (self.spec.exec.replay, view.is_pristine()) {
+            match (replay, view.is_pristine()) {
                 (ReplayKernel::Workspace, true) => (
                     Some(simulate_with(
                         &mut self.ws,
@@ -961,6 +1014,7 @@ impl Session {
             stats_mark: checkpoint.stats_mark,
             epoch_trace: Vec::new(),
             epoch_online: Vec::new(),
+            replay_override: None,
             epoch_idx: checkpoint.epoch_idx,
             phase_idx: checkpoint.phase_idx,
             remaining_in_phase: checkpoint.remaining_in_phase,

@@ -1,0 +1,143 @@
+//! Error types of the service layer.
+//!
+//! Two families: [`Rejected`] is the *per-request* outcome a client
+//! sees on its [`crate::Ticket`] when a submission does not produce an
+//! epoch, and [`ServerError`] is the *control-plane* failure of an
+//! operation on the server itself (checkpointing, recovery, shutdown).
+//! Both implement [`std::error::Error`] with `source()` chaining into
+//! the underlying [`SimError`] / [`RestoreError`], so binaries compose
+//! them with `Box<dyn Error>` and `?`.
+
+use hbn_scenario::RestoreError;
+use hbn_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Why a submitted request did not produce a served epoch.
+#[derive(Debug)]
+pub enum Rejected {
+    /// Admission control: the tenant's bounded ingest queue is at
+    /// capacity. Back off and retry.
+    QueueFull {
+        /// The tenant whose queue is full.
+        tenant: String,
+        /// Queue depth observed at rejection (== the configured
+        /// capacity).
+        depth: usize,
+    },
+    /// The request's deadline had already expired when a worker popped
+    /// it — shed without serving.
+    DeadlineExpired,
+    /// No tenant with this name is registered.
+    UnknownTenant(String),
+    /// The batch failed submit-side validation against the tenant's
+    /// topology (bad object id or non-processor node); admitting it
+    /// would crash-loop the worker.
+    InvalidRequest(String),
+    /// The server is shutting down and admits no new work.
+    ShuttingDown,
+    /// The owning worker died before serving this request and the
+    /// request could not be recovered (e.g. shutdown raced a crash).
+    WorkerLost,
+    /// The replay kernel itself failed on this batch.
+    Replay(SimError),
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { tenant, depth } => {
+                write!(f, "tenant {tenant}: ingest queue full at depth {depth}")
+            }
+            Rejected::DeadlineExpired => {
+                f.write_str("deadline expired before the epoch was served")
+            }
+            Rejected::UnknownTenant(name) => write!(f, "unknown tenant {name}"),
+            Rejected::InvalidRequest(why) => write!(f, "invalid request batch: {why}"),
+            Rejected::ShuttingDown => f.write_str("server is shutting down"),
+            Rejected::WorkerLost => f.write_str("tenant worker died before serving the request"),
+            Rejected::Replay(e) => write!(f, "replay failed: {e}"),
+        }
+    }
+}
+
+impl Error for Rejected {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Rejected::Replay(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for Rejected {
+    fn from(e: SimError) -> Rejected {
+        Rejected::Replay(e)
+    }
+}
+
+/// A control-plane operation on the server failed.
+#[derive(Debug)]
+pub enum ServerError {
+    /// No tenant with this name is registered.
+    UnknownTenant(String),
+    /// Writing or reading a durable checkpoint failed.
+    Checkpoint(RestoreError),
+    /// Recovery exhausted every durable checkpoint (and the journal)
+    /// without reconstructing the tenant; its state is gone.
+    TenantLost {
+        /// The unrecoverable tenant.
+        tenant: String,
+        /// What the last recovery attempt failed with.
+        why: String,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownTenant(name) => write!(f, "unknown tenant {name}"),
+            ServerError::Checkpoint(e) => write!(f, "checkpoint I/O failed: {e}"),
+            ServerError::TenantLost { tenant, why } => {
+                write!(f, "tenant {tenant} unrecoverable: {why}")
+            }
+        }
+    }
+}
+
+impl Error for ServerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServerError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RestoreError> for ServerError {
+    fn from(e: RestoreError) -> ServerError {
+        ServerError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_compose_with_dyn_error() {
+        fn fails() -> Result<(), Box<dyn Error>> {
+            Err(Rejected::DeadlineExpired)?
+        }
+        let e = fails().unwrap_err();
+        assert!(e.to_string().contains("deadline expired"));
+
+        let chained = Rejected::Replay(SimError::SlotBudgetExceeded);
+        assert!(chained.source().is_some());
+        assert!(chained.to_string().contains("replay failed"));
+
+        let lost = ServerError::TenantLost { tenant: "t0".into(), why: "all bad".into() };
+        assert!(lost.to_string().contains("t0"));
+        assert!(lost.source().is_none());
+    }
+}

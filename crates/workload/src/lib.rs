@@ -7,12 +7,14 @@
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod freq;
 pub mod generators;
 pub mod objects;
 pub mod phases;
 pub mod stats;
 
+pub use arrivals::OpenLoopArrivals;
 pub use freq::{AccessEntry, AccessMatrix, WorkloadError};
 pub use objects::ObjectId;
 pub use phases::{
