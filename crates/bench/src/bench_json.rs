@@ -69,6 +69,18 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+fn json_f64_array(vs: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, &v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_f64(v));
+    }
+    out.push(']');
+    out
+}
+
 /// Render the simulator benchmark document.
 pub fn render_simulator_json(records: &[SimBenchRecord], speedup: Option<f64>) -> String {
     let emitted_at = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
@@ -121,6 +133,9 @@ pub struct ScenarioBenchRecord {
     pub family: String,
     /// Topology label, e.g. `balanced(3,2)`.
     pub topology: String,
+    /// Static capacity-profile label the cell ran under, e.g.
+    /// `uniform`, `fat-root(2)`, `degraded-leaves(4)`.
+    pub capacity: String,
     /// Number of processors (leaves).
     pub processors: usize,
     /// Seed shards aggregated into this record.
@@ -149,6 +164,13 @@ pub struct ScenarioBenchRecord {
     pub mean_collapses: f64,
     /// Request-weighted mean replay latency (slots) over the shards.
     pub mean_latency_slots: f64,
+    /// Mean requests attributed to each tenant over the shards, indexed
+    /// by tenant — empty for single-tenant cells, populated when the
+    /// family declares an interference phase.
+    pub tenant_requests: Vec<f64>,
+    /// Mean per-tenant placement congestion over the shards, indexed by
+    /// tenant (same length as `tenant_requests`).
+    pub tenant_congestion: Vec<f64>,
     /// Wall-clock seconds for all shards of this cell (sharded run).
     pub wall_seconds: f64,
 }
@@ -176,15 +198,18 @@ pub fn render_scenarios_json(records: &[ScenarioBenchRecord]) -> String {
     out.push_str("  \"cells\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"family\": \"{}\", \"topology\": \"{}\", \"processors\": {}, \
+            "    {{\"family\": \"{}\", \"topology\": \"{}\", \"capacity\": \"{}\", \
+             \"processors\": {}, \
              \"seeds\": {}, \"requests_per_seed\": {}, \"epochs\": {}, \
              \"threshold_d\": {}, \"epoch_requests\": {}, \"kernel\": \"{}\", \
              \"mean_makespan_slots\": {}, \"mean_online_congestion\": {}, \
              \"mean_competitive_ratio\": {}, \"mean_replications\": {}, \
              \"mean_collapses\": {}, \"mean_latency_slots\": {}, \
+             \"tenant_requests\": {}, \"tenant_congestion\": {}, \
              \"wall_seconds\": {}, \"requests_per_sec\": {}}}{}\n",
             json_escape(&r.family),
             json_escape(&r.topology),
+            json_escape(&r.capacity),
             r.processors,
             r.seeds,
             r.requests_per_seed,
@@ -198,6 +223,8 @@ pub fn render_scenarios_json(records: &[ScenarioBenchRecord]) -> String {
             json_f64(r.mean_replications),
             json_f64(r.mean_collapses),
             json_f64(r.mean_latency_slots),
+            json_f64_array(&r.tenant_requests),
+            json_f64_array(&r.tenant_congestion),
             json_f64(r.wall_seconds),
             json_f64(r.requests_per_sec()),
             if i + 1 == records.len() { "" } else { "," }
@@ -977,6 +1004,7 @@ mod tests {
         ScenarioBenchRecord {
             family: family.into(),
             topology: topology.into(),
+            capacity: "uniform".into(),
             processors: 9,
             seeds: 4,
             requests_per_seed: 2500,
@@ -990,6 +1018,8 @@ mod tests {
             mean_replications: 42.0,
             mean_collapses: 7.5,
             mean_latency_slots: 3.25,
+            tenant_requests: Vec::new(),
+            tenant_congestion: Vec::new(),
             wall_seconds: 0.05,
         }
     }
@@ -1024,6 +1054,22 @@ mod tests {
         assert!(doc.contains("\"threshold_d\": 3"));
         assert!(doc.contains("\"epoch_requests\": 0"));
         assert!(doc.contains("\"kernel\": \"workspace\""));
+        assert!(doc.contains("\"capacity\": \"uniform\""));
+        // Single-tenant cells carry empty attribution arrays.
+        assert!(doc.contains("\"tenant_requests\": []"));
+        assert!(doc.contains("\"tenant_congestion\": []"));
+    }
+
+    #[test]
+    fn scenario_tenant_columns_render_as_arrays() {
+        let mut r = scenario_record("interference", "balanced(3,2)");
+        r.capacity = "degraded-leaves(2)".into();
+        r.tenant_requests = vec![40.0, 41.5, 38.5];
+        r.tenant_congestion = vec![12.0, 9.25, 10.5];
+        let doc = render_scenarios_json(&[r]);
+        assert!(doc.contains("\"capacity\": \"degraded-leaves(2)\""));
+        assert!(doc.contains("\"tenant_requests\": [40.000000, 41.500000, 38.500000]"));
+        assert!(doc.contains("\"tenant_congestion\": [12.000000, 9.250000, 10.500000]"));
     }
 
     fn dynamic_record(kernel: &str) -> DynamicBenchRecord {

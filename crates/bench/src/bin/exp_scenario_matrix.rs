@@ -11,8 +11,9 @@
 //! ≥ 100k requests per seed, with bounded replay epochs so saturated
 //! cells stay linear in the backlog; `HBN_EXP_QUICK=1` drops the volumes
 //! so CI can run the same matrix in seconds. Emits `BENCH_scenarios.json` (with
-//! self-describing cells: threshold, epoch granularity, kernel) so the
-//! scenario trajectory is tracked across PRs alongside
+//! self-describing cells: threshold, epoch granularity, kernel, capacity
+//! profile, and per-tenant attribution columns on multi-tenant families)
+//! so the scenario trajectory is tracked across PRs alongside
 //! `BENCH_simulator.json` and `BENCH_dynamic.json`.
 
 #![warn(missing_docs)]
@@ -20,6 +21,7 @@
 use hbn_bench::{emit_scenarios_json, exp_quick, ScenarioBenchRecord, Table};
 use hbn_scenario::{run_scenario_sharded, ScenarioSpec, TopologyFamily};
 use hbn_testutil::{cell_seeds, family_schedules, seeded_rng};
+use hbn_topology::CapacityProfile;
 use hbn_workload::phases::PhaseSchedule;
 use rand::Rng;
 use std::time::Instant;
@@ -48,22 +50,44 @@ fn volumes() -> (usize, usize) {
 
 /// The access-pattern families of the matrix: a light stationary warm-up
 /// (so the strategy starts from a populated replica state) followed by
-/// the family phase under measurement. The canonical six-family set is
-/// shared with the dynamic-kernel differential suites via `hbn-testutil`.
+/// the family phase under measurement. The family registry is shared
+/// with the differential suites and the conformance harness via
+/// `hbn-testutil`, so the matrix sweeps every registered family.
 fn families() -> Vec<(&'static str, PhaseSchedule)> {
     let (warmup, volume) = volumes();
     family_schedules(OBJECTS, warmup, volume)
 }
 
-fn topologies() -> Vec<TopologyFamily> {
+/// The (topology, static capacity profile) rows of the matrix. The
+/// profile rewrites per-bus bandwidths at build time
+/// (`ScenarioSpec::build_network`), so the degraded-leaves row measures
+/// the same workloads under heterogeneous capacities.
+fn topologies() -> Vec<(TopologyFamily, CapacityProfile)> {
     vec![
-        TopologyFamily::Balanced { branching: 3, height: 2 },
+        (TopologyFamily::Balanced { branching: 3, height: 2 }, CapacityProfile::Uniform),
         // The 64-processor scale row. Fat-tree bandwidths: at this size a
         // uniform b = 1 tree saturates by construction and the replay
         // measures nothing but simulator backlog.
-        TopologyFamily::FatBalanced { branching: 4, height: 3 },
-        TopologyFamily::Star { processors: 12, bus_bandwidth: 4 },
-        TopologyFamily::Caterpillar { spine: 4, legs: 3 },
+        (TopologyFamily::FatBalanced { branching: 4, height: 3 }, CapacityProfile::Uniform),
+        (TopologyFamily::Star { processors: 12, bus_bandwidth: 4 }, CapacityProfile::Uniform),
+        (TopologyFamily::Caterpillar { spine: 4, legs: 3 }, CapacityProfile::Uniform),
+        // The SCI ring-of-rings reduction: 12 processors behind
+        // per-ring buses under a switch bus.
+        (
+            TopologyFamily::SciCluster {
+                rings: 4,
+                procs_per_ring: 3,
+                ring_bandwidth: 8,
+                switch_bandwidth: 4,
+            },
+            CapacityProfile::Uniform,
+        ),
+        // Heterogeneous-capacity row: leaf-adjacent buses at half
+        // bandwidth, everything else untouched.
+        (
+            TopologyFamily::Balanced { branching: 3, height: 2 },
+            CapacityProfile::DegradedLeaves { divisor: 2 },
+        ),
     ]
 }
 
@@ -96,6 +120,7 @@ fn main() {
     let mut t = Table::new([
         "family",
         "topology",
+        "capacity",
         "procs",
         "makespan",
         "online cong.",
@@ -108,23 +133,26 @@ fn main() {
     ]);
 
     for (family, schedule) in families() {
-        for topology in topologies() {
+        for (topology, capacity) in topologies() {
             let seeds = cell_seeds(seed_source.gen(), SHARDS);
             let spec =
                 ScenarioSpec::builder(format!("{family}@{topology}"), topology, schedule.clone())
+                    .capacity(capacity)
                     .threshold(THRESHOLD)
                     .epoch_requests(EPOCH_REQUESTS)
                     .build();
-            let processors = topology.build().n_processors();
+            let processors = spec.build_network().n_processors();
 
             let start = Instant::now();
             let reports = run_scenario_sharded(&spec, &seeds);
             let wall = start.elapsed().as_secs_f64();
 
             let ratios: Vec<f64> = reports.iter().filter_map(|r| r.competitive_ratio).collect();
+            let n_tenants = reports[0].tenants.len();
             let rec = ScenarioBenchRecord {
                 family: family.to_string(),
                 topology: topology.label(),
+                capacity: capacity.to_string(),
                 processors,
                 seeds: SHARDS,
                 requests_per_seed: schedule.total_requests(),
@@ -153,11 +181,20 @@ fn main() {
                             / total as f64
                     }
                 })),
+                tenant_requests: (0..n_tenants)
+                    .map(|t| mean(reports.iter().map(|r| r.tenants[t].requests as f64)))
+                    .collect(),
+                tenant_congestion: (0..n_tenants)
+                    .map(|t| {
+                        mean(reports.iter().map(|r| r.tenants[t].placement_congestion.as_f64()))
+                    })
+                    .collect(),
                 wall_seconds: wall,
             };
             t.row([
                 family.to_string(),
                 rec.topology.clone(),
+                rec.capacity.clone(),
                 processors.to_string(),
                 format!("{:.0}", rec.mean_makespan_slots),
                 format!("{:.0}", rec.mean_online_congestion),
@@ -177,9 +214,12 @@ fn main() {
         "Expected shape: read-mostly families (static-zipf, bursty) replicate\n\
          once and settle near the hindsight congestion; hotspot-migration and\n\
          object-churn pay recurring replication/collapse traffic as the working\n\
-         set moves; mix-flip alternates cheap and expensive regimes; and\n\
+         set moves; mix-flip alternates cheap and expensive regimes;\n\
          single-bus-saturation concentrates every broadcast on one bus — the\n\
-         adversarial ceiling of the matrix.\n"
+         adversarial ceiling of the matrix; interference partitions objects\n\
+         across tenants (per-tenant attribution in the JSON); diurnal and\n\
+         flash-crowd drive the stream through a time-varying open-loop\n\
+         arrival process.\n"
     );
 
     match emit_scenarios_json("BENCH_scenarios.json", &records) {

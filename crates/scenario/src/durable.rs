@@ -27,10 +27,12 @@ use std::path::Path;
 
 /// File magic of durable checkpoints.
 pub(crate) const MAGIC: [u8; 4] = *b"HBNC";
-/// Current checkpoint format version. v2 added the per-epoch estimator
-/// bounds to the epoch record; v1 files fail with
-/// [`RestoreError::BadVersion`] rather than decode wrongly.
-pub(crate) const VERSION: u32 = 2;
+/// Current checkpoint format version. v3 added the per-tenant
+/// attribution state to the session payload and the capacity profile to
+/// the spec fingerprint; v2 added the per-epoch estimator bounds to the
+/// epoch record. Older files fail with [`RestoreError::BadVersion`]
+/// rather than decode wrongly.
+pub(crate) const VERSION: u32 = 3;
 
 /// Why restoring a session (from a checkpoint or from disk) failed.
 #[derive(Debug)]
@@ -198,6 +200,7 @@ pub(crate) fn spec_fingerprint(spec: &ScenarioSpec) -> u64 {
     let mut buf = Vec::new();
     put_str(&mut buf, &spec.name);
     put_str(&mut buf, &spec.topology.to_string());
+    put_str(&mut buf, &spec.capacity.to_string());
     put_str(&mut buf, &spec.strategy.to_string());
     put_u64(&mut buf, spec.seed);
     put_u64(&mut buf, spec.epoch_requests as u64);

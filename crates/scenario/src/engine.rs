@@ -160,6 +160,24 @@ pub struct PhaseSummary {
     pub p99_latency: u64,
 }
 
+/// Per-tenant share of a multi-tenant run, attributed by the object
+/// partition `object_id % tenants` — the same key the
+/// [`hbn_workload::PhaseKind::Interference`] generator uses to assign
+/// objects to tenants. Because [`hbn_load::LoadMap`] aggregation is
+/// linear across disjoint object sets, the per-tenant placement loads
+/// sum exactly to the run's total placement loads, so attribution
+/// neither loses nor double-counts congestion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant index in `0..schedule.tenants()`.
+    pub tenant: usize,
+    /// Requests whose object fell in this tenant's partition.
+    pub requests: u64,
+    /// Congestion of this tenant's share of the cumulative placement
+    /// loads — what the tenant alone would induce on the shared buses.
+    pub placement_congestion: LoadRatio,
+}
+
 /// The outcome of one scenario run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
@@ -206,6 +224,10 @@ pub struct ScenarioReport {
     /// *outside* the bounds — always `0` unless the estimator is broken
     /// (the bracket suite and the in-run validation both pin this).
     pub estimate_violations: usize,
+    /// Per-tenant congestion attribution, indexed by tenant. Empty for
+    /// single-tenant schedules ([`hbn_workload::PhaseSchedule::tenants`]
+    /// = 1); populated when the schedule declares an interference phase.
+    pub tenants: Vec<TenantSummary>,
     /// Strategy event counters over the whole run (merged across
     /// [`crate::Session::swap_strategy`] retirements).
     pub stats: DynamicStats,

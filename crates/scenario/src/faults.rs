@@ -98,6 +98,17 @@ pub enum FaultPlanError {
         /// The rejected factor.
         factor: u64,
     },
+    /// Two events target the same bus in the same epoch (e.g. `Down`
+    /// then `Degrade`). Within an epoch the overlay would apply them
+    /// last-writer-wins by declaration order — silently, which is how a
+    /// plan author ends up with a half-applied fault. Rejected instead:
+    /// put the second event in a later epoch.
+    ConflictingEvents {
+        /// The doubly-targeted bus.
+        bus: NodeId,
+        /// The epoch carrying both events.
+        epoch: usize,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -109,6 +120,9 @@ impl std::fmt::Display for FaultPlanError {
             }
             FaultPlanError::BadFactor { bus, factor } => {
                 write!(f, "degrade factor {factor} on bus {bus} must be at least 2")
+            }
+            FaultPlanError::ConflictingEvents { bus, epoch } => {
+                write!(f, "conflicting fault events on bus {bus} in epoch {epoch}")
             }
         }
     }
@@ -216,14 +230,16 @@ impl FaultPlan {
     }
 
     /// Check the plan against `net`: every event must target a bus,
-    /// `Down` must not target the root, and degrade factors must be at
-    /// least 2.
+    /// `Down` must not target the root, degrade factors must be at
+    /// least 2, and no two events may target the same bus in the same
+    /// epoch (within-epoch order would otherwise resolve them
+    /// last-writer-wins, silently).
     ///
     /// # Errors
     ///
     /// The first violated [`FaultPlanError`], in declaration order.
     pub fn validate(&self, net: &Network) -> Result<(), FaultPlanError> {
-        for event in &self.events {
+        for (i, event) in self.events.iter().enumerate() {
             let bus = event.kind.bus();
             if !net.is_bus(bus) {
                 return Err(FaultPlanError::NotABus(bus));
@@ -236,6 +252,12 @@ impl FaultPlan {
                     return Err(FaultPlanError::BadFactor { bus, factor });
                 }
                 _ => {}
+            }
+            if self.events[..i]
+                .iter()
+                .any(|prev| prev.epoch == event.epoch && prev.kind.bus() == bus)
+            {
+                return Err(FaultPlanError::ConflictingEvents { bus, epoch: event.epoch });
             }
         }
         Ok(())
@@ -382,6 +404,44 @@ mod tests {
         );
         // Degrading the root is legal — capacity shrinks but stays positive.
         FaultPlan::default().degrade(0, root, 4).validate(&net).unwrap();
+    }
+
+    /// Satellite S1: duplicate/conflicting events on one bus+epoch are
+    /// rejected instead of resolving last-writer-wins.
+    #[test]
+    fn validate_rejects_conflicting_events_on_one_bus_and_epoch() {
+        let net = balanced(2, 2, BandwidthProfile::Uniform);
+        let bus = net.children(net.root())[0];
+        let other = net.children(net.root())[1];
+        // Down then Degrade in the same epoch.
+        assert_eq!(
+            FaultPlan::default().down(2, bus).degrade(2, bus, 4).validate(&net),
+            Err(FaultPlanError::ConflictingEvents { bus, epoch: 2 })
+        );
+        // Degrade then Down.
+        assert_eq!(
+            FaultPlan::default().degrade(1, bus, 2).down(1, bus).validate(&net),
+            Err(FaultPlanError::ConflictingEvents { bus, epoch: 1 })
+        );
+        // Down then immediate Restore (a zero-length outage).
+        assert_eq!(
+            FaultPlan::default().down(3, bus).restore(3, bus).validate(&net),
+            Err(FaultPlanError::ConflictingEvents { bus, epoch: 3 })
+        );
+        // Literal duplicates of the same event.
+        assert_eq!(
+            FaultPlan::default().degrade(0, bus, 2).degrade(0, bus, 2).validate(&net),
+            Err(FaultPlanError::ConflictingEvents { bus, epoch: 0 })
+        );
+        // Same epoch, different buses: fine.
+        FaultPlan::default().down(2, bus).degrade(2, other, 4).validate(&net).unwrap();
+        // Same bus, different epochs: fine.
+        FaultPlan::default()
+            .down(2, bus)
+            .degrade(3, bus, 4)
+            .restore(5, bus)
+            .validate(&net)
+            .unwrap();
     }
 
     #[test]

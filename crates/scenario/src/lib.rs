@@ -73,7 +73,7 @@ pub use durable::RestoreError;
 pub use engine::{
     run_scenario, run_scenario_sharded, run_scenario_sharded_with, run_scenario_with,
     try_run_scenario, try_run_scenario_with, EpochEstimate, EpochSummary, PhaseSummary,
-    ScenarioReport, TrafficCounters,
+    ScenarioReport, TenantSummary, TrafficCounters,
 };
 pub use faults::{
     FaultEvent, FaultKind, FaultPlan, FaultPlanError, FaultView, DEFAULT_OUTAGE_SLOTS,

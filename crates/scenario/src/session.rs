@@ -29,7 +29,7 @@ use crate::durable::{
 };
 use crate::engine::{
     recovery_epochs, summarise_phase, EpochEstimate, EpochSummary, PhaseSummary, ScenarioReport,
-    TrafficCounters,
+    TenantSummary, TrafficCounters,
 };
 use crate::faults::FaultView;
 use crate::spec::{ExecutionConfig, ReplayKernel, ScenarioSpec};
@@ -38,8 +38,9 @@ use hbn_core::nibble_placement;
 use hbn_dynamic::{DynamicStats, OnlineRequest};
 use hbn_load::{LoadMap, Placement};
 use hbn_sim::{
-    estimate_makespan_from_loads, simulate_reference, simulate_reference_overlay, simulate_with,
-    simulate_with_overlay, Request, SimError, SimResult, SimWorkspace,
+    estimate_makespan_from_loads, simulate_parallel_overlay, simulate_parallel_with,
+    simulate_reference, simulate_reference_overlay, simulate_with, simulate_with_overlay,
+    ParSimWorkspace, Request, SimError, SimResult, SimWorkspace,
 };
 use hbn_topology::{Network, NodeId};
 use hbn_workload::{AccessMatrix, ObjectId, PhaseRequest, PhaseStreamState};
@@ -87,6 +88,10 @@ pub struct SessionCheckpoint {
     retired_loads: LoadMap,
     retired_stats: DynamicStats,
     stats_mark: DynamicStats,
+    /// Per-tenant cumulative placement loads and request counts (empty
+    /// for single-tenant schedules) — see [`Session`] tenant fields.
+    tenant_loads: Vec<LoadMap>,
+    tenant_requests: Vec<u64>,
     epoch_idx: usize,
     phase_idx: usize,
     remaining_in_phase: usize,
@@ -127,6 +132,13 @@ impl SessionCheckpoint {
         put_loads(&mut p, &self.retired_loads);
         put_stats(&mut p, self.retired_stats);
         put_stats(&mut p, self.stats_mark);
+        put_u64(&mut p, self.tenant_loads.len() as u64);
+        for loads in &self.tenant_loads {
+            put_loads(&mut p, loads);
+        }
+        for &requests in &self.tenant_requests {
+            put_u64(&mut p, requests);
+        }
         put_u64(&mut p, self.epoch_idx as u64);
         put_u64(&mut p, self.phase_idx as u64);
         put_u64(&mut p, self.remaining_in_phase as u64);
@@ -288,7 +300,7 @@ fn decode_checkpoint(
     spec: &ScenarioSpec,
     payload: &[u8],
 ) -> Result<SessionCheckpoint, RestoreError> {
-    let net = spec.topology.build();
+    let net = spec.build_network();
     let max_objects = spec.schedule.max_objects();
     let mut dec = Dec::new(payload);
     let found = dec.u64().map_err(RestoreError::Malformed)?;
@@ -317,6 +329,13 @@ fn decode_checkpoint_body(
     let retired_loads = dec.loads(net)?;
     let retired_stats = dec.stats()?;
     let stats_mark = dec.stats()?;
+    let n_tenants = dec.u64()? as usize;
+    let expected_tenants = if spec.schedule.tenants() > 1 { spec.schedule.tenants() } else { 0 };
+    if n_tenants != expected_tenants {
+        return Err(format!("{n_tenants} tenant accumulators, expected {expected_tenants}"));
+    }
+    let tenant_loads = (0..n_tenants).map(|_| dec.loads(net)).collect::<Result<Vec<_>, _>>()?;
+    let tenant_requests = (0..n_tenants).map(|_| dec.u64()).collect::<Result<Vec<_>, _>>()?;
     let epoch_idx = dec.u64()? as usize;
     let phase_idx = dec.u64()? as usize;
     let remaining_in_phase = dec.u64()? as usize;
@@ -344,6 +363,8 @@ fn decode_checkpoint_body(
         retired_loads,
         retired_stats,
         stats_mark,
+        tenant_loads,
+        tenant_requests,
         epoch_idx,
         phase_idx,
         remaining_in_phase,
@@ -428,6 +449,9 @@ pub struct Session {
     max_objects: usize,
     strategy: Box<dyn Strategy>,
     ws: SimWorkspace,
+    /// Wavefront scratch for [`ReplayKernel::Parallel`], created on
+    /// first use (a cache like `ws`, not checkpointed state).
+    pws: Option<ParSimWorkspace>,
     stream: PhaseStreamState,
     /// Requests drawn from the stream so far (the durable stream
     /// cursor — see [`SessionCheckpoint`]).
@@ -448,6 +472,18 @@ pub struct Session {
     retired_loads: LoadMap,
     retired_stats: DynamicStats,
     stats_mark: DynamicStats,
+    /// Declared tenant count of the schedule
+    /// ([`hbn_workload::PhaseSchedule::tenants`]); 1 for single-tenant
+    /// schedules.
+    n_tenants: usize,
+    /// Per-tenant cumulative placement loads, attributing the epoch
+    /// snapshot loads by the object partition `id % n_tenants`. Sub-
+    /// matrix accounting is linear across an object partition, so these
+    /// sum exactly to the total placement loads. Empty when
+    /// `n_tenants == 1`.
+    tenant_loads: Vec<LoadMap>,
+    /// Per-tenant request counts under the same partition.
+    tenant_requests: Vec<u64>,
     // Two parallel views of the epoch's requests: the simulator replay
     // needs a `&[Request]` slice and the sharded serve fan-out a
     // `&[OnlineRequest]` slice. The structs are field-identical but live
@@ -492,7 +528,7 @@ impl Session {
         spec: &ScenarioSpec,
         factory: impl FnOnce(&Network, &ExecutionConfig, usize) -> Box<dyn Strategy>,
     ) -> Session {
-        let net = spec.topology.build();
+        let net = spec.build_network();
         if let Err(e) = spec.faults.validate(&net) {
             panic!("scenario {:?} has an invalid fault plan: {e}", spec.name);
         }
@@ -500,11 +536,14 @@ impl Session {
         let strategy = factory(&net, &spec.exec, max_objects);
         let stream = spec.schedule.stream_state(&net, spec.seed);
         let remaining_in_phase = spec.schedule.phases.first().map_or(0, |p| p.requests);
+        let n_tenants = spec.schedule.tenants();
+        let tenant_slots = if n_tenants > 1 { n_tenants } else { 0 };
         Session {
             spec: spec.clone(),
             max_objects,
             strategy,
             ws: SimWorkspace::new(),
+            pws: None,
             stream,
             requests_drawn: 0,
             aggregate: AccessMatrix::new(max_objects),
@@ -514,6 +553,9 @@ impl Session {
             retired_loads: LoadMap::zero(&net),
             retired_stats: DynamicStats::default(),
             stats_mark: DynamicStats::default(),
+            n_tenants,
+            tenant_loads: (0..tenant_slots).map(|_| LoadMap::zero(&net)).collect(),
+            tenant_requests: vec![0; tenant_slots],
             epoch_trace: Vec::new(),
             epoch_online: Vec::new(),
             replay_override: None,
@@ -597,6 +639,19 @@ impl Session {
     /// ([`Session::set_replay_override`]).
     pub fn replay_override(&self) -> Option<ReplayKernel> {
         self.replay_override
+    }
+
+    /// Per-tenant cumulative placement loads (object partition
+    /// `id % tenants`); empty for single-tenant schedules. Indexed by
+    /// tenant, in step with [`Session::tenant_requests`].
+    pub fn tenant_loads(&self) -> &[LoadMap] {
+        &self.tenant_loads
+    }
+
+    /// Per-tenant cumulative request counts under the same partition;
+    /// empty for single-tenant schedules.
+    pub fn tenant_requests(&self) -> &[u64] {
+        &self.tenant_requests
     }
 
     /// Epoch summaries accumulated so far, in execution order.
@@ -773,6 +828,28 @@ impl Session {
         // placement serving the epoch matrix; charge it before the epoch
         // delta is taken. (No-op for per-request-charging strategies.)
         self.strategy.charge_service(&placement_loads);
+        // Multi-tenant attribution: account each tenant's slice of the
+        // epoch matrix separately under the same snapshot placement.
+        // Placement accounting is linear across an object partition, so
+        // the per-tenant maps sum exactly to `placement_loads`.
+        if self.n_tenants > 1 {
+            for t in 0..self.n_tenants {
+                let mut sub = AccessMatrix::new(self.max_objects);
+                for x in epoch_matrix.objects() {
+                    if x.index() % self.n_tenants != t {
+                        continue;
+                    }
+                    for e in epoch_matrix.object_entries(x) {
+                        sub.add(e.processor, x, e.reads, e.writes);
+                    }
+                }
+                let loads = LoadMap::from_placement(&self.net, &sub, &placement);
+                self.tenant_loads[t].add_assign(&loads);
+            }
+            for r in &self.epoch_online {
+                self.tenant_requests[r.object.index() % self.n_tenants] += 1;
+            }
+        }
         // A pristine fault view takes the exact legacy replay path; under
         // faults the same kernels run with the epoch's capacity overlay
         // (down buses forward nothing for the outage window, degraded
@@ -826,6 +903,31 @@ impl Session {
                     )?),
                     None,
                 ),
+                (ReplayKernel::Parallel { width }, pristine) => {
+                    let pws = self.pws.get_or_insert_with(ParSimWorkspace::new);
+                    pws.set_threads(width);
+                    let sim = if pristine {
+                        simulate_parallel_with(
+                            pws,
+                            &self.net,
+                            epoch_matrix,
+                            &placement,
+                            &self.epoch_trace,
+                            self.spec.exec.sim,
+                        )?
+                    } else {
+                        simulate_parallel_overlay(
+                            pws,
+                            &self.net,
+                            epoch_matrix,
+                            &placement,
+                            &self.epoch_trace,
+                            self.spec.exec.sim,
+                            &view.overlay,
+                        )?
+                    };
+                    (Some(sim), None)
+                }
                 (ReplayKernel::Estimate { sample_every }, pristine) => {
                     let overlay = (!pristine).then_some(&view.overlay);
                     let bounds = estimate_makespan_from_loads(
@@ -973,6 +1075,8 @@ impl Session {
             retired_loads: self.retired_loads.clone(),
             retired_stats: self.retired_stats,
             stats_mark: self.stats_mark,
+            tenant_loads: self.tenant_loads.clone(),
+            tenant_requests: self.tenant_requests.clone(),
             epoch_idx: self.epoch_idx,
             phase_idx: self.phase_idx,
             remaining_in_phase: self.remaining_in_phase,
@@ -996,13 +1100,14 @@ impl Session {
     /// [`Session::checkpoint`] always pass; the checks guard state that
     /// crossed a serialization boundary.)
     pub fn restore(checkpoint: SessionCheckpoint) -> Result<Session, RestoreError> {
-        let net = checkpoint.spec.topology.build();
+        let net = checkpoint.spec.build_network();
         let max_objects = checkpoint.spec.schedule.max_objects();
         validate_cursors(&checkpoint, &net)?;
         Ok(Session {
             max_objects,
             strategy: checkpoint.strategy,
             ws: SimWorkspace::new(),
+            pws: None,
             stream: checkpoint.stream,
             requests_drawn: checkpoint.requests_drawn,
             aggregate: checkpoint.aggregate,
@@ -1012,6 +1117,9 @@ impl Session {
             retired_loads: checkpoint.retired_loads,
             retired_stats: checkpoint.retired_stats,
             stats_mark: checkpoint.stats_mark,
+            n_tenants: checkpoint.spec.schedule.tenants(),
+            tenant_loads: checkpoint.tenant_loads,
+            tenant_requests: checkpoint.tenant_requests,
             epoch_trace: Vec::new(),
             epoch_online: Vec::new(),
             replay_override: None,
@@ -1094,6 +1202,17 @@ impl Session {
             }
         }
         let estimate_gap = (estimated_epochs > 0).then(|| gap_sum / estimated_epochs as f64);
+        let tenants = self
+            .tenant_loads
+            .iter()
+            .zip(&self.tenant_requests)
+            .enumerate()
+            .map(|(tenant, (loads, &requests))| TenantSummary {
+                tenant,
+                requests,
+                placement_congestion: loads.congestion(&self.net).congestion,
+            })
+            .collect();
         ScenarioReport {
             name,
             topology: self.spec.topology.to_string(),
@@ -1108,6 +1227,7 @@ impl Session {
             estimated_epochs,
             estimate_gap,
             estimate_violations,
+            tenants,
             phases,
             epochs,
             stats: self.retired_stats.merge(self.strategy.stats()),

@@ -5,7 +5,8 @@ use std::fmt;
 use crate::faults::FaultPlan;
 use hbn_sim::SimConfig;
 use hbn_topology::generators::{balanced, caterpillar, star, BandwidthProfile};
-use hbn_topology::{Bandwidth, Network};
+use hbn_topology::sci::ring_of_rings;
+use hbn_topology::{Bandwidth, CapacityProfile, Network};
 use hbn_workload::PhaseSchedule;
 
 /// A topology family a scenario instantiates.
@@ -40,6 +41,20 @@ pub enum TopologyFamily {
         /// Processors per spine bus.
         legs: usize,
     },
+    /// An SCI cluster: a ring of rings ([`hbn_topology::sci`]) reduced
+    /// to its bus-tree form via the paper's Figure 1 → Figure 2
+    /// construction — the second real substrate beyond synthetic trees.
+    SciCluster {
+        /// Child ringlets hanging off the top-level ring (≥ 2).
+        rings: usize,
+        /// Processors per child ringlet (≥ 1).
+        procs_per_ring: usize,
+        /// Bandwidth of each ringlet (becomes the child bus bandwidth).
+        ring_bandwidth: Bandwidth,
+        /// Bandwidth of the ring switches (becomes the switch-edge
+        /// bandwidth of the reduction).
+        switch_bandwidth: Bandwidth,
+    },
 }
 
 impl TopologyFamily {
@@ -55,6 +70,17 @@ impl TopologyFamily {
             TopologyFamily::Star { processors, bus_bandwidth } => star(processors, bus_bandwidth),
             TopologyFamily::Caterpillar { spine, legs } => {
                 caterpillar(spine, legs, BandwidthProfile::Uniform)
+            }
+            TopologyFamily::SciCluster {
+                rings,
+                procs_per_ring,
+                ring_bandwidth,
+                switch_bandwidth,
+            } => {
+                ring_of_rings(rings, procs_per_ring, ring_bandwidth, switch_bandwidth)
+                    .to_bus_network()
+                    .expect("ring_of_rings always reduces to a valid bus network")
+                    .network
             }
         }
     }
@@ -81,6 +107,14 @@ impl fmt::Display for TopologyFamily {
             }
             TopologyFamily::Caterpillar { spine, legs } => {
                 write!(f, "caterpillar({spine},{legs})")
+            }
+            TopologyFamily::SciCluster {
+                rings,
+                procs_per_ring,
+                ring_bandwidth,
+                switch_bandwidth,
+            } => {
+                write!(f, "sci({rings}x{procs_per_ring},r={ring_bandwidth},s={switch_bandwidth})")
             }
         }
     }
@@ -127,6 +161,14 @@ pub enum ReplayKernel {
     /// The naive [`hbn_sim::simulate_reference`] kernel — used by the
     /// differential suite to pin the engine's replay summaries.
     Reference,
+    /// The level-synchronized parallel wavefront kernel
+    /// ([`hbn_sim::simulate_parallel`]) — bit-for-bit equal to
+    /// [`ReplayKernel::Workspace`] at every width, so scenario reports
+    /// are width-invariant.
+    Parallel {
+        /// Worker threads per replay; `0` picks the host parallelism.
+        width: usize,
+    },
     /// The congestion-bound estimator ([`hbn_sim::estimate_makespan`]):
     /// every epoch gets lower/upper makespan bounds in `O(|V|)`, and
     /// epochs with `epoch_idx % sample_every == 0` are *also* replayed
@@ -144,6 +186,8 @@ impl fmt::Display for ReplayKernel {
         match *self {
             ReplayKernel::Workspace => f.write_str("workspace"),
             ReplayKernel::Reference => f.write_str("reference"),
+            ReplayKernel::Parallel { width: 0 } => f.write_str("parallel(auto)"),
+            ReplayKernel::Parallel { width } => write!(f, "parallel({width})"),
             ReplayKernel::Estimate { sample_every: 0 } => f.write_str("estimate(unsampled)"),
             ReplayKernel::Estimate { sample_every } => write!(f, "estimate({sample_every})"),
         }
@@ -355,6 +399,12 @@ pub struct ScenarioSpec {
     pub name: String,
     /// The topology family to instantiate.
     pub topology: TopologyFamily,
+    /// Static heterogeneous per-bus capacities, applied once when the
+    /// network is built ([`ScenarioSpec::build_network`]). Composes
+    /// with — does not replace — the fault-time
+    /// [`hbn_topology::CapacityOverlay`]: overlays divide the
+    /// *profiled* bandwidth and restore back to it.
+    pub capacity: CapacityProfile,
     /// The phase schedule driving the request stream.
     pub schedule: PhaseSchedule,
     /// Which built-in data-management strategy serves the stream (the
@@ -418,6 +468,7 @@ impl ScenarioSpec {
             spec: ScenarioSpec {
                 name: name.into(),
                 topology,
+                capacity: CapacityProfile::Uniform,
                 schedule,
                 strategy: StrategyKind::default(),
                 seed: 0,
@@ -426,6 +477,17 @@ impl ScenarioSpec {
                 faults: FaultPlan::none(),
             },
         }
+    }
+
+    /// Instantiate the network this spec runs on: the topology family's
+    /// generator output with the [`CapacityProfile`] applied. Every
+    /// consumer of the spec (session, engine, checkpoint restore) must
+    /// build through this single path so profiled capacities cannot be
+    /// silently dropped.
+    pub fn build_network(&self) -> Network {
+        let mut net = self.topology.build();
+        self.capacity.apply(&mut net);
+        net
     }
 
     /// The canonical `name@topology@strategy` label of this spec, built
@@ -452,6 +514,13 @@ impl ScenarioSpecBuilder {
     /// Which built-in strategy serves the stream.
     pub fn strategy(mut self, strategy: StrategyKind) -> Self {
         self.spec.strategy = strategy;
+        self
+    }
+
+    /// Static heterogeneous per-bus capacity profile (default
+    /// [`CapacityProfile::Uniform`]).
+    pub fn capacity(mut self, capacity: CapacityProfile) -> Self {
+        self.spec.capacity = capacity;
         self
     }
 
@@ -531,6 +600,12 @@ mod tests {
             TopologyFamily::FatBalanced { branching: 3, height: 2 },
             TopologyFamily::Star { processors: 6, bus_bandwidth: 4 },
             TopologyFamily::Caterpillar { spine: 3, legs: 2 },
+            TopologyFamily::SciCluster {
+                rings: 3,
+                procs_per_ring: 2,
+                ring_bandwidth: 16,
+                switch_bandwidth: 4,
+            },
         ] {
             let net = family.build();
             net.check_invariants().unwrap();
@@ -538,6 +613,42 @@ mod tests {
             // `label()` and `Display` are a single path by construction.
             assert_eq!(family.label(), family.to_string());
         }
+        let sci = TopologyFamily::SciCluster {
+            rings: 3,
+            procs_per_ring: 2,
+            ring_bandwidth: 16,
+            switch_bandwidth: 4,
+        };
+        assert_eq!(sci.label(), "sci(3x2,r=16,s=4)");
+        assert_eq!(sci.build().n_processors(), 6);
+    }
+
+    #[test]
+    fn build_network_applies_the_capacity_profile() {
+        let topology = TopologyFamily::Balanced { branching: 2, height: 3 };
+        let base = ScenarioSpec::builder("p", topology, full_tour(4, 40)).build();
+        assert_eq!(base.capacity, CapacityProfile::Uniform);
+        let fat = ScenarioSpec::builder("p", topology, full_tour(4, 40))
+            .capacity(CapacityProfile::FatRoot { boost: 2 })
+            .build();
+        let uniform_net = base.build_network();
+        let fat_net = fat.build_network();
+        let root = fat_net.root();
+        assert!(fat_net.node_bandwidth(root) > uniform_net.node_bandwidth(root));
+        // Same structure, different capacities.
+        assert_eq!(fat_net.n_nodes(), uniform_net.n_nodes());
+        fat_net.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parallel_kernel_labels() {
+        let mut exec = ExecutionConfig {
+            replay: ReplayKernel::Parallel { width: 0 },
+            ..ExecutionConfig::default()
+        };
+        assert_eq!(exec.kernel_label(), "serve=workspace/replay=parallel(auto)");
+        exec.replay = ReplayKernel::Parallel { width: 2 };
+        assert_eq!(exec.kernel_label(), "serve=workspace/replay=parallel(2)");
     }
 
     #[test]

@@ -41,12 +41,18 @@ pub fn cell_seeds(cell_base: u64, shards: usize) -> Vec<u64> {
     (0..shards as u64).map(|s| seeded_rng_stream(cell_base, s).gen()).collect()
 }
 
-/// The canonical six access-pattern families of the scenario matrix, each
-/// as a warm-up + measured-phase schedule: a light stationary warm-up (so
-/// strategies start from a populated replica state) followed by the family
-/// phase itself. One construction point shared by `exp_scenario_matrix`
-/// and the dynamic-kernel differential suites, so "all six families" means
-/// the same six schedules everywhere.
+/// The access-pattern family registry of the scenario matrix, each
+/// family as a warm-up + measured-phase schedule: a light stationary
+/// warm-up (so strategies start from a populated replica state)
+/// followed by the family phase itself. One construction point shared
+/// by `exp_scenario_matrix`, the dynamic-kernel differential suites and
+/// the per-family conformance harness, so "all families" means the same
+/// schedules everywhere.
+///
+/// The list is append-only — several callers index families
+/// positionally — and [`family_label`] matches [`PhaseKind`]
+/// exhaustively, so adding a `PhaseKind` variant without registering a
+/// schedule here is a compile error, not a silent coverage gap.
 pub fn family_schedules(
     initial_objects: usize,
     warmup: usize,
@@ -99,7 +105,53 @@ pub fn family_schedules(
             "single-bus-saturation",
             PhaseKind::SingleBusSaturation { write_fraction: 0.5, contended_objects: 2 },
         ),
+        phase(
+            "interference",
+            PhaseKind::Interference { tenants: 3, skew: 0.9, write_fraction: 0.2 },
+        ),
+        phase(
+            "diurnal",
+            PhaseKind::Diurnal { regions: 3, rate: 8.0, skew: 0.9, write_fraction: 0.1 },
+        ),
+        phase(
+            "flash-crowd",
+            PhaseKind::FlashCrowd { rate: 6.0, boost: 4, skew: 0.8, write_fraction: 0.1 },
+        ),
     ]
+}
+
+/// Labels of every registered family, in [`family_schedules`] order —
+/// the conformance harness cross-checks the registry against this list.
+pub const REGISTERED_FAMILIES: [&str; 9] = [
+    "static-zipf",
+    "hotspot-migration",
+    "bursty",
+    "mix-flip",
+    "object-churn",
+    "single-bus-saturation",
+    "interference",
+    "diurnal",
+    "flash-crowd",
+];
+
+/// The registry label of a [`PhaseKind`]'s family. The match is
+/// exhaustive **on purpose**: a new `PhaseKind` variant fails to
+/// compile here until it is given a label, and the conformance harness
+/// asserts the label appears in both [`REGISTERED_FAMILIES`] and
+/// [`family_schedules`] — so every family is born with conformance
+/// coverage.
+pub fn family_label(kind: &PhaseKind) -> &'static str {
+    match kind {
+        PhaseKind::StaticZipf { .. } => "static-zipf",
+        PhaseKind::HotspotMigration { .. } => "hotspot-migration",
+        PhaseKind::Bursty { .. } => "bursty",
+        PhaseKind::MixFlip { .. } => "mix-flip",
+        PhaseKind::ObjectChurn { .. } => "object-churn",
+        PhaseKind::SingleBusSaturation { .. } => "single-bus-saturation",
+        PhaseKind::Interference { .. } => "interference",
+        PhaseKind::Diurnal { .. } => "diurnal",
+        PhaseKind::FlashCrowd { .. } => "flash-crowd",
+    }
 }
 
 /// Parameters from which a random network is deterministically grown.
@@ -213,18 +265,31 @@ mod tests {
     }
 
     #[test]
-    fn family_schedules_cover_all_six_families() {
+    fn family_schedules_cover_every_registered_family() {
         let fams = family_schedules(12, 40, 200);
-        assert_eq!(fams.len(), 6);
-        for (label, schedule) in &fams {
+        assert_eq!(fams.len(), REGISTERED_FAMILIES.len());
+        for ((label, schedule), &registered) in fams.iter().zip(REGISTERED_FAMILIES.iter()) {
+            assert_eq!(*label, registered, "registry order must match REGISTERED_FAMILIES");
             assert_eq!(schedule.phases.len(), 2);
             assert_eq!(schedule.phases[0].label, "warmup");
             assert_eq!(&schedule.phases[1].label, label);
             assert_eq!(schedule.total_requests(), 240);
             assert!(schedule.max_objects() >= 12);
+            assert_eq!(family_label(&schedule.phases[1].kind), *label);
         }
-        let labels: Vec<&str> = fams.iter().map(|(l, _)| *l).collect();
-        assert!(labels.contains(&"object-churn") && labels.contains(&"single-bus-saturation"));
+        // The first six are the legacy families, in their original
+        // positions — several suites index them positionally.
+        assert_eq!(
+            &REGISTERED_FAMILIES[..6],
+            &[
+                "static-zipf",
+                "hotspot-migration",
+                "bursty",
+                "mix-flip",
+                "object-churn",
+                "single-bus-saturation",
+            ]
+        );
     }
 
     #[test]

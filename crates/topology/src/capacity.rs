@@ -11,9 +11,116 @@
 //! A pristine overlay (all divisors 1, nothing down) is mathematically
 //! identical to no overlay at all; every overlay-aware entry point
 //! treats `None` and a pristine overlay bit-for-bit the same.
+//!
+//! A [`CapacityProfile`], by contrast, is *static* heterogeneity: it
+//! rewrites the bus bandwidths of a freshly built [`Network`] once, at
+//! build time. Because the profile mutates `b(v)` itself, every
+//! consumer — slot kernels, the parallel wavefront kernel, the
+//! congestion estimator, load normalization — sees the profiled
+//! capacities with no per-kernel plumbing, and an overlay composes on
+//! top naturally: degradation divides the *profiled* bandwidth and
+//! restore returns to the *profile* capacity, not some pristine
+//! uniform one.
 
 use crate::ids::{Bandwidth, NodeId};
 use crate::tree::Network;
+
+/// A static per-bus heterogeneous capacity profile, applied once when a
+/// scenario's network is built.
+///
+/// Profiles express the two directions the paper's hierarchy argument
+/// cares about: *fat* links near the root (bandwidth grows geometrically
+/// with the level, the regime where the tree behaves like a fat-tree)
+/// and *degraded* leaf-adjacent buses (the commodity-edge regime where
+/// the last hop is the bottleneck).
+///
+/// ```
+/// use hbn_topology::capacity::CapacityProfile;
+/// use hbn_topology::generators::{balanced, BandwidthProfile};
+///
+/// let mut net = balanced(2, 3, BandwidthProfile::Uniform);
+/// let root_before = net.node_bandwidth(net.root());
+/// CapacityProfile::FatRoot { boost: 2 }.apply(&mut net);
+/// // The root is `height - 1` doublings above a leaf-adjacent bus.
+/// assert_eq!(net.node_bandwidth(net.root()), root_before << (net.height() - 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CapacityProfile {
+    /// Leave the generator's bandwidths untouched.
+    #[default]
+    Uniform,
+    /// Multiply the bandwidth of every bus on level `ℓ` by
+    /// `boost^(ℓ - 1)`: leaf-adjacent buses (level 1) keep their base
+    /// bandwidth and each level toward the root is `boost`× fatter.
+    /// `boost ≤ 1` is the identity.
+    FatRoot {
+        /// Per-level multiplier (2 doubles bandwidth each level up).
+        boost: u64,
+    },
+    /// Divide the bandwidth of every bus with at least one processor
+    /// child by `divisor`, floored at 1 token per slot — the degraded
+    /// commodity edge of the tree. `divisor ≤ 1` is the identity.
+    DegradedLeaves {
+        /// Divisor applied to leaf-adjacent bus bandwidths.
+        divisor: u64,
+    },
+}
+
+impl CapacityProfile {
+    /// `true` when applying the profile changes nothing.
+    pub fn is_uniform(&self) -> bool {
+        match *self {
+            CapacityProfile::Uniform => true,
+            CapacityProfile::FatRoot { boost } => boost <= 1,
+            CapacityProfile::DegradedLeaves { divisor } => divisor <= 1,
+        }
+    }
+
+    /// Rewrite the bus bandwidths of `net` in place per the profile.
+    /// Idempotent only for [`CapacityProfile::Uniform`]; apply exactly
+    /// once, right after the generator builds the network.
+    pub fn apply(&self, net: &mut Network) {
+        match *self {
+            CapacityProfile::Uniform => {}
+            CapacityProfile::FatRoot { boost } => {
+                if boost <= 1 {
+                    return;
+                }
+                let buses: Vec<NodeId> = net.nodes().filter(|&v| net.is_bus(v)).collect();
+                for v in buses {
+                    let factor = boost.saturating_pow(net.level(v).saturating_sub(1));
+                    let b = net.node_bandwidth(v).saturating_mul(factor).max(1);
+                    net.set_bus_bandwidth(v, b);
+                }
+            }
+            CapacityProfile::DegradedLeaves { divisor } => {
+                if divisor <= 1 {
+                    return;
+                }
+                let leaf_buses: Vec<NodeId> = net
+                    .nodes()
+                    .filter(|&v| net.is_bus(v) && net.children(v).iter().any(|&c| !net.is_bus(c)))
+                    .collect();
+                for v in leaf_buses {
+                    let b = (net.node_bandwidth(v) / divisor).max(1);
+                    net.set_bus_bandwidth(v, b);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CapacityProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CapacityProfile::Uniform => write!(f, "uniform"),
+            CapacityProfile::FatRoot { boost } => write!(f, "fat-root({boost})"),
+            CapacityProfile::DegradedLeaves { divisor } => {
+                write!(f, "degraded-leaves({divisor})")
+            }
+        }
+    }
+}
 
 /// Per-node capacity modification: bandwidth divisors and down flags.
 ///
@@ -192,6 +299,112 @@ mod tests {
             assert_eq!(stranded[v.index()], expect, "{v}");
         }
         assert_eq!(overlay.down_nodes(), vec![bus]);
+    }
+
+    #[test]
+    fn fat_root_boosts_geometrically_toward_the_root() {
+        let net0 = balanced(2, 3, BandwidthProfile::Uniform);
+        let mut net = balanced(2, 3, BandwidthProfile::Uniform);
+        CapacityProfile::FatRoot { boost: 3 }.apply(&mut net);
+        for v in net.nodes().filter(|&v| net.is_bus(v)) {
+            let expect = net0.node_bandwidth(v) * 3u64.pow(net.level(v) - 1);
+            assert_eq!(net.node_bandwidth(v), expect, "bus {v} level {}", net.level(v));
+        }
+        // Processors untouched.
+        for &p in net.processors() {
+            assert_eq!(net.node_bandwidth(p), net0.node_bandwidth(p));
+        }
+    }
+
+    #[test]
+    fn degraded_leaves_only_touch_leaf_adjacent_buses() {
+        let net0 = balanced(2, 3, BandwidthProfile::FatTree { base: 2, cap: 64 });
+        let mut net = balanced(2, 3, BandwidthProfile::FatTree { base: 2, cap: 64 });
+        CapacityProfile::DegradedLeaves { divisor: 4 }.apply(&mut net);
+        for v in net.nodes().filter(|&v| net.is_bus(v)) {
+            let leaf_adjacent = net.children(v).iter().any(|&c| !net.is_bus(c));
+            let expect = if leaf_adjacent {
+                (net0.node_bandwidth(v) / 4).max(1)
+            } else {
+                net0.node_bandwidth(v)
+            };
+            assert_eq!(net.node_bandwidth(v), expect, "bus {v}");
+        }
+    }
+
+    #[test]
+    fn identity_profiles_change_nothing() {
+        for profile in [
+            CapacityProfile::Uniform,
+            CapacityProfile::FatRoot { boost: 1 },
+            CapacityProfile::DegradedLeaves { divisor: 0 },
+        ] {
+            assert!(profile.is_uniform(), "{profile}");
+            let net0 = balanced(2, 2, BandwidthProfile::Uniform);
+            let mut net = balanced(2, 2, BandwidthProfile::Uniform);
+            profile.apply(&mut net);
+            for v in net.nodes() {
+                assert_eq!(net.node_bandwidth(v), net0.node_bandwidth(v));
+            }
+        }
+        assert!(!CapacityProfile::FatRoot { boost: 2 }.is_uniform());
+        assert!(!CapacityProfile::DegradedLeaves { divisor: 2 }.is_uniform());
+    }
+
+    #[test]
+    fn profile_labels_are_stable() {
+        assert_eq!(CapacityProfile::Uniform.to_string(), "uniform");
+        assert_eq!(CapacityProfile::FatRoot { boost: 2 }.to_string(), "fat-root(2)");
+        assert_eq!(
+            CapacityProfile::DegradedLeaves { divisor: 4 }.to_string(),
+            "degraded-leaves(4)"
+        );
+    }
+
+    /// Satellite S4: overlay degradation on a profile-slowed bus floors
+    /// at 1 token and never underflows.
+    #[test]
+    fn overlay_on_profiled_bus_floors_at_one() {
+        let mut net = balanced(2, 2, BandwidthProfile::Uniform);
+        CapacityProfile::DegradedLeaves { divisor: 8 }.apply(&mut net);
+        let bus = *net
+            .nodes()
+            .filter(|&v| net.is_bus(v) && net.children(v).iter().any(|&c| !net.is_bus(c)))
+            .collect::<Vec<_>>()
+            .first()
+            .unwrap();
+        // The profile already floored this bus near 1.
+        let profiled = net.node_bandwidth(bus);
+        assert!(profiled >= 1);
+        let mut overlay = CapacityOverlay::pristine(net.n_nodes());
+        overlay.degrade(bus, 16);
+        assert_eq!(overlay.effective_node_bandwidth(&net, bus), (profiled / 16).max(1));
+        assert_eq!(overlay.effective_node_bandwidth(&net, bus), 1);
+    }
+
+    /// Satellite S4: restoring an overlay returns the bus to its
+    /// *profile* capacity, not the pristine generator capacity.
+    #[test]
+    fn overlay_restore_returns_to_profile_capacity() {
+        let pristine = balanced(2, 2, BandwidthProfile::FatTree { base: 4, cap: 256 });
+        let mut net = balanced(2, 2, BandwidthProfile::FatTree { base: 4, cap: 256 });
+        CapacityProfile::DegradedLeaves { divisor: 2 }.apply(&mut net);
+        let bus = *net
+            .nodes()
+            .filter(|&v| net.is_bus(v) && net.children(v).iter().any(|&c| !net.is_bus(c)))
+            .collect::<Vec<_>>()
+            .first()
+            .unwrap();
+        let profiled = net.node_bandwidth(bus);
+        assert_ne!(profiled, pristine.node_bandwidth(bus), "profile must actually slow the bus");
+
+        let mut overlay = CapacityOverlay::pristine(net.n_nodes());
+        overlay.degrade(bus, 4);
+        assert_eq!(overlay.effective_node_bandwidth(&net, bus), (profiled / 4).max(1));
+        overlay.restore(bus);
+        assert!(overlay.is_pristine());
+        assert_eq!(overlay.effective_node_bandwidth(&net, bus), profiled);
+        assert_ne!(overlay.effective_node_bandwidth(&net, bus), pristine.node_bandwidth(bus));
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //!   LCA, paths and subtree ranges ([`tree`]);
 //! * [`NetworkBuilder`] — validated construction ([`builder`]);
 //! * [`CapacityOverlay`] — per-bus degraded/dead capacity overlays for
-//!   fault injection ([`capacity`]);
+//!   fault injection — and [`CapacityProfile`] — static heterogeneous
+//!   bus capacities applied at build time ([`capacity`]);
 //! * deterministic generators for stars, balanced trees, caterpillars, bus
 //!   paths and random networks ([`generators`]);
 //! * SCI ring-of-rings networks and the paper's Figure 1 → Figure 2
@@ -38,7 +39,7 @@ pub mod steiner;
 pub mod tree;
 
 pub use builder::NetworkBuilder;
-pub use capacity::CapacityOverlay;
+pub use capacity::{CapacityOverlay, CapacityProfile};
 pub use error::TopologyError;
 pub use ids::{Bandwidth, DirEdge, Direction, EdgeId, NodeId};
 pub use spec::NetworkSpec;

@@ -286,6 +286,21 @@ impl Network {
         self.edge_bandwidth[e.index()]
     }
 
+    /// Overwrite the bandwidth of bus `v`. This is the build-time hook
+    /// for static heterogeneous capacity profiles
+    /// ([`crate::capacity::CapacityProfile`]); fault-time changes go
+    /// through [`crate::CapacityOverlay`] instead so they can be
+    /// restored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a bus or `bandwidth` is 0.
+    pub fn set_bus_bandwidth(&mut self, v: NodeId, bandwidth: Bandwidth) {
+        assert!(self.is_bus(v), "set_bus_bandwidth: {v} is not a bus");
+        assert!(bandwidth >= 1, "set_bus_bandwidth: bandwidth must be >= 1");
+        self.node_bandwidth[v.index()] = bandwidth;
+    }
+
     /// Both endpoints of edge `e` as `(child, parent)`.
     #[inline]
     pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {

@@ -161,4 +161,65 @@ mod tests {
     fn zero_rate_is_refused() {
         let _ = OpenLoopArrivals::new(0, 0.0);
     }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn negative_rate_is_refused() {
+        let _ = OpenLoopArrivals::new(0, -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn nan_rate_is_refused() {
+        let _ = OpenLoopArrivals::new(0, f64::NAN);
+    }
+
+    /// Sub-1-per-epoch rates: most unit-length ticks see zero arrivals,
+    /// but the tick-batched counts still reconstruct the exact arrival
+    /// sequence and the long-run rate.
+    #[test]
+    fn sub_one_per_epoch_rates_count_correctly() {
+        let rate = 0.3;
+        let mut by_tick = OpenLoopArrivals::new(71, rate);
+        let mut by_event = OpenLoopArrivals::new(71, rate);
+        let horizon = 1000usize;
+        let mut counts = Vec::with_capacity(horizon);
+        for tick in 1..=horizon {
+            counts.push(by_tick.arrivals_until(tick as f64));
+        }
+        let empty_ticks = counts.iter().filter(|&&n| n == 0).count();
+        assert!(empty_ticks > horizon / 2, "rate 0.3 must leave most ticks empty");
+        let total: usize = counts.iter().sum();
+        let mut direct = 0usize;
+        while by_event.peek_arrival() <= horizon as f64 {
+            by_event.next_arrival();
+            direct += 1;
+        }
+        assert_eq!(total, direct);
+        let empirical = total as f64 / horizon as f64;
+        assert!((empirical - rate).abs() < rate * 0.3, "empirical {empirical} vs offered {rate}");
+    }
+
+    /// The checkpoint/restore contract: a clone of the process taken
+    /// mid-stream is the arrival cursor a restored session resumes
+    /// from, and it must replay the identical suffix bit-for-bit.
+    #[test]
+    fn cloned_cursor_resumes_bit_for_bit() {
+        let mut live = OpenLoopArrivals::new(13, 7.5);
+        for _ in 0..500 {
+            live.next_arrival();
+        }
+        let mut restored = live.clone();
+        assert_eq!(live.peek_arrival().to_bits(), restored.peek_arrival().to_bits());
+        for i in 0..2000 {
+            let a = live.next_arrival();
+            let b = restored.next_arrival();
+            assert_eq!(a.to_bits(), b.to_bits(), "arrival {i} diverged after restore");
+        }
+        // Mixing draw styles keeps the cursors aligned too.
+        let n = live.arrivals_until(live.peek_arrival() + 3.0);
+        let m = restored.arrivals_until(restored.peek_arrival() + 3.0);
+        assert_eq!(n, m);
+        assert_eq!(live.peek_arrival().to_bits(), restored.peek_arrival().to_bits());
+    }
 }

@@ -36,6 +36,7 @@
 //! assert_eq!(schedule.max_objects(), 12);
 //! ```
 
+use crate::arrivals::OpenLoopArrivals;
 use crate::freq::AccessMatrix;
 use crate::generators::Zipf;
 use crate::objects::ObjectId;
@@ -127,6 +128,57 @@ pub enum PhaseKind {
         /// Objects in the contended set (clamped to the live set).
         contended_objects: usize,
     },
+    /// Multi-tenant interference: `tenants` independent workloads share
+    /// the tree. Tenant `t` owns the live objects with `id % tenants ==
+    /// t` and a contiguous processor range, issues requests round-robin
+    /// (request `i` belongs to tenant `i % tenants`), samples its own
+    /// objects Zipf(`skew`), and writes with probability
+    /// `write_fraction · (t+1)/tenants` — asymmetric on purpose, so
+    /// per-tenant congestion attribution has something to attribute.
+    /// `tenants` is clamped to `[2, min(live objects, processors)]`.
+    Interference {
+        /// Number of co-located workloads (≥ 2 after clamping).
+        tenants: usize,
+        /// Zipf exponent of each tenant's popularity ranking.
+        skew: f64,
+        /// Base write probability; tenant `t` uses `(t+1)/tenants` of it.
+        write_fraction: f64,
+    },
+    /// Diurnal traffic: arrival times come from an [`OpenLoopArrivals`]
+    /// process thinned by a sinusoidal day curve (intensity
+    /// `0.25 + 0.75·sin²(π·t mod 1)` — quiet nights, busy middays), and
+    /// the *active* processor region follows the sun: the fractional
+    /// position within the day picks one of `regions` contiguous
+    /// processor ranges. Object popularity stays Zipf(`skew`).
+    Diurnal {
+        /// Follow-the-sun processor regions (clamped to `[1, processors]`).
+        regions: usize,
+        /// Offered arrival rate per unit of virtual time (non-positive
+        /// or non-finite rates fall back to 1.0).
+        rate: f64,
+        /// Zipf exponent of the popularity ranking.
+        skew: f64,
+        /// Probability that a request is a write.
+        write_fraction: f64,
+    },
+    /// Flash crowds: a background Zipf(`skew`) workload at `rate`
+    /// arrivals per unit time, with a periodic crowd window (the
+    /// `[0.4, 0.6)` fraction of each unit of virtual time) during which
+    /// the offered rate jumps by `boost`× and *every* processor
+    /// read-storms one hot object. Implemented by Poisson thinning: the
+    /// arrival process runs at `rate·boost` and off-window arrivals are
+    /// accepted with probability `1/boost`.
+    FlashCrowd {
+        /// Offered background rate (non-positive or non-finite rates
+        /// fall back to 1.0).
+        rate: f64,
+        /// Rate multiplier inside the crowd window (clamped to ≥ 1).
+        boost: u64,
+        /// Zipf exponent of the background popularity ranking.
+        skew: f64,
+        /// Background write probability (crowd requests are all reads).
+        write_fraction: f64,
+    },
 }
 
 /// One phase: a labelled access-pattern family and a request volume.
@@ -185,6 +237,23 @@ impl PhaseSchedule {
     /// with this.
     pub fn max_objects(&self) -> usize {
         self.initial_objects + self.phases.iter().map(PhaseSpec::churn_events).sum::<usize>()
+    }
+
+    /// The widest tenant count any [`PhaseKind::Interference`] phase of
+    /// this schedule declares, or 1 for single-tenant schedules. The
+    /// scenario engine partitions objects by `id % tenants()` when
+    /// attributing per-tenant load; the partition key is the *declared*
+    /// count (attribution is a partition of accounting, valid for any
+    /// key), even where emission clamps the effective tenant count.
+    pub fn tenants(&self) -> usize {
+        self.phases
+            .iter()
+            .map(|p| match p.kind {
+                PhaseKind::Interference { tenants, .. } => tenants.max(2),
+                _ => 1,
+            })
+            .max()
+            .unwrap_or(1)
     }
 
     /// The streaming request source for this schedule on `net`,
@@ -259,6 +328,29 @@ enum PhaseState {
         side_a: Vec<NodeId>,
         side_b: Vec<NodeId>,
         emitted: usize,
+    },
+    Interference {
+        tenants: usize,
+        write_fraction: f64,
+        // Per-tenant popularity rankings over the tenant's own objects.
+        zipfs: Vec<Zipf>,
+        // Per-tenant live-set slot indices.
+        object_groups: Vec<Vec<usize>>,
+        // Per-tenant contiguous processor ranges.
+        proc_groups: Vec<Vec<NodeId>>,
+    },
+    Diurnal {
+        zipf: Zipf,
+        write_fraction: f64,
+        regions: usize,
+        arrivals: OpenLoopArrivals,
+    },
+    FlashCrowd {
+        zipf: Zipf,
+        write_fraction: f64,
+        // Off-window thinning probability, 1/boost.
+        accept: f64,
+        arrivals: OpenLoopArrivals,
     },
 }
 
@@ -453,6 +545,49 @@ impl PhaseStreamState {
                     emitted: 0,
                 }
             }
+            PhaseKind::Interference { tenants, skew, write_fraction } => {
+                let t_eff = tenants.clamp(2, n_live.min(procs.len()));
+                // Partition the live set by object id so the emission
+                // bias matches the engine's `id % tenants` attribution
+                // key; fall back to a slot round-robin if churn left
+                // some id class empty.
+                let mut groups: Vec<Vec<usize>> = vec![Vec::new(); t_eff];
+                for (slot, &obj) in self.live.iter().enumerate() {
+                    groups[obj.index() % t_eff].push(slot);
+                }
+                if groups.iter().any(Vec::is_empty) {
+                    groups.iter_mut().for_each(Vec::clear);
+                    for slot in 0..n_live {
+                        groups[slot % t_eff].push(slot);
+                    }
+                }
+                let zipfs = groups.iter().map(|g| Zipf::new(g.len(), skew)).collect();
+                let proc_groups = (0..t_eff)
+                    .map(|t| procs[t * procs.len() / t_eff..(t + 1) * procs.len() / t_eff].to_vec())
+                    .collect();
+                PhaseState::Interference {
+                    tenants: t_eff,
+                    write_fraction,
+                    zipfs,
+                    object_groups: groups,
+                    proc_groups,
+                }
+            }
+            PhaseKind::Diurnal { regions, rate, skew, write_fraction } => PhaseState::Diurnal {
+                zipf: Zipf::new(n_live, skew),
+                write_fraction,
+                regions: regions.clamp(1, procs.len()),
+                arrivals: OpenLoopArrivals::new(self.rng.gen(), sane_rate(rate)),
+            },
+            PhaseKind::FlashCrowd { rate, boost, skew, write_fraction } => {
+                let boost = boost.max(1);
+                PhaseState::FlashCrowd {
+                    zipf: Zipf::new(n_live, skew),
+                    write_fraction,
+                    accept: 1.0 / boost as f64,
+                    arrivals: OpenLoopArrivals::new(self.rng.gen(), sane_rate(rate) * boost as f64),
+                }
+            }
         });
     }
 
@@ -557,7 +692,85 @@ impl PhaseStreamState {
                     is_write: self.rng.gen_bool(write_fraction.clamp(0.0, 1.0)),
                 }
             }
+            PhaseState::Interference {
+                tenants,
+                write_fraction,
+                zipfs,
+                object_groups,
+                proc_groups,
+            } => {
+                let t = i % *tenants;
+                let wf = (*write_fraction * (t + 1) as f64 / *tenants as f64).clamp(0.0, 1.0);
+                let object = self.live[object_groups[t][zipfs[t].sample(&mut self.rng)]];
+                let group = &proc_groups[t];
+                PhaseRequest {
+                    processor: group[self.rng.gen_range(0..group.len())],
+                    object,
+                    is_write: self.rng.gen_bool(wf),
+                }
+            }
+            PhaseState::Diurnal { zipf, write_fraction, regions, arrivals } => {
+                // Thin the max-rate Poisson stream by the day curve:
+                // accept an arrival at day position `d` with probability
+                // 0.25 + 0.75·sin²(π·d). Intensity ≥ 0.25 bounds the
+                // expected rejections per request at 3.
+                let day = loop {
+                    let d = arrivals.next_arrival().fract();
+                    let intensity = 0.25 + 0.75 * (std::f64::consts::PI * d).sin().powi(2);
+                    if self.rng.gen_bool(intensity) {
+                        break d;
+                    }
+                };
+                // Follow the sun: the day position picks the active
+                // contiguous processor region.
+                let region = ((day * *regions as f64) as usize).min(*regions - 1);
+                let lo = region * procs.len() / *regions;
+                let hi = (region + 1) * procs.len() / *regions;
+                PhaseRequest {
+                    processor: procs[self.rng.gen_range(lo..hi)],
+                    object: self.live[zipf.sample(&mut self.rng)],
+                    is_write: self.rng.gen_bool(write_fraction.clamp(0.0, 1.0)),
+                }
+            }
+            PhaseState::FlashCrowd { zipf, write_fraction, accept, arrivals } => {
+                // The process runs at rate·boost; inside the crowd window
+                // every arrival lands, outside only 1/boost of them do —
+                // so the accepted rate is `rate` off-window and
+                // `rate·boost` inside it.
+                let in_crowd = loop {
+                    let d = arrivals.next_arrival().fract();
+                    let in_crowd = (0.4..0.6).contains(&d);
+                    if in_crowd || self.rng.gen_bool(*accept) {
+                        break in_crowd;
+                    }
+                };
+                if in_crowd {
+                    // Read storm on one hot object from everywhere.
+                    PhaseRequest {
+                        processor: procs[self.rng.gen_range(0..procs.len())],
+                        object: self.live[0],
+                        is_write: false,
+                    }
+                } else {
+                    PhaseRequest {
+                        processor: procs[self.rng.gen_range(0..procs.len())],
+                        object: self.live[zipf.sample(&mut self.rng)],
+                        is_write: self.rng.gen_bool(write_fraction.clamp(0.0, 1.0)),
+                    }
+                }
+            }
         }
+    }
+}
+
+/// Arrival rates must be finite and positive ([`OpenLoopArrivals::new`]
+/// panics otherwise); degenerate spec values fall back to 1.0 so phase
+/// schedules stay total.
+fn sane_rate(rate: f64) -> f64 {
+    if rate.is_finite() && rate > 0.0 {
+        rate
+    } else {
+        1.0
     }
 }
 
@@ -615,9 +828,11 @@ impl Iterator for PhaseStream<'_> {
 
 impl ExactSizeIterator for PhaseStream<'_> {}
 
-/// A ready-made six-phase schedule touring every [`PhaseKind`] family —
-/// the "as many scenarios as you can imagine" smoke test. `volume` is the
-/// per-phase request count.
+/// A ready-made six-phase schedule touring the original [`PhaseKind`]
+/// families — the "as many scenarios as you can imagine" smoke test.
+/// `volume` is the per-phase request count. The interference, diurnal
+/// and flash-crowd families added later are covered by
+/// `hbn_testutil::family_schedules`, which is the exhaustive registry.
 pub fn full_tour(initial_objects: usize, volume: usize) -> PhaseSchedule {
     PhaseSchedule::new(
         initial_objects,
@@ -902,6 +1117,180 @@ mod tests {
             assert_eq!(procs.len(), 1, "one source per burst");
             let objs: HashSet<u32> = burst.iter().map(|r| r.object.0).collect();
             assert!(objs.len() <= 2, "at most burst_objects objects");
+        }
+    }
+
+    fn one_phase(kind: PhaseKind, requests: usize) -> PhaseSchedule {
+        PhaseSchedule::new(8, vec![PhaseSpec::new("solo", kind, requests)])
+    }
+
+    #[test]
+    fn new_families_are_deterministic_and_emit_exact_volumes() {
+        let t = net();
+        for kind in [
+            PhaseKind::Interference { tenants: 2, skew: 0.8, write_fraction: 0.3 },
+            PhaseKind::Diurnal { regions: 3, rate: 40.0, skew: 0.8, write_fraction: 0.1 },
+            PhaseKind::FlashCrowd { rate: 25.0, boost: 8, skew: 0.8, write_fraction: 0.1 },
+        ] {
+            let schedule = one_phase(kind, 300);
+            let a: Vec<PhaseRequest> = schedule.stream(&t, 77).collect();
+            let b: Vec<PhaseRequest> = schedule.stream(&t, 77).collect();
+            assert_eq!(a, b, "{kind:?} must be seed-deterministic");
+            assert_eq!(a.len(), 300, "{kind:?} must emit exactly its volume");
+            let c: Vec<PhaseRequest> = schedule.stream(&t, 78).collect();
+            assert_ne!(a, c, "{kind:?} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn new_families_clone_resume_bit_for_bit() {
+        let t = net();
+        let schedule = PhaseSchedule::new(
+            8,
+            vec![
+                PhaseSpec::new(
+                    "interference",
+                    PhaseKind::Interference { tenants: 3, skew: 0.9, write_fraction: 0.4 },
+                    120,
+                ),
+                PhaseSpec::new(
+                    "diurnal",
+                    PhaseKind::Diurnal { regions: 2, rate: 30.0, skew: 0.7, write_fraction: 0.2 },
+                    120,
+                ),
+                PhaseSpec::new(
+                    "flash-crowd",
+                    PhaseKind::FlashCrowd { rate: 20.0, boost: 6, skew: 0.7, write_fraction: 0.1 },
+                    120,
+                ),
+            ],
+        );
+        let mut cursor = schedule.stream_state(&t, 55);
+        // Stop mid-diurnal so the fork carries a live arrival process.
+        for _ in 0..180 {
+            cursor.next_request(&schedule, &t).unwrap();
+        }
+        let mut fork = cursor.clone();
+        let rest: Vec<PhaseRequest> =
+            std::iter::from_fn(|| cursor.next_request(&schedule, &t)).collect();
+        let forked: Vec<PhaseRequest> =
+            std::iter::from_fn(|| fork.next_request(&schedule, &t)).collect();
+        assert_eq!(rest.len(), 180);
+        assert_eq!(rest, forked);
+    }
+
+    #[test]
+    fn interference_partitions_objects_and_processors_by_tenant() {
+        let t = star(8, 4);
+        let schedule =
+            one_phase(PhaseKind::Interference { tenants: 2, skew: 0.6, write_fraction: 1.0 }, 400);
+        let reqs: Vec<PhaseRequest> = schedule.stream(&t, 21).collect();
+        // Request i belongs to tenant i % 2; each tenant touches only its
+        // own object class and processor half.
+        let procs = t.processors();
+        for (i, r) in reqs.iter().enumerate() {
+            let tenant = i % 2;
+            assert_eq!(r.object.index() % 2, tenant, "request {i} crossed tenants");
+            let pos = procs.iter().position(|&p| p == r.processor).unwrap();
+            assert_eq!(
+                if pos < procs.len() / 2 { 0 } else { 1 },
+                tenant,
+                "request {i} issued from the wrong processor half"
+            );
+        }
+        // Asymmetric write mix: tenant 0 writes at wf/2, tenant 1 at wf.
+        let writes =
+            |t: usize| reqs.iter().enumerate().filter(|(i, r)| i % 2 == t && r.is_write).count();
+        assert!(writes(0) < writes(1), "tenant write mixes must differ");
+        assert_eq!(writes(1), 200, "tenant 1 writes every request at wf=1.0");
+    }
+
+    #[test]
+    fn interference_clamps_wide_tenant_counts() {
+        let t = net(); // 9 processors, 8 initial objects
+        let schedule = one_phase(
+            PhaseKind::Interference { tenants: 1000, skew: 0.5, write_fraction: 0.2 },
+            200,
+        );
+        let reqs: Vec<PhaseRequest> = schedule.stream(&t, 3).collect();
+        assert_eq!(reqs.len(), 200);
+        assert_eq!(schedule.tenants(), 1000, "declared count is not clamped");
+    }
+
+    #[test]
+    fn schedule_tenants_reports_widest_interference_phase() {
+        assert_eq!(full_tour(6, 10).tenants(), 1);
+        let mixed = PhaseSchedule::new(
+            4,
+            vec![
+                PhaseSpec::new(
+                    "warm",
+                    PhaseKind::StaticZipf { skew: 0.5, write_fraction: 0.1 },
+                    10,
+                ),
+                PhaseSpec::new(
+                    "i2",
+                    PhaseKind::Interference { tenants: 2, skew: 0.5, write_fraction: 0.1 },
+                    10,
+                ),
+                PhaseSpec::new(
+                    "i4",
+                    PhaseKind::Interference { tenants: 4, skew: 0.5, write_fraction: 0.1 },
+                    10,
+                ),
+            ],
+        );
+        assert_eq!(mixed.tenants(), 4);
+    }
+
+    #[test]
+    fn diurnal_concentrates_requests_by_region() {
+        let t = star(12, 4);
+        let schedule = one_phase(
+            PhaseKind::Diurnal { regions: 3, rate: 50.0, skew: 0.5, write_fraction: 0.0 },
+            600,
+        );
+        let reqs: Vec<PhaseRequest> = schedule.stream(&t, 41).collect();
+        assert_eq!(reqs.len(), 600);
+        // All three follow-the-sun regions must be visited, and
+        // requests from one instant stay within one region (weak check:
+        // every processor gets traffic across a long run).
+        let procs = t.processors();
+        let mut region_hits = [0usize; 3];
+        for r in &reqs {
+            let pos = procs.iter().position(|&p| p == r.processor).unwrap();
+            region_hits[pos * 3 / procs.len()] += 1;
+        }
+        assert!(region_hits.iter().all(|&n| n > 0), "all regions visited: {region_hits:?}");
+    }
+
+    #[test]
+    fn flash_crowd_read_storms_one_hot_object() {
+        let t = net();
+        let schedule = one_phase(
+            PhaseKind::FlashCrowd { rate: 30.0, boost: 10, skew: 0.5, write_fraction: 0.5 },
+            800,
+        );
+        let reqs: Vec<PhaseRequest> = schedule.stream(&t, 29).collect();
+        assert_eq!(reqs.len(), 800);
+        let hot = reqs.iter().filter(|r| r.object == ObjectId(0) && !r.is_write).count();
+        // With boost 10 and a 20% window, crowd arrivals are
+        // 2/(2+0.8) ≈ 71% of accepted traffic — the hot object must
+        // dominate.
+        assert!(hot > reqs.len() / 2, "hot object got only {hot}/{}", reqs.len());
+        // Background traffic still exists and can write.
+        assert!(reqs.iter().any(|r| r.is_write), "background writes missing");
+    }
+
+    #[test]
+    fn degenerate_rates_fall_back_instead_of_panicking() {
+        let t = net();
+        for rate in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let schedule = one_phase(
+                PhaseKind::Diurnal { regions: 2, rate, skew: 0.5, write_fraction: 0.1 },
+                50,
+            );
+            assert_eq!(schedule.stream(&t, 1).count(), 50);
         }
     }
 
